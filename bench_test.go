@@ -1,0 +1,221 @@
+package manimal_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"manimal"
+	"manimal/internal/bench"
+	"manimal/internal/interp"
+	"manimal/internal/serde"
+	"manimal/internal/storage"
+	"manimal/internal/workload"
+)
+
+// Macro-benchmarks: one per paper table. Each iteration regenerates the
+// full table (data generation + index builds + both runs), so per-op time
+// is the cost of reproducing that table end to end. Run with:
+//
+//	go test -bench=Table -benchmem
+func BenchmarkTable1AnalyzerRecall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatal("bad row count")
+		}
+	}
+}
+
+func BenchmarkTable2EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable2(b.TempDir(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3SelectionSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable3(b.TempDir(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4Projection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable4(b.TempDir(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5DeltaCompression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable5(b.TempDir(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6DirectOperation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable6(b.TempDir(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro-benchmarks of the substrates, for profiling the fabric itself.
+
+func BenchmarkRecordFileScan(b *testing.B) {
+	dir := b.TempDir()
+	path := filepath.Join(dir, "webpages.rec")
+	const n = 20000
+	if err := workload.NewGen(1).WriteWebPages(path, n, 256); err != nil {
+		b.Fatal(err)
+	}
+	r, err := storage.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	b.SetBytes(r.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, err := r.ScanAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		count := 0
+		for sc.Next() {
+			count++
+		}
+		if sc.Err() != nil || count != n {
+			b.Fatalf("scan: %v (%d records)", sc.Err(), count)
+		}
+	}
+}
+
+func BenchmarkInterpreterMapInvocation(b *testing.B) {
+	prog, err := manimal.ParseProgram("bench", `
+func Map(k, v *Record, ctx *Ctx) {
+	if v.Int("rank") > ctx.ConfInt("threshold") {
+		ctx.Emit(v.Str("url"), v.Int("rank"))
+	}
+}
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex, err := interp.New(prog.Parsed())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := serde.NewRecord(workload.WebPagesSchema)
+	rec.MustSet("url", serde.String("http://example.com/x"))
+	rec.MustSet("rank", serde.Int(7000))
+	rec.MustSet("content", serde.String("body"))
+	emitted := 0
+	ctx := &interp.Context{
+		Conf: manimal.Conf{"threshold": serde.Int(5000)},
+		Emit: func(serde.Datum, interp.EmitValue) error { emitted++; return nil },
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ex.InvokeMap(serde.Int(int64(i)), rec, ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if emitted != b.N {
+		b.Fatalf("emitted %d of %d", emitted, b.N)
+	}
+}
+
+func BenchmarkShuffleSortSpillMerge(b *testing.B) {
+	// A full word-count-shaped job: measures the engine's sort/spill/merge
+	// path under combiner pre-aggregation.
+	dir := b.TempDir()
+	data := filepath.Join(dir, "uservisits.rec")
+	if err := workload.NewGen(2).WriteUserVisits(data, 20000, 500); err != nil {
+		b.Fatal(err)
+	}
+	prog, err := manimal.ParseProgram("bench", `
+func Map(k, v *Record, ctx *Ctx) {
+	ctx.Emit(v.Str("countryCode"), 1)
+}
+
+func Reduce(key Datum, values *Iter, ctx *Ctx) {
+	n := 0
+	for values.Next() {
+		n = n + values.Int()
+	}
+	ctx.Emit(key, n)
+}
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := manimal.NewSystem(filepath.Join(dir, "sys"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := manimal.JobSpec{
+			Name:                "wc",
+			Inputs:              []manimal.InputSpec{{Path: data, Program: prog}},
+			OutputPath:          filepath.Join(dir, fmt.Sprintf("out-%d.kv", i)),
+			DisableOptimization: true,
+		}
+		if _, err := sys.Submit(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreeRangeScan(b *testing.B) {
+	dir := b.TempDir()
+	data := filepath.Join(dir, "webpages.rec")
+	if err := workload.NewGen(3).WriteWebPages(data, 20000, 128); err != nil {
+		b.Fatal(err)
+	}
+	sys, err := manimal.NewSystem(filepath.Join(dir, "sys"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := manimal.ParseProgram("bench", `
+func Map(k, v *Record, ctx *Ctx) {
+	if v.Int("rank") > ctx.ConfInt("threshold") {
+		ctx.Emit(v.Int("rank"), 1)
+	}
+}
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.BuildBestIndexes(prog, data); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := manimal.JobSpec{
+			Name:       "scan",
+			Inputs:     []manimal.InputSpec{{Path: data, Program: prog}},
+			OutputPath: filepath.Join(dir, fmt.Sprintf("out-%d.kv", i)),
+			Conf:       manimal.Conf{"threshold": manimal.Int(9000)},
+			MapOnly:    true,
+		}
+		r, err := sys.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Inputs[0].Plan.Kind.String() != "btree" {
+			b.Fatal("expected btree plan")
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Command benchtables regenerates the tables of the paper's evaluation
+// section (Tables 1-6) with the same row/column structure, printing both
+// the measured values and the paper's reported speedups for shape
+// comparison.
+//
+// Usage:
+//
+//	benchtables -table all -scale 2
+//	benchtables -table 3 -scale 5 -dir /tmp/bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"manimal/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 1..6 or all")
+	scale := flag.Int("scale", 1, "dataset scale factor (1 = seconds per table)")
+	dir := flag.String("dir", "", "scratch directory (default: a temp dir, removed on exit)")
+	flag.Parse()
+
+	scratch := *dir
+	if scratch == "" {
+		var err error
+		scratch, err = os.MkdirTemp("", "manimal-bench-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(scratch)
+	}
+
+	run := func(name string, f func() error) {
+		if *table != "all" && *table != name {
+			return
+		}
+		if err := f(); err != nil {
+			fatal(fmt.Errorf("table %s: %w", name, err))
+		}
+	}
+	s := bench.Scale(*scale)
+
+	run("1", func() error {
+		rows, err := bench.RunTable1()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 1: Manimal analyzer results on the benchmark programs")
+		fmt.Printf("%-14s %-16s %-12s %-12s %-12s\n", "Test", "Description", "Select", "Project", "Delta-Comp.")
+		for _, r := range rows {
+			fmt.Printf("%-14s %-16s %-12s %-12s %-12s\n", r.Name, r.Description, r.Select, r.Project, r.Delta)
+		}
+		fmt.Println()
+		return nil
+	})
+
+	run("2", func() error {
+		rows, err := bench.RunTable2(filepath.Join(scratch, "t2"), s)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 2: Overall performance improvement across the Pavlo benchmark tasks")
+		fmt.Printf("%-14s %-16s %10s %12s %12s %9s %9s\n",
+			"Test", "Description", "Space Ovhd", "Hadoop", "Manimal", "Speedup", "Paper")
+		for _, r := range rows {
+			if r.HadoopSecs == 0 {
+				fmt.Printf("%-14s %-16s %10s %12s %12s %9s %9s\n",
+					r.Name, r.Description, "0%", "N/A", "N/A", "0", "0")
+				continue
+			}
+			fmt.Printf("%-14s %-16s %9.1f%% %11.2fs %11.2fs %8.2fx %8.2fx\n",
+				r.Name, r.Description, r.SpaceOverhead*100, r.HadoopSecs, r.ManimalSecs, r.Speedup, r.PaperSpeedup)
+		}
+		fmt.Println()
+		return nil
+	})
+
+	run("3", func() error {
+		rows, err := bench.RunTable3(filepath.Join(scratch, "t3"), s)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 3: Selection times at various levels of selectivity")
+		fmt.Printf("%-12s %14s %12s %10s %10s %9s %9s\n",
+			"Selectivity", "Intermediate", "Final", "Hadoop", "Manimal", "Speedup", "Paper")
+		for _, r := range rows {
+			fmt.Printf("%11d%% %13dB %11dB %9.2fs %9.2fs %8.2fx %8.2fx\n",
+				r.SelectivityPct, r.IntermediateBytes, r.FinalBytes, r.HadoopSecs, r.ManimalSecs, r.Speedup, r.PaperSpeedup)
+		}
+		fmt.Println()
+		return nil
+	})
+
+	run("4", func() error {
+		rows, err := bench.RunTable4(filepath.Join(scratch, "t4"), s)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 4: Projection of irrelevant columns")
+		fmt.Printf("%-10s %12s %10s %10s %12s %10s %10s %9s %9s\n",
+			"Config", "Original", "Tuples", "Content", "Index", "Hadoop", "Manimal", "Speedup", "Paper")
+		for _, r := range rows {
+			fmt.Printf("%-10s %11dB %10d %9dB %11dB %9.2fs %9.2fs %8.2fx %8.2fx\n",
+				r.Config, r.OriginalBytes, r.NumTuples, r.ContentBytes, r.IndexBytes,
+				r.HadoopSecs, r.ManimalSecs, r.Speedup, r.PaperSpeedup)
+		}
+		fmt.Println()
+		return nil
+	})
+
+	run("5", func() error {
+		r, err := bench.RunTable5(filepath.Join(scratch, "t5"), s)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 5: Delta compression on numeric data")
+		fmt.Printf("%-28s %12d\n", "Original file size (B)", r.OriginalBytes)
+		fmt.Printf("%-28s %12d\n", "Post-projection size (B)", r.PostProjectionBytes)
+		fmt.Printf("%-28s %12d\n", "Delta-compressed size (B)", r.DeltaBytes)
+		saving := 1 - float64(r.DeltaBytes)/float64(r.PostProjectionBytes)
+		fmt.Printf("%-28s %11.0f%% (paper: %.0f%%)\n", "Space saving", saving*100, r.PaperSpaceSaving*100)
+		fmt.Printf("%-28s %11.2fs\n", "Running time (Hadoop)", r.HadoopSecs)
+		fmt.Printf("%-28s %11.2fs\n", "Running time (Manimal)", r.ManimalSecs)
+		fmt.Printf("%-28s %11.2fx (paper: %.2fx)\n", "Speedup", r.Speedup, r.PaperSpeedup)
+		fmt.Println()
+		return nil
+	})
+
+	run("6", func() error {
+		r, err := bench.RunTable6(filepath.Join(scratch, "t6"), s)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 6: Operating on compressed data")
+		fmt.Printf("%-28s %12d\n", "Original file size (B)", r.OriginalBytes)
+		fmt.Printf("%-28s %12d\n", "Indexed file size (B)", r.IndexedBytes)
+		fmt.Printf("%-28s %11.2fs\n", "Running time (Hadoop)", r.HadoopSecs)
+		fmt.Printf("%-28s %11.2fs\n", "Running time (Manimal)", r.ManimalSecs)
+		fmt.Printf("%-28s %11.2fx (paper: %.2fx)\n", "Speedup", r.Speedup, r.PaperSpeedup)
+		fmt.Println()
+		return nil
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtables:", err)
+	os.Exit(1)
+}

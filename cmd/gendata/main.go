@@ -1,0 +1,56 @@
+// Command gendata generates the benchmark datasets of the paper's
+// evaluation (Rankings, opaque Rankings, WebPages, UserVisits, documents)
+// as Manimal record files.
+//
+// Usage:
+//
+//	gendata -kind webpages -n 100000 -content 510 -out webpages.rec
+//	gendata -kind uservisits -n 500000 -urls 10000 -out uservisits.rec
+//	gendata -kind rankings|rankings-opaque -n 100000 -out rankings.rec
+//	gendata -kind docs -n 50000 -content 2048 -urls 5000 -out docs.rec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"manimal/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "webpages", "rankings | rankings-opaque | webpages | uservisits | docs")
+	n := flag.Int("n", 100000, "number of records")
+	content := flag.Int("content", 510, "content field size in bytes (webpages, docs)")
+	urls := flag.Int("urls", 10000, "URL pool size (uservisits, docs)")
+	seed := flag.Int64("seed", 42, "random seed (generation is deterministic)")
+	out := flag.String("out", "", "output record file")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "gendata: -out is required")
+		os.Exit(2)
+	}
+	g := workload.NewGen(*seed)
+	var err error
+	switch *kind {
+	case "rankings":
+		err = g.WriteRankings(*out, *n)
+	case "rankings-opaque":
+		err = g.WriteRankingsOpaque(*out, *n)
+	case "webpages":
+		err = g.WriteWebPages(*out, *n, *content)
+	case "uservisits":
+		err = g.WriteUserVisits(*out, *n, *urls)
+	case "docs":
+		err = g.WriteDocuments(*out, *n, *content, *urls)
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gendata:", err)
+		os.Exit(1)
+	}
+	st, _ := os.Stat(*out)
+	fmt.Printf("wrote %s: %d records, %d bytes\n", *out, *n, st.Size())
+}

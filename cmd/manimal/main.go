@@ -1,0 +1,307 @@
+// Command manimal is the CLI front end of the Manimal system: analyze a
+// mapper-language program, explain its CFG and use-def chains, build the
+// synthesized indexes, inspect the catalog, and run jobs with or without
+// optimization.
+//
+// Usage:
+//
+//	manimal analyze -prog prog.go -schema "url:string,rank:int64"
+//	manimal explain -prog prog.go [-cfg] [-usedef]
+//	manimal index   -sys DIR -prog prog.go -input data.rec
+//	manimal run     -sys DIR -prog prog.go -input data.rec -out out.kv \
+//	                [-conf threshold=10] [-noopt] [-maponly]
+//	manimal catalog -sys DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"manimal"
+	"manimal/internal/cfg"
+	"manimal/internal/dataflow"
+	"manimal/internal/storage"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
+	case "index":
+		err = cmdIndex(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "catalog":
+		err = cmdCatalog(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "manimal:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: manimal {analyze|explain|index|run|catalog} [flags]")
+	os.Exit(2)
+}
+
+func loadProgram(path string) (*manimal.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return manimal.ParseProgram(path, string(src))
+}
+
+// parseConf parses repeated k=v flags; values parse as int, then float,
+// then string.
+type confFlag struct{ conf manimal.Conf }
+
+func (c *confFlag) String() string { return fmt.Sprint(c.conf) }
+func (c *confFlag) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("conf must be key=value, got %q", s)
+	}
+	if c.conf == nil {
+		c.conf = manimal.Conf{}
+	}
+	if i, err := strconv.ParseInt(v, 10, 64); err == nil {
+		c.conf[k] = manimal.Int(i)
+	} else if f, err := strconv.ParseFloat(v, 64); err == nil {
+		c.conf[k] = manimal.Float(f)
+	} else {
+		c.conf[k] = manimal.String(v)
+	}
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	progPath := fs.String("prog", "", "mapper-language program file")
+	schemaText := fs.String("schema", "", "input schema, e.g. \"url:string,rank:int64\"")
+	inputPath := fs.String("input", "", "record file to take the schema from (alternative to -schema)")
+	fs.Parse(args)
+
+	prog, err := loadProgram(*progPath)
+	if err != nil {
+		return err
+	}
+	var schema *manimal.Schema
+	switch {
+	case *schemaText != "":
+		schema, err = manimal.ParseSchema(*schemaText)
+	case *inputPath != "":
+		schema, err = schemaFromFile(*inputPath)
+	default:
+		return fmt.Errorf("need -schema or -input")
+	}
+	if err != nil {
+		return err
+	}
+	desc, err := manimal.AnalyzeSchema(prog, schema)
+	if err != nil {
+		return err
+	}
+	printDescriptor(desc)
+	return nil
+}
+
+// schemaFromFile reads just the schema of a record file.
+func schemaFromFile(path string) (*manimal.Schema, error) {
+	r, err := storage.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return r.Schema(), nil
+}
+
+func printDescriptor(desc *manimal.Descriptor) {
+	if desc.Select != nil {
+		fmt.Println("SELECT:")
+		fmt.Printf("  formula:    %s\n", desc.Select.Formula.Canon())
+		fmt.Printf("  index keys: %v\n", desc.Select.IndexKeys)
+	}
+	if desc.Project != nil {
+		fmt.Println("PROJECT:")
+		fmt.Printf("  used:    %v\n", desc.Project.UsedFields)
+		fmt.Printf("  dropped: %v\n", desc.Project.DroppedFields)
+	}
+	if desc.Delta != nil {
+		fmt.Printf("DELTA-COMPRESSION: %v\n", desc.Delta.Fields)
+	}
+	if desc.DirectOp != nil {
+		fmt.Printf("DIRECT-OPERATION: %v\n", desc.DirectOp.Fields)
+	}
+	if len(desc.SideEffects) > 0 {
+		fmt.Printf("SIDE EFFECTS (detected, not optimized): %v\n", desc.SideEffects)
+	}
+	if desc.Select == nil && desc.Project == nil && desc.Delta == nil && desc.DirectOp == nil {
+		fmt.Println("no optimizations detected")
+	}
+	for _, n := range desc.Notes {
+		fmt.Printf("  note: %s\n", n)
+	}
+}
+
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	progPath := fs.String("prog", "", "mapper-language program file")
+	showCFG := fs.Bool("cfg", true, "print the control flow graph (paper Figure 4)")
+	showUseDef := fs.Bool("usedef", true, "print use-def chains (paper Figure 5)")
+	fs.Parse(args)
+
+	prog, err := loadProgram(*progPath)
+	if err != nil {
+		return err
+	}
+	p := prog.Parsed()
+	g, err := cfg.Build(p, p.Map())
+	if err != nil {
+		return err
+	}
+	if *showCFG {
+		fmt.Println("=== control flow graph (Map) ===")
+		fmt.Print(g.Dump())
+	}
+	if *showUseDef {
+		fl, err := dataflow.Analyze(p, g)
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== use-def chains (Map) ===")
+		fmt.Print(fl.Dump())
+	}
+	return nil
+}
+
+func cmdIndex(args []string) error {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	sysDir := fs.String("sys", "manimal-sys", "system/catalog directory")
+	progPath := fs.String("prog", "", "mapper-language program file")
+	inputPath := fs.String("input", "", "input record file")
+	fs.Parse(args)
+
+	sys, err := manimal.NewSystem(*sysDir)
+	if err != nil {
+		return err
+	}
+	prog, err := loadProgram(*progPath)
+	if err != nil {
+		return err
+	}
+	entries, err := sys.BuildBestIndexes(prog, *inputPath)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		fmt.Println("no index programs synthesized (no optimizations detected)")
+		return nil
+	}
+	for _, e := range entries {
+		fmt.Printf("built %-10s %s (%d bytes, %.2fs)\n", e.Kind, e.IndexPath, e.SizeBytes, e.BuildDuration.Seconds())
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	sysDir := fs.String("sys", "manimal-sys", "system/catalog directory")
+	progPath := fs.String("prog", "", "mapper-language program file")
+	inputPath := fs.String("input", "", "input record file")
+	outPath := fs.String("out", "out.kv", "output KV file")
+	noopt := fs.Bool("noopt", false, "disable optimization (conventional MapReduce)")
+	mapOnly := fs.Bool("maponly", false, "skip the reduce phase")
+	show := fs.Int("show", 10, "print up to N output pairs")
+	var conf confFlag
+	fs.Var(&conf, "conf", "job parameter key=value (repeatable)")
+	fs.Parse(args)
+
+	sys, err := manimal.NewSystem(*sysDir)
+	if err != nil {
+		return err
+	}
+	prog, err := loadProgram(*progPath)
+	if err != nil {
+		return err
+	}
+	report, err := sys.Submit(manimal.JobSpec{
+		Name:                "cli",
+		Inputs:              []manimal.InputSpec{{Path: *inputPath, Program: prog}},
+		OutputPath:          *outPath,
+		Conf:                conf.conf,
+		MapOnly:             *mapOnly,
+		DisableOptimization: *noopt,
+	})
+	if err != nil {
+		return err
+	}
+	for _, ir := range report.Inputs {
+		fmt.Printf("plan: %s", ir.Plan.Kind)
+		if len(ir.Plan.Applied) > 0 {
+			fmt.Printf(" %v", ir.Plan.Applied)
+		}
+		fmt.Println()
+		for _, spec := range ir.IndexPrograms {
+			fmt.Printf("index program available: %s\n", spec.Describe())
+		}
+	}
+	fmt.Printf("done in %.3fs, %d output records\n",
+		report.Duration.Seconds(), report.Result.Counters.Get("output.records"))
+	if *show > 0 {
+		pairs, err := manimal.ReadOutput(*outPath)
+		if err != nil {
+			return err
+		}
+		for i, p := range pairs {
+			if i >= *show {
+				fmt.Printf("... (%d more)\n", len(pairs)-*show)
+				break
+			}
+			if p.Value.IsRecord() {
+				fmt.Printf("%v\t%v\n", p.Key, p.Value.Rec)
+			} else {
+				fmt.Printf("%v\t%v\n", p.Key, p.Value.D)
+			}
+		}
+	}
+	return nil
+}
+
+func cmdCatalog(args []string) error {
+	fs := flag.NewFlagSet("catalog", flag.ExitOnError)
+	sysDir := fs.String("sys", "manimal-sys", "system/catalog directory")
+	fs.Parse(args)
+	sys, err := manimal.NewSystem(*sysDir)
+	if err != nil {
+		return err
+	}
+	entries := sys.Catalog().All()
+	if len(entries) == 0 {
+		fmt.Println("catalog is empty")
+		return nil
+	}
+	for _, e := range entries {
+		fmt.Printf("%-10s %s -> %s fields=%v", e.Kind, e.InputPath, e.IndexPath, e.Fields)
+		if e.KeyExpr != "" {
+			fmt.Printf(" key=%s", e.KeyExpr)
+		}
+		if len(e.Encodings) > 0 {
+			fmt.Printf(" enc=%v", e.Encodings)
+		}
+		fmt.Printf(" (%d bytes)\n", e.SizeBytes)
+	}
+	return nil
+}

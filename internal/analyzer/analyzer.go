@@ -1,0 +1,183 @@
+// Package analyzer is Manimal's core contribution (paper Section 3): a
+// static analysis that inspects an unmodified mapper-language program and
+// emits optimization descriptors for selection, projection,
+// delta-compression, and direct operation on compressed data.
+//
+// Like the paper's analyzer, it is best-effort but safety-first: it may
+// miss optimizations (a determined programmer can elude it) but never
+// reports one that would change the program's reduce-stage output.
+// Everything here operates at the "micro-scale" on the map() function only.
+package analyzer
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+
+	"manimal/internal/cfg"
+	"manimal/internal/dataflow"
+	"manimal/internal/lang"
+	"manimal/internal/predicate"
+	"manimal/internal/serde"
+)
+
+// SelectDescriptor describes a detected selection: the DNF emit condition
+// and the key expressions a B+Tree index could be built on (paper Fig. 1:
+// "(SELECT, V.rank(), V.rank() > 1)").
+type SelectDescriptor struct {
+	// Formula is true iff map() may emit for a record (given job config).
+	Formula predicate.DNF
+	// IndexKeys are canonical key expressions bounded in every disjunct;
+	// each is a valid index-generation key. Sorted, deterministic.
+	IndexKeys []string
+}
+
+// ProjectDescriptor describes a detected projection opportunity.
+type ProjectDescriptor struct {
+	// UsedFields are the input fields the program's output can depend on.
+	UsedFields []string
+	// DroppedFields are schema fields never needed: safe to remove from
+	// the stored file.
+	DroppedFields []string
+}
+
+// DeltaDescriptor lists numeric input fields eligible for delta-compression.
+type DeltaDescriptor struct {
+	Fields []string
+}
+
+// DirectOpDescriptor lists string fields used only in
+// equality-compatible positions (emit keys, same-field equality tests):
+// they can be stored and processed as dictionary codes, never decompressed.
+type DirectOpDescriptor struct {
+	Fields []string
+}
+
+// Descriptor is the analyzer's complete output for one program: the
+// "optimization descriptor" of paper Figure 1. Nil sub-descriptors mean the
+// optimization was not detected.
+type Descriptor struct {
+	Select   *SelectDescriptor
+	Project  *ProjectDescriptor
+	Delta    *DeltaDescriptor
+	DirectOp *DirectOpDescriptor
+
+	// SideEffects lists detected side-effecting calls (ctx.Log/ctx.Counter)
+	// that optimized execution may skip; detected but not optimized,
+	// matching paper Section 2.2.
+	SideEffects []string
+
+	// Notes explains, for tooling and the `manimal explain` command, why
+	// optimizations were rejected.
+	Notes []string
+}
+
+// analysis bundles the per-program machinery shared by the detectors.
+type analysis struct {
+	prog   *lang.Program
+	schema *serde.Schema
+	fn     *lang.Function
+	graph  *cfg.Graph
+	flow   *dataflow.Analysis
+
+	keyParam   string
+	valueParam string
+	ctxParam   string
+
+	emits []emitSite
+}
+
+type emitSite struct {
+	stmt  ast.Stmt
+	call  *ast.CallExpr
+	block *cfg.Block
+}
+
+// Analyze runs all detectors against the program's Map function, given the
+// schema of the input file it will consume.
+func Analyze(p *lang.Program, inputSchema *serde.Schema) (*Descriptor, error) {
+	fn := p.Map()
+	if fn == nil {
+		return nil, fmt.Errorf("analyzer: program has no Map function")
+	}
+	if len(fn.Params) != 3 {
+		return nil, fmt.Errorf("analyzer: Map must take (k, v, ctx), has %d params", len(fn.Params))
+	}
+	g, err := cfg.Build(p, fn)
+	if err != nil {
+		return nil, fmt.Errorf("analyzer: %w", err)
+	}
+	fl, err := dataflow.Analyze(p, g)
+	if err != nil {
+		return nil, fmt.Errorf("analyzer: %w", err)
+	}
+	a := &analysis{
+		prog:       p,
+		schema:     inputSchema,
+		fn:         fn,
+		graph:      g,
+		flow:       fl,
+		keyParam:   fn.Params[0].Name,
+		valueParam: fn.Params[1].Name,
+		ctxParam:   fn.Params[2].Name,
+	}
+	a.collectEmits()
+
+	d := &Descriptor{}
+	d.Select = a.findSelect(d)
+	d.Project = a.findProject(d)
+	d.Delta = a.findDelta(d)
+	d.DirectOp = a.findDirectOp(d)
+	d.SideEffects = a.findSideEffects()
+	return d, nil
+}
+
+// collectEmits finds every ctx.Emit call site in the Map body (isEmit(s),
+// paper Figure 3).
+func (a *analysis) collectEmits() {
+	for _, blk := range a.graph.Blocks {
+		for _, s := range blk.Stmts {
+			es, ok := s.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok || !lang.IsEmit(call, a.ctxParam) {
+				continue
+			}
+			a.emits = append(a.emits, emitSite{stmt: s, call: call, block: blk})
+		}
+	}
+}
+
+// findSideEffects lists ctx.Log / ctx.Counter call sites: side effects that
+// index-driven execution may skip. Manimal detects (and reports) them but,
+// per the paper, considers them fair game because they cannot affect the
+// program's reduce-stage output.
+func (a *analysis) findSideEffects() []string {
+	var out []string
+	ast.Inspect(a.fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, method, ok := lang.MethodOn(call); ok && recv == a.ctxParam && lang.SideEffectCtxMethods[method] {
+			out = append(out, fmt.Sprintf("ctx.%s at %s", method, a.prog.Pos(call.Pos())))
+		}
+		return true
+	})
+	return out
+}
+
+func (d *Descriptor) notef(format string, args ...any) {
+	d.Notes = append(d.Notes, fmt.Sprintf(format, args...))
+}
+
+func sortedStrings(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

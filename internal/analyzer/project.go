@@ -1,0 +1,138 @@
+package analyzer
+
+import (
+	"go/ast"
+
+	"manimal/internal/dataflow"
+	"manimal/internal/lang"
+)
+
+// findProject implements the projection-detection algorithm of paper
+// Figure 6: collect the fields used by emit statements and by the
+// conditions leading to them (transitively through use-def chains), and
+// report paramFields − usedFields as safe to drop. Uses of the input for
+// any other purpose — log messages, debugging text — are deliberately NOT
+// counted: Manimal optimizes them away (paper Appendix C).
+func (a *analysis) findProject(d *Descriptor) *ProjectDescriptor {
+	if a.schema == nil {
+		d.notef("project: no input schema available")
+		return nil
+	}
+	if len(a.emits) == 0 {
+		// A map() that never emits needs no input fields at all; there is
+		// no output to preserve, so there is nothing to project for.
+		d.notef("project: map() never emits")
+		return nil
+	}
+
+	used := make(map[string]bool)
+	unknown := false
+
+	noteUse := func(e ast.Expr) {
+		fields, all := a.fieldsIn(e)
+		if all {
+			unknown = true
+			return
+		}
+		for _, f := range fields {
+			used[f] = true
+		}
+	}
+
+	collectDag := func(dag *dataflow.Node) {
+		dag.Walk(func(n *dataflow.Node) {
+			switch n.Kind {
+			case dataflow.NodeUse:
+				noteUse(n.Expr)
+			case dataflow.NodeStmt:
+				for _, e := range dataflow.StmtUses(n.Stmt) {
+					noteUse(e)
+				}
+			}
+		})
+	}
+
+	for _, e := range a.emits {
+		paths, err := a.graph.PathsTo(e.block)
+		if err != nil {
+			d.notef("project: %v", err)
+			return nil
+		}
+		for _, path := range paths {
+			for _, c := range path {
+				dag, err := a.flow.UseDefOfCond(c.Block)
+				if err != nil {
+					d.notef("project: %v", err)
+					return nil
+				}
+				collectDag(dag)
+			}
+		}
+		for _, arg := range e.call.Args {
+			dag, err := a.flow.UseDefOfExpr(arg, e.stmt)
+			if err != nil {
+				d.notef("project: %v", err)
+				return nil
+			}
+			collectDag(dag)
+		}
+	}
+	if unknown {
+		d.notef("project: input record used opaquely (whole-record emit or dynamic field name); cannot distinguish fields")
+		return nil
+	}
+
+	var kept, dropped []string
+	for _, f := range a.schema.FieldNames() {
+		if used[f] {
+			kept = append(kept, f)
+		} else {
+			dropped = append(dropped, f)
+		}
+	}
+	if len(dropped) == 0 {
+		d.notef("project: all %d schema fields are used; nothing to drop", a.schema.NumFields())
+		return nil
+	}
+	return &ProjectDescriptor{UsedFields: kept, DroppedFields: dropped}
+}
+
+// fieldsIn returns the input-record fields an expression touches
+// (fieldsIn(useDefChain), paper Figure 6). all=true signals an opaque use:
+// the record passed somewhere whole, or an accessor with a non-constant
+// field name — either means every field must be preserved.
+func (a *analysis) fieldsIn(e ast.Expr) (fields []string, all bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if all {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			recv, _, isMethod := lang.MethodOn(x)
+			if isMethod && recv == a.valueParam {
+				field, _, ok := lang.IsRecordAccessor(x)
+				if !ok || field == "" {
+					all = true // dynamic field name: opaque
+					return false
+				}
+				fields = append(fields, field)
+				// Do not descend into the receiver ident; the argument is a
+				// constant and holds no further uses.
+				return false
+			}
+			return true
+		case *ast.Ident:
+			if x.Name == a.valueParam {
+				// A bare use of the record parameter (e.g. emitted whole):
+				// every field flows onward. (The key parameter is a scalar
+				// in this engine, so bare uses of it are harmless.)
+				all = true
+				return false
+			}
+			return true
+		default:
+			return true
+		}
+	})
+	return fields, all
+}

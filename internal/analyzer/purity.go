@@ -1,0 +1,285 @@
+package analyzer
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+
+	"manimal/internal/cfg"
+	"manimal/internal/dataflow"
+	"manimal/internal/lang"
+	"manimal/internal/predicate"
+	"manimal/internal/serde"
+)
+
+// isFunc implements the paper's functional test (Section 3.2): a use-def
+// DAG passes iff
+//
+//  1. every leaf is a map() parameter or a constant — never a package-level
+//     variable (the member-variable counterexample of Figure 2), and
+//  2. no statement in the DAG calls a method that may itself not be
+//     functional in its inputs (the analyzer's built-in knowledge of
+//     standard library operations is lang.PureFuncs; record accessors and
+//     ctx.Conf* are pure; everything else — notably make(), the Hashtable
+//     analogue — is not).
+//
+// A functional chain from input parameters to tuple emission means map()'s
+// output is entirely determined by the input record.
+func (a *analysis) isFunc(dag *dataflow.Node) (ok bool, reason string) {
+	ok = true
+	dag.Walk(func(n *dataflow.Node) {
+		if !ok {
+			return
+		}
+		switch n.Kind {
+		case dataflow.NodeGlobal:
+			ok = false
+			reason = fmt.Sprintf("depends on member variable %q", n.Var)
+		case dataflow.NodeParam, dataflow.NodeUse, dataflow.NodeStmt:
+			var exprs []ast.Expr
+			if n.Kind == dataflow.NodeUse {
+				exprs = []ast.Expr{n.Expr}
+			} else if n.Stmt != nil {
+				exprs = dataflow.StmtUses(n.Stmt)
+			}
+			for _, e := range exprs {
+				if bad, why := a.firstImpureCall(e); bad {
+					ok = false
+					reason = why
+					return
+				}
+			}
+		}
+	})
+	return ok, reason
+}
+
+// firstImpureCall scans an expression for any call that is not known-pure.
+func (a *analysis) firstImpureCall(e ast.Expr) (bad bool, reason string) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if bad {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, method, isMethod := lang.MethodOn(call); isMethod {
+			switch {
+			case recv == "strings" || recv == "strconv" || recv == "math":
+				// Package function: fall through to the whitelist check.
+			case recv == a.valueParam:
+				return true // record accessor: pure
+			case recv == a.ctxParam && lang.PureCtxMethods[method]:
+				return true // job config: fixed per job, pure
+			default:
+				bad = true
+				reason = fmt.Sprintf("calls non-functional method %s.%s", recv, method)
+				return false
+			}
+		}
+		name, _ := lang.CallName(call)
+		if lang.PureFuncs[name] {
+			return true
+		}
+		bad = true
+		reason = fmt.Sprintf("calls %s, which the analyzer has no functional model of", name)
+		return false
+	})
+	return bad, reason
+}
+
+// resolveToInputs rewrites an expression over map() locals into an
+// equivalent predicate.Expr over only the input record and job config, by
+// inlining each local variable's unique reaching definition. This is how
+// the descriptor's logical formula becomes "a formula over map()'s
+// variables and input parameters" that the optimizer and index generator
+// can act on. It fails (conservatively) when a variable has multiple
+// reaching definitions or a definition form that is not a simple
+// single-expression assignment.
+func (a *analysis) resolveToInputs(e ast.Expr, at resolvePoint) (predicate.Expr, error) {
+	switch ex := e.(type) {
+	case *ast.ParenExpr:
+		return a.resolveToInputs(ex.X, at)
+	case *ast.Ident:
+		switch ex.Name {
+		case "true":
+			return predicate.Const{D: serde.Bool(true)}, nil
+		case "false":
+			return predicate.Const{D: serde.Bool(false)}, nil
+		}
+		if a.prog.IsGlobal(ex.Name) {
+			return nil, fmt.Errorf("member variable %q", ex.Name)
+		}
+		if ex.Name == a.valueParam || ex.Name == a.keyParam || ex.Name == a.ctxParam {
+			return nil, fmt.Errorf("bare parameter %q in a scalar position", ex.Name)
+		}
+		def, err := a.uniqueDef(ex.Name, at)
+		if err != nil {
+			return nil, err
+		}
+		rhs, defStmt, err := simpleDefRHS(def, ex.Name)
+		if err != nil {
+			return nil, err
+		}
+		return a.resolveToInputs(rhs, resolvePoint{stmt: defStmt})
+	case *ast.UnaryExpr:
+		x, err := a.resolveToInputs(ex.X, at)
+		if err != nil {
+			return nil, err
+		}
+		return predicate.Unary{Op: ex.Op, X: x}, nil
+	case *ast.BinaryExpr:
+		l, err := a.resolveToInputs(ex.X, at)
+		if err != nil {
+			return nil, err
+		}
+		r, err := a.resolveToInputs(ex.Y, at)
+		if err != nil {
+			return nil, err
+		}
+		return predicate.Binary{Op: ex.Op, L: l, R: r}, nil
+	case *ast.IndexExpr:
+		x, err := a.resolveToInputs(ex.X, at)
+		if err != nil {
+			return nil, err
+		}
+		i, err := a.resolveToInputs(ex.Index, at)
+		if err != nil {
+			return nil, err
+		}
+		return predicate.Index{X: x, I: i}, nil
+	case *ast.BasicLit, *ast.CallExpr:
+		// Literals convert directly. Calls: convert arguments recursively
+		// through FromAST after resolving each argument — but FromAST
+		// already handles accessor/conf/whitelist calls whose arguments are
+		// input-only. For calls with local-variable arguments, resolve the
+		// arguments first by rebuilding the call.
+		if call, isCall := e.(*ast.CallExpr); isCall {
+			return a.resolveCall(call, at)
+		}
+		return predicate.FromAST(e, a.valueParam, a.ctxParam)
+	default:
+		return nil, fmt.Errorf("unresolvable expression %T", e)
+	}
+}
+
+func (a *analysis) resolveCall(c *ast.CallExpr, at resolvePoint) (predicate.Expr, error) {
+	name, ok := lang.CallName(c)
+	if !ok {
+		return nil, fmt.Errorf("unrecognizable call")
+	}
+	if recv, method, isMethod := lang.MethodOn(c); isMethod {
+		switch recv {
+		case a.valueParam, a.ctxParam:
+			return predicate.FromAST(c, a.valueParam, a.ctxParam)
+		case "strings", "strconv", "math":
+			// Package function: handled below via the whitelist.
+		default:
+			return nil, fmt.Errorf("method call on %q", recv+"."+method)
+		}
+	}
+	if !lang.PureFuncs[name] {
+		return nil, fmt.Errorf("non-functional call %q", name)
+	}
+	args := make([]predicate.Expr, len(c.Args))
+	for i, arg := range c.Args {
+		r, err := a.resolveToInputs(arg, at)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = r
+	}
+	return predicate.Call{Name: name, Args: args}, nil
+}
+
+// resolvePoint identifies where an expression is evaluated: either at a
+// statement or at a block's condition.
+type resolvePoint struct {
+	stmt  ast.Stmt
+	block *cfg.Block
+}
+
+// uniqueDef returns the single reaching definition of a variable at the
+// point, or an error when zero or several reach.
+func (a *analysis) uniqueDef(name string, at resolvePoint) (*dataflow.Node, error) {
+	var (
+		dag *dataflow.Node
+		err error
+	)
+	probe := &ast.Ident{Name: name}
+	if at.stmt != nil {
+		dag, err = a.flow.UseDefOfExpr(probe, at.stmt)
+	} else {
+		dag, err = a.flow.UseDefOfCondVar(at.block, name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(dag.Children) != 1 {
+		return nil, fmt.Errorf("%q has %d reaching definitions", name, len(dag.Children))
+	}
+	child := dag.Children[0]
+	switch child.Kind {
+	case dataflow.NodeStmt:
+		return child, nil
+	case dataflow.NodeParam:
+		return nil, fmt.Errorf("%q is a parameter", name)
+	default:
+		return nil, fmt.Errorf("%q is externally defined", name)
+	}
+}
+
+// simpleDefRHS extracts the single-expression right-hand side of a
+// definition statement for the named variable.
+func simpleDefRHS(def *dataflow.Node, name string) (ast.Expr, ast.Stmt, error) {
+	switch st := def.Stmt.(type) {
+	case *ast.AssignStmt:
+		if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+			return nil, nil, fmt.Errorf("%q defined by compound assignment", name)
+		}
+		if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+			return nil, nil, fmt.Errorf("%q defined by multi-assignment", name)
+		}
+		if id, ok := st.Lhs[0].(*ast.Ident); !ok || id.Name != name {
+			return nil, nil, fmt.Errorf("%q defined through an index target", name)
+		}
+		return st.Rhs[0], st, nil
+	case *ast.DeclStmt:
+		gd := st.Decl.(*ast.GenDecl)
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			for i, n := range vs.Names {
+				if n.Name == name && i < len(vs.Values) {
+					return vs.Values[i], st, nil
+				}
+			}
+		}
+		return nil, nil, fmt.Errorf("%q declared without initializer", name)
+	default:
+		return nil, nil, fmt.Errorf("%q defined by %T", name, def.Stmt)
+	}
+}
+
+// exprContainsConf reports whether a resolved expression reads job config;
+// such expressions cannot serve as index keys because the index must be
+// reusable across jobs with different configurations.
+func exprContainsConf(e predicate.Expr) bool {
+	switch ex := e.(type) {
+	case predicate.Conf:
+		return true
+	case predicate.Binary:
+		return exprContainsConf(ex.L) || exprContainsConf(ex.R)
+	case predicate.Unary:
+		return exprContainsConf(ex.X)
+	case predicate.Index:
+		return exprContainsConf(ex.X) || exprContainsConf(ex.I)
+	case predicate.Call:
+		for _, a := range ex.Args {
+			if exprContainsConf(a) {
+				return true
+			}
+		}
+	}
+	return false
+}

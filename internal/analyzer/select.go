@@ -1,0 +1,90 @@
+package analyzer
+
+import (
+	"manimal/internal/predicate"
+)
+
+// findSelect implements the selection-detection algorithm of paper
+// Figure 3: construct a DNF with one disjunct per unique CFG path to an
+// emit() — each disjunct the conjunction of that path's conditional
+// outcomes — and return it only when every condition (and every emitted
+// expression, for full safety) passes the isFunc test.
+func (a *analysis) findSelect(d *Descriptor) *SelectDescriptor {
+	if len(a.emits) == 0 {
+		d.notef("select: map() never emits")
+		return nil
+	}
+	for _, e := range a.emits {
+		if e.block.InLoop {
+			// A per-record loop can emit a data-dependent number of times;
+			// the path conditions alone do not determine emission. Missing
+			// the optimization is regrettable; a false one is catastrophic.
+			d.notef("select: emit at %s is inside a loop; conservatively not optimizable", a.prog.Pos(e.call.Pos()))
+			return nil
+		}
+	}
+
+	var dnf predicate.DNF
+	for _, e := range a.emits {
+		paths, err := a.graph.PathsTo(e.block)
+		if err != nil {
+			d.notef("select: %v", err)
+			return nil
+		}
+		for _, path := range paths {
+			conj := predicate.DNF{predicate.Conjunct{}} // neutral: true
+			for _, c := range path {
+				// allFunc: every conditional on every path must be
+				// functional in the inputs (paper Figure 3, lines 8-11).
+				dag, err := a.flow.UseDefOfCond(c.Block)
+				if err != nil {
+					d.notef("select: %v", err)
+					return nil
+				}
+				if ok, why := a.isFunc(dag); !ok {
+					d.notef("select: condition %q fails isFunc: %s", a.graph.ExprString(c.Expr), why)
+					return nil
+				}
+				pe, err := a.resolveToInputs(c.Expr, resolvePoint{block: c.Block})
+				if err != nil {
+					d.notef("select: condition %q not resolvable to inputs: %v", a.graph.ExprString(c.Expr), err)
+					return nil
+				}
+				conj = conj.AndConjunct(predicate.ToDNF(pe, c.Negated))
+			}
+			dnf = dnf.Or(conj)
+		}
+
+		// Beyond Figure 3: the emitted key and value themselves must be
+		// functional, or skipping filtered-out invocations could change
+		// what the surviving invocations emit (e.g. emit(k, memberVar)).
+		for _, arg := range e.call.Args {
+			dag, err := a.flow.UseDefOfExpr(arg, e.stmt)
+			if err != nil {
+				d.notef("select: %v", err)
+				return nil
+			}
+			if ok, why := a.isFunc(dag); !ok {
+				d.notef("select: emitted expression %q fails isFunc: %s", a.graph.ExprString(arg), why)
+				return nil
+			}
+		}
+	}
+
+	if dnf.AlwaysEmits() {
+		d.notef("select: some path to emit carries no conditions; no selection present")
+		return nil
+	}
+
+	sel := &SelectDescriptor{Formula: dnf}
+	for _, canon := range dnf.IndexableKeys() {
+		expr, ok := dnf.KeyExprFor(canon)
+		if ok && !exprContainsConf(expr) {
+			sel.IndexKeys = append(sel.IndexKeys, canon)
+		}
+	}
+	if len(sel.IndexKeys) == 0 {
+		d.notef("select: formula %q has no indexable key bounded in every disjunct", dnf.Canon())
+	}
+	return sel
+}

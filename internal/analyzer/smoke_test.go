@@ -1,0 +1,79 @@
+package analyzer
+
+import (
+	"testing"
+
+	"manimal/internal/lang"
+	"manimal/internal/serde"
+)
+
+// The map() from paper Section 2: a pure selection on rank.
+const sec2Program = `
+func Map(k, v *Record, ctx *Ctx) {
+	if v.Int("rank") > 1 {
+		ctx.Emit(k, 1)
+	}
+}
+`
+
+// The map() from paper Figure 2: emit decisions depend on a member
+// variable, so no optimization is safe.
+const fig2Program = `
+var numMapsRun int
+
+func Map(k, v *Record, ctx *Ctx) {
+	numMapsRun++
+	if v.Int("rank") > 1 || numMapsRun > 200 {
+		ctx.Emit(k, 1)
+	}
+}
+`
+
+var webPageSchema = serde.MustSchema(
+	serde.Field{Name: "url", Kind: serde.KindString},
+	serde.Field{Name: "rank", Kind: serde.KindInt64},
+	serde.Field{Name: "content", Kind: serde.KindString},
+)
+
+func mustAnalyze(t *testing.T, src string, schema *serde.Schema) *Descriptor {
+	t.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	d, err := Analyze(p, schema)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return d
+}
+
+func TestSection2Selection(t *testing.T) {
+	d := mustAnalyze(t, sec2Program, webPageSchema)
+	if d.Select == nil {
+		t.Fatalf("selection not detected; notes: %v", d.Notes)
+	}
+	want := `((v.Int("rank") > 1))`
+	if got := d.Select.Formula.Canon(); got != want {
+		t.Errorf("formula = %q, want %q", got, want)
+	}
+	if len(d.Select.IndexKeys) != 1 || d.Select.IndexKeys[0] != `v.Int("rank")` {
+		t.Errorf("index keys = %v", d.Select.IndexKeys)
+	}
+	if d.Project == nil {
+		t.Fatalf("projection not detected; notes: %v", d.Notes)
+	}
+	if len(d.Project.UsedFields) != 1 || d.Project.UsedFields[0] != "rank" {
+		t.Errorf("used fields = %v", d.Project.UsedFields)
+	}
+	if d.Delta == nil || len(d.Delta.Fields) != 1 || d.Delta.Fields[0] != "rank" {
+		t.Errorf("delta = %+v", d.Delta)
+	}
+}
+
+func TestFigure2Unsafe(t *testing.T) {
+	d := mustAnalyze(t, fig2Program, webPageSchema)
+	if d.Select != nil {
+		t.Errorf("Figure 2 program must not be select-optimizable, got %q", d.Select.Formula.Canon())
+	}
+}

@@ -1,0 +1,130 @@
+package btree
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"manimal/internal/serde"
+)
+
+var kvSchema = serde.MustSchema(
+	serde.Field{Name: "id", Kind: serde.KindInt64},
+	serde.Field{Name: "payload", Kind: serde.KindString},
+)
+
+// buildTree bulk-loads n entries with key = i/dups (so each key value
+// repeats dups times) and returns the opened tree.
+func buildTree(t *testing.T, n, dups, pageSize int) *Tree {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.idx")
+	b, err := NewBuilder(path, kvSchema, `v.Int("id")`, BuilderOptions{PageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		rec := serde.NewRecord(kvSchema)
+		rec.MustSet("id", serde.Int(int64(i)))
+		rec.MustSet("payload", serde.String(fmt.Sprintf("row-%06d", i)))
+		if err := b.Add(serde.Int(int64(i/dups)), rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tree.Close() })
+	return tree
+}
+
+// collect scans a range and returns the id fields seen.
+func collect(t *testing.T, tree *Tree, lo, hi []byte) []int64 {
+	t.Helper()
+	it, err := tree.Range(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []int64
+	for it.Next() {
+		out = append(out, it.Record().Int("id"))
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	return out
+}
+
+func TestFullScan(t *testing.T) {
+	tree := buildTree(t, 1000, 1, 512)
+	got := collect(t, tree, nil, nil)
+	if len(got) != 1000 {
+		t.Fatalf("full scan returned %d entries, want 1000", len(got))
+	}
+	for i, id := range got {
+		if id != int64(i) {
+			t.Fatalf("entry %d has id %d", i, id)
+		}
+	}
+	if tree.NumEntries() != 1000 {
+		t.Errorf("NumEntries = %d", tree.NumEntries())
+	}
+	if tree.Height() < 2 {
+		t.Errorf("height = %d; small pages should force internal levels", tree.Height())
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	tree := buildTree(t, 1000, 1, 512)
+	for _, tc := range []struct {
+		loVal, hiVal int64
+		loInc, hiInc bool
+		wantLo       int64
+		wantN        int
+	}{
+		{loVal: 100, loInc: true, hiVal: 200, hiInc: false, wantLo: 100, wantN: 100},
+		{loVal: 100, loInc: false, hiVal: 200, hiInc: true, wantLo: 101, wantN: 100},
+		{loVal: 0, loInc: true, hiVal: 0, hiInc: true, wantLo: 0, wantN: 1},
+		{loVal: 999, loInc: true, hiVal: 2000, hiInc: true, wantLo: 999, wantN: 1},
+	} {
+		lo := LowerBound(serde.Int(tc.loVal), tc.loInc)
+		hi := UpperBound(serde.Int(tc.hiVal), tc.hiInc)
+		got := collect(t, tree, lo, hi)
+		if len(got) != tc.wantN {
+			t.Errorf("range %+v: got %d entries, want %d", tc, len(got), tc.wantN)
+			continue
+		}
+		if got[0] != tc.wantLo {
+			t.Errorf("range %+v: first = %d, want %d", tc, got[0], tc.wantLo)
+		}
+	}
+}
+
+func TestRangeScanDuplicates(t *testing.T) {
+	tree := buildTree(t, 900, 3, 512) // keys 0..299, 3 entries each
+	lo := LowerBound(serde.Int(10), true)
+	hi := UpperBound(serde.Int(12), true)
+	got := collect(t, tree, lo, hi)
+	if len(got) != 9 {
+		t.Fatalf("got %d entries for keys 10..12 with dups=3, want 9", len(got))
+	}
+}
+
+func TestUnboundedLower(t *testing.T) {
+	tree := buildTree(t, 500, 1, 512)
+	hi := UpperBound(serde.Int(49), true)
+	got := collect(t, tree, nil, hi)
+	if len(got) != 50 {
+		t.Fatalf("got %d entries below 50, want 50", len(got))
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tree := buildTree(t, 0, 1, 512)
+	if got := collect(t, tree, nil, nil); len(got) != 0 {
+		t.Fatalf("empty tree returned %d entries", len(got))
+	}
+}

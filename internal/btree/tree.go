@@ -1,0 +1,340 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync/atomic"
+
+	"manimal/internal/serde"
+)
+
+// Tree is a read-only handle to a B+Tree index file.
+type Tree struct {
+	f          *os.File
+	path       string
+	schema     *serde.Schema
+	keyExpr    string
+	root       int64
+	height     int
+	numEntries uint64
+	fileSize   int64
+	bytesRead  atomic.Int64
+}
+
+// Open opens a B+Tree index file for reading.
+func Open(path string) (*Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("btree: open %s: %w", path, err)
+	}
+	t := &Tree{f: f, path: path}
+	if err := t.readFooter(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("btree: %s: %w", path, err)
+	}
+	return t, nil
+}
+
+func (t *Tree) readFooter() error {
+	st, err := t.f.Stat()
+	if err != nil {
+		return err
+	}
+	t.fileSize = st.Size()
+	tail := make([]byte, 8+len(magicFooter))
+	if t.fileSize < int64(len(tail)) {
+		return fmt.Errorf("file too small to be a B+Tree")
+	}
+	if _, err := t.f.ReadAt(tail, t.fileSize-int64(len(tail))); err != nil {
+		return fmt.Errorf("read footer tail: %w", err)
+	}
+	if string(tail[8:]) != magicFooter {
+		return fmt.Errorf("bad magic: not a Manimal B+Tree")
+	}
+	ftrLen := int64(binary.LittleEndian.Uint64(tail[:8]))
+	ftr := make([]byte, ftrLen)
+	if _, err := t.f.ReadAt(ftr, t.fileSize-int64(len(tail))-ftrLen); err != nil {
+		return fmt.Errorf("read footer: %w", err)
+	}
+	schema, pos, err := serde.DecodeSchema(ftr)
+	if err != nil {
+		return err
+	}
+	t.schema = schema
+	kl, used := binary.Uvarint(ftr[pos:])
+	if used <= 0 {
+		return fmt.Errorf("truncated key expression")
+	}
+	pos += used
+	t.keyExpr = string(ftr[pos : pos+int(kl)])
+	pos += int(kl)
+	root, used := binary.Uvarint(ftr[pos:])
+	if used <= 0 {
+		return fmt.Errorf("truncated root offset")
+	}
+	pos += used
+	height, used := binary.Uvarint(ftr[pos:])
+	if used <= 0 {
+		return fmt.Errorf("truncated height")
+	}
+	pos += used
+	n, used := binary.Uvarint(ftr[pos:])
+	if used <= 0 {
+		return fmt.Errorf("truncated entry count")
+	}
+	t.root = int64(root)
+	t.height = int(height)
+	t.numEntries = n
+	return nil
+}
+
+// Schema returns the schema of the stored records.
+func (t *Tree) Schema() *serde.Schema { return t.schema }
+
+// KeyExpr returns the canonical key expression string the tree was built on.
+func (t *Tree) KeyExpr() string { return t.keyExpr }
+
+// NumEntries returns the number of stored entries.
+func (t *Tree) NumEntries() uint64 { return t.numEntries }
+
+// Height returns the number of levels (1 = a single leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Size returns the index file size in bytes.
+func (t *Tree) Size() int64 { return t.fileSize }
+
+// Path returns the file path.
+func (t *Tree) Path() string { return t.path }
+
+// BytesRead returns the page bytes read so far across all iterators.
+func (t *Tree) BytesRead() int64 { return t.bytesRead.Load() }
+
+// Close closes the underlying file.
+func (t *Tree) Close() error { return t.f.Close() }
+
+func (t *Tree) readPage(off int64) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := t.f.ReadAt(hdr[:], off); err != nil {
+		return nil, fmt.Errorf("btree: read page header at %d: %w", off, err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	page := make([]byte, n)
+	if _, err := t.f.ReadAt(page, off+4); err != nil {
+		return nil, fmt.Errorf("btree: read page at %d: %w", off, err)
+	}
+	t.bytesRead.Add(int64(4 + n))
+	return page, nil
+}
+
+// leafPos locates the first leaf whose entries may contain keys >= lo.
+// A nil lo positions at the very first leaf.
+func (t *Tree) leafPos(lo []byte) (int64, error) {
+	off := t.root
+	for {
+		page, err := t.readPage(off)
+		if err != nil {
+			return 0, err
+		}
+		if page[0] == pageLeaf {
+			return off, nil
+		}
+		n, pos := binary.Uvarint(page[1:])
+		if pos <= 0 {
+			return 0, fmt.Errorf("btree: corrupt internal page at %d", off)
+		}
+		pos++ // account for type byte
+		offsets := make([]int64, n)
+		for i := range offsets {
+			v, used := binary.Uvarint(page[pos:])
+			if used <= 0 {
+				return 0, fmt.Errorf("btree: corrupt child offsets at %d", off)
+			}
+			offsets[i] = int64(v)
+			pos += used
+		}
+		// Separators k1..k(n-1): child i covers keys in [ki, k(i+1)).
+		child := 0
+		if lo != nil {
+			for i := 1; i < int(n); i++ {
+				kl, used := binary.Uvarint(page[pos:])
+				if used <= 0 {
+					return 0, fmt.Errorf("btree: corrupt separator at %d", off)
+				}
+				pos += used
+				key := page[pos : pos+int(kl)]
+				pos += int(kl)
+				if bytes.Compare(key, lo) <= 0 {
+					child = i
+				} else {
+					break
+				}
+			}
+		}
+		off = offsets[child]
+	}
+}
+
+// Iterator streams (key, record) entries over a key range.
+type Iterator struct {
+	t       *Tree
+	hi      []byte // exclusive byte bound; nil = unbounded
+	page    []byte
+	pos     int
+	left    uint64
+	nextOff int64
+	key     []byte
+	rec     *serde.Record
+	err     error
+	done    bool
+}
+
+// Range returns an iterator over entries with lo <= key < hi in sort-key
+// byte order. Either bound may be nil for unbounded. Use RangeBounds to
+// derive byte bounds from datum intervals.
+func (t *Tree) Range(lo, hi []byte) (*Iterator, error) {
+	off, err := t.leafPos(lo)
+	if err != nil {
+		return nil, err
+	}
+	it := &Iterator{t: t, hi: hi, nextOff: off}
+	if err := it.loadLeaf(); err != nil {
+		return nil, err
+	}
+	// Skip entries below lo within the first leaf.
+	if lo != nil {
+		for !it.done && it.left > 0 {
+			save := *it
+			if !it.advance() {
+				break
+			}
+			if bytes.Compare(it.key, lo) >= 0 {
+				// Rewind one entry: restore saved state and stop skipping.
+				*it = save
+				break
+			}
+		}
+	}
+	return it, nil
+}
+
+func (it *Iterator) loadLeaf() error {
+	for {
+		if it.nextOff == 0 {
+			it.done = true
+			return nil
+		}
+		page, err := it.t.readPage(it.nextOff)
+		if err != nil {
+			return err
+		}
+		if page[0] != pageLeaf {
+			return fmt.Errorf("btree: expected leaf at %d", it.nextOff)
+		}
+		it.nextOff = int64(binary.BigEndian.Uint64(page[1:9]))
+		n, used := binary.Uvarint(page[9:])
+		if used <= 0 {
+			return fmt.Errorf("btree: corrupt leaf")
+		}
+		it.page = page
+		it.pos = 9 + used
+		it.left = n
+		if n > 0 {
+			return nil
+		}
+	}
+}
+
+// advance decodes the next raw entry; returns false at range/leaf end.
+func (it *Iterator) advance() bool {
+	for it.left == 0 {
+		if err := it.loadLeaf(); err != nil {
+			it.err = err
+			return false
+		}
+		if it.done {
+			return false
+		}
+	}
+	kl, used := binary.Uvarint(it.page[it.pos:])
+	if used <= 0 {
+		it.err = fmt.Errorf("btree: corrupt leaf entry key")
+		return false
+	}
+	it.pos += used
+	key := it.page[it.pos : it.pos+int(kl)]
+	it.pos += int(kl)
+	vl, used := binary.Uvarint(it.page[it.pos:])
+	if used <= 0 {
+		it.err = fmt.Errorf("btree: corrupt leaf entry value")
+		return false
+	}
+	it.pos += used
+	payload := it.page[it.pos : it.pos+int(vl)]
+	it.pos += int(vl)
+	it.left--
+
+	rec, _, err := serde.DecodeRecord(it.t.schema, payload)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	it.key = key
+	it.rec = rec
+	return true
+}
+
+// Next advances the iterator, returning false at the end of the range or on
+// error (check Err).
+func (it *Iterator) Next() bool {
+	if it.err != nil || it.done {
+		return false
+	}
+	if !it.advance() {
+		return false
+	}
+	if it.hi != nil && bytes.Compare(it.key, it.hi) >= 0 {
+		it.done = true
+		return false
+	}
+	return true
+}
+
+// Key returns the current entry's full sort key (datum key + sequence).
+func (it *Iterator) Key() []byte { return it.key }
+
+// KeyDatum decodes and returns the current entry's key datum.
+func (it *Iterator) KeyDatum() (serde.Datum, error) {
+	d, _, err := serde.DecodeSortKey(it.key)
+	return d, err
+}
+
+// Record returns the current entry's record.
+func (it *Iterator) Record() *serde.Record { return it.rec }
+
+// Err returns the first error encountered.
+func (it *Iterator) Err() error { return it.err }
+
+// maxSeq is the largest possible sequence suffix; appending it (plus one
+// extra byte) to a datum sort key yields a bound strictly above every entry
+// with that datum value.
+var maxSeq = []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x00}
+
+// LowerBound converts a datum lower bound into a byte bound.
+func LowerBound(d serde.Datum, inclusive bool) []byte {
+	kb := d.AppendSortKey(nil)
+	if inclusive {
+		return kb
+	}
+	return append(kb, maxSeq...)
+}
+
+// UpperBound converts a datum upper bound into an exclusive byte bound.
+func UpperBound(d serde.Datum, inclusive bool) []byte {
+	kb := d.AppendSortKey(nil)
+	if !inclusive {
+		return kb
+	}
+	return append(kb, maxSeq...)
+}

@@ -1,0 +1,160 @@
+// Package catalog is Manimal's persistent index catalog (paper Figure 1):
+// it records, for each input file, the index files that index-generation
+// programs have produced, so the optimizer can choose an execution plan.
+// Entries are stored as a JSON file in the catalog directory, mirroring the
+// "filesystem catalog" of the paper.
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Index kinds.
+const (
+	KindBTree      = "btree"      // clustered B+Tree selection index
+	KindRecordFile = "recordfile" // re-encoded record file (projection/compression)
+)
+
+// Entry describes one index built over an input file.
+type Entry struct {
+	// InputPath is the original data file the index derives from.
+	InputPath string `json:"input"`
+	// IndexPath is the index file.
+	IndexPath string `json:"index"`
+	// Kind is KindBTree or KindRecordFile.
+	Kind string `json:"kind"`
+	// KeyExpr is the canonical key expression (KindBTree only).
+	KeyExpr string `json:"keyExpr,omitempty"`
+	// Fields are the stored field names (projection subset, or the full
+	// schema when no projection was applied).
+	Fields []string `json:"fields"`
+	// Encodings maps field name -> "plain"|"delta"|"dict" for record files.
+	Encodings map[string]string `json:"encodings,omitempty"`
+	// SizeBytes is the index file size, for space-overhead reporting.
+	SizeBytes int64 `json:"sizeBytes"`
+	// BuildDuration records index construction cost.
+	BuildDuration time.Duration `json:"buildNanos"`
+	// CreatedAt is the build timestamp.
+	CreatedAt time.Time `json:"createdAt"`
+}
+
+// HasField reports whether the entry stores the named field.
+func (e *Entry) HasField(name string) bool {
+	for _, f := range e.Fields {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+// CoversFields reports whether the entry stores every named field.
+func (e *Entry) CoversFields(names []string) bool {
+	for _, n := range names {
+		if !e.HasField(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// Catalog is a concurrency-safe persistent entry store.
+type Catalog struct {
+	mu      sync.Mutex
+	path    string
+	entries []Entry
+}
+
+const fileName = "manimal-catalog.json"
+
+// Open loads (or initializes) the catalog in the given directory.
+func Open(dir string) (*Catalog, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	c := &Catalog{path: filepath.Join(dir, fileName)}
+	raw, err := os.ReadFile(c.path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	if err := json.Unmarshal(raw, &c.entries); err != nil {
+		return nil, fmt.Errorf("catalog: corrupt %s: %w", c.path, err)
+	}
+	return c, nil
+}
+
+// Add registers an entry and persists the catalog. A prior entry with the
+// same IndexPath is replaced.
+func (c *Catalog) Add(e Entry) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := c.entries[:0]
+	for _, old := range c.entries {
+		if old.IndexPath != e.IndexPath {
+			kept = append(kept, old)
+		}
+	}
+	c.entries = append(kept, e)
+	return c.save()
+}
+
+// Remove drops the entry with the given index path, if present.
+func (c *Catalog) Remove(indexPath string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := c.entries[:0]
+	for _, old := range c.entries {
+		if old.IndexPath != indexPath {
+			kept = append(kept, old)
+		}
+	}
+	c.entries = kept
+	return c.save()
+}
+
+// ForInput returns the entries built over the given input file, most
+// recent first.
+func (c *Catalog) ForInput(inputPath string) []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Entry
+	for _, e := range c.entries {
+		if e.InputPath == inputPath {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CreatedAt.After(out[j].CreatedAt) })
+	return out
+}
+
+// All returns every entry.
+func (c *Catalog) All() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Entry(nil), c.entries...)
+}
+
+// save persists atomically via a temp-file rename.
+func (c *Catalog) save() error {
+	raw, err := json.MarshalIndent(c.entries, "", "  ")
+	if err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	tmp := c.path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	return nil
+}

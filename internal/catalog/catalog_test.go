@@ -1,0 +1,101 @@
+package catalog
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAddPersistReload(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := Entry{
+		InputPath: "data.rec", IndexPath: "data.idx0", Kind: KindBTree,
+		KeyExpr: `v.Int("rank")`, Fields: []string{"url", "rank"},
+		SizeBytes: 1234, CreatedAt: time.Now(),
+	}
+	e2 := Entry{
+		InputPath: "data.rec", IndexPath: "data.idx1", Kind: KindRecordFile,
+		Fields:    []string{"url"},
+		Encodings: map[string]string{"url": "dict"},
+		CreatedAt: time.Now().Add(time.Second),
+	}
+	if err := c.Add(e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(e2); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := reopened.ForInput("data.rec")
+	if len(got) != 2 {
+		t.Fatalf("entries = %d", len(got))
+	}
+	// Most recent first.
+	if got[0].IndexPath != "data.idx1" {
+		t.Errorf("order: %v", got)
+	}
+	if got[1].KeyExpr != `v.Int("rank")` {
+		t.Errorf("key expr lost: %+v", got[1])
+	}
+	if got[0].Encodings["url"] != "dict" {
+		t.Errorf("encodings lost: %+v", got[0])
+	}
+	if reopened.ForInput("other.rec") != nil {
+		t.Error("phantom entries")
+	}
+}
+
+func TestAddReplacesSameIndexPath(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(Entry{InputPath: "a", IndexPath: "x", SizeBytes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(Entry{InputPath: "a", IndexPath: "x", SizeBytes: 2}); err != nil {
+		t.Fatal(err)
+	}
+	got := c.ForInput("a")
+	if len(got) != 1 || got[0].SizeBytes != 2 {
+		t.Fatalf("entries = %+v", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add(Entry{InputPath: "a", IndexPath: "x"})
+	c.Add(Entry{InputPath: "a", IndexPath: "y"})
+	if err := c.Remove("x"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ForInput("a"); len(got) != 1 || got[0].IndexPath != "y" {
+		t.Fatalf("entries = %+v", got)
+	}
+	if err := c.Remove("never-existed"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoversFields(t *testing.T) {
+	e := Entry{Fields: []string{"a", "b"}}
+	if !e.CoversFields([]string{"a"}) || !e.CoversFields([]string{"a", "b"}) {
+		t.Error("coverage false negative")
+	}
+	if e.CoversFields([]string{"a", "c"}) {
+		t.Error("coverage false positive")
+	}
+	if !e.CoversFields(nil) {
+		t.Error("empty requirement not covered")
+	}
+}

@@ -1,0 +1,402 @@
+// Package cfg builds control flow graphs for mapper-language functions
+// (paper Section 3.1). A CFG contains a node per basic block plus dedicated
+// entry and exit nodes; branch blocks carry their conditional expression
+// and distinguish true/false successors so that conds(path) — the sequence
+// of conditional outcomes along a path — can be recovered exactly as the
+// selection-detection algorithm (paper Figure 3) requires.
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+
+	"manimal/internal/lang"
+)
+
+// Block is a CFG node: a maximal sequence of straight-line statements,
+// optionally terminated by a branch condition.
+type Block struct {
+	ID    int
+	Stmts []ast.Stmt
+
+	// Cond, when non-nil, makes this a branch block with TrueSucc and
+	// FalseSucc successors; otherwise Next is the single successor
+	// (nil only for the exit block or unreachable dead ends).
+	Cond      ast.Expr
+	TrueSucc  *Block
+	FalseSucc *Block
+	Next      *Block
+
+	// InLoop marks blocks whose statements may execute more than once per
+	// map() invocation. The selection analyzer conservatively refuses to
+	// build a DNF over emits in loops (a missed optimization is regrettable;
+	// a false one is catastrophic — paper Section 1).
+	InLoop bool
+
+	// IsEntry/IsExit mark the two special nodes (paper Section 3.1).
+	IsEntry bool
+	IsExit  bool
+}
+
+// Succs returns all successors of the block.
+func (b *Block) Succs() []*Block {
+	if b.Cond != nil {
+		return []*Block{b.TrueSucc, b.FalseSucc}
+	}
+	if b.Next != nil {
+		return []*Block{b.Next}
+	}
+	return nil
+}
+
+// Name returns a short label for dumps ("entry", "exit", "b2").
+func (b *Block) Name() string {
+	switch {
+	case b.IsEntry:
+		return "entry"
+	case b.IsExit:
+		return "exit"
+	default:
+		return fmt.Sprintf("b%d", b.ID)
+	}
+}
+
+// Cond is one conditional outcome along a CFG path: the branch expression
+// and whether the path took the false edge (Negated).
+type Cond struct {
+	Expr    ast.Expr
+	Negated bool
+	Block   *Block
+}
+
+// Graph is the CFG of a single function.
+type Graph struct {
+	Fn     *lang.Function
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	fset   *token.FileSet
+
+	stmtBlock map[ast.Stmt]*Block
+}
+
+// builder carries loop context while lowering the AST.
+type builder struct {
+	g         *Graph
+	nextID    int
+	loopDepth int
+	breakTo   []*Block
+	contTo    []*Block
+}
+
+// Build lowers a validated mapper-language function to a CFG.
+func Build(p *lang.Program, fn *lang.Function) (*Graph, error) {
+	g := &Graph{Fn: fn, fset: p.Fset, stmtBlock: make(map[ast.Stmt]*Block)}
+	b := &builder{g: g}
+	g.Entry = b.newBlock()
+	g.Entry.IsEntry = true
+	g.Exit = b.newBlock()
+	g.Exit.IsExit = true
+
+	first := b.newBlock()
+	g.Entry.Next = first
+	last, err := b.lowerBlock(first, fn.Body)
+	if err != nil {
+		return nil, err
+	}
+	if last != nil {
+		last.Next = g.Exit
+	}
+	return g, nil
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{ID: b.nextID, InLoop: b.loopDepth > 0}
+	b.nextID++
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// lowerBlock lowers a statement list into the CFG starting at cur. It
+// returns the block where control continues afterwards, or nil if control
+// never falls through (return/break/continue on all paths).
+func (b *builder) lowerBlock(cur *Block, body *ast.BlockStmt) (*Block, error) {
+	for _, s := range body.List {
+		if cur == nil {
+			// Unreachable code after return/break/continue: lower it into a
+			// detached block so analysis can still see its statements, but
+			// nothing links to it.
+			cur = b.newBlock()
+		}
+		var err error
+		cur, err = b.lowerStmt(cur, s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+func (b *builder) lowerStmt(cur *Block, s ast.Stmt) (*Block, error) {
+	switch st := s.(type) {
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.ExprStmt, *ast.IncDecStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		b.g.stmtBlock[s] = cur
+		return cur, nil
+
+	case *ast.BlockStmt:
+		return b.lowerBlock(cur, st)
+
+	case *ast.ReturnStmt:
+		b.g.stmtBlock[s] = cur
+		cur.Next = b.g.Exit
+		return nil, nil
+
+	case *ast.BranchStmt:
+		b.g.stmtBlock[s] = cur
+		switch st.Tok {
+		case token.BREAK:
+			if len(b.breakTo) == 0 {
+				return nil, fmt.Errorf("cfg: break outside loop")
+			}
+			cur.Next = b.breakTo[len(b.breakTo)-1]
+		case token.CONTINUE:
+			if len(b.contTo) == 0 {
+				return nil, fmt.Errorf("cfg: continue outside loop")
+			}
+			cur.Next = b.contTo[len(b.contTo)-1]
+		}
+		return nil, nil
+
+	case *ast.IfStmt:
+		cur.Cond = st.Cond
+		b.g.stmtBlock[s] = cur
+		thenB := b.newBlock()
+		cur.TrueSucc = thenB
+		after := b.newBlock()
+		thenEnd, err := b.lowerBlock(thenB, st.Body)
+		if err != nil {
+			return nil, err
+		}
+		if thenEnd != nil {
+			thenEnd.Next = after
+		}
+		switch e := st.Else.(type) {
+		case nil:
+			cur.FalseSucc = after
+		case *ast.BlockStmt:
+			elseB := b.newBlock()
+			cur.FalseSucc = elseB
+			elseEnd, err := b.lowerBlock(elseB, e)
+			if err != nil {
+				return nil, err
+			}
+			if elseEnd != nil {
+				elseEnd.Next = after
+			}
+		case *ast.IfStmt:
+			elseB := b.newBlock()
+			cur.FalseSucc = elseB
+			elseEnd, err := b.lowerStmt(elseB, e)
+			if err != nil {
+				return nil, err
+			}
+			if elseEnd != nil {
+				elseEnd.Next = after
+			}
+		}
+		return after, nil
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			var err error
+			cur, err = b.lowerStmt(cur, st.Init)
+			if err != nil {
+				return nil, err
+			}
+		}
+		b.loopDepth++
+		header := b.newBlock()
+		cur.Next = header
+		after := b.newBlock()
+		after.InLoop = b.loopDepth-1 > 0
+		bodyB := b.newBlock()
+		if st.Cond != nil {
+			header.Cond = st.Cond
+			header.TrueSucc = bodyB
+			header.FalseSucc = after
+		} else {
+			header.Next = bodyB
+		}
+		b.g.stmtBlock[s] = header
+
+		// continue target: the post block (or the header when no post).
+		contTarget := header
+		var postB *Block
+		if st.Post != nil {
+			postB = b.newBlock()
+			contTarget = postB
+		}
+		b.breakTo = append(b.breakTo, after)
+		b.contTo = append(b.contTo, contTarget)
+		bodyEnd, err := b.lowerBlock(bodyB, st.Body)
+		if err != nil {
+			return nil, err
+		}
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		b.contTo = b.contTo[:len(b.contTo)-1]
+		if bodyEnd != nil {
+			bodyEnd.Next = contTarget
+		}
+		if postB != nil {
+			if _, err := b.lowerStmt(postB, st.Post); err != nil {
+				return nil, err
+			}
+			postB.Next = header
+		}
+		b.loopDepth--
+		return after, nil
+
+	case *ast.RangeStmt:
+		b.loopDepth++
+		header := b.newBlock()
+		cur.Next = header
+		after := b.newBlock()
+		after.InLoop = b.loopDepth-1 > 0
+		bodyB := b.newBlock()
+		// The loop condition is "the range expression still has elements";
+		// representing it by the range expression itself lets fieldsIn()
+		// see the fields the iteration consumes.
+		header.Cond = st.X
+		header.TrueSucc = bodyB
+		header.FalseSucc = after
+		b.g.stmtBlock[s] = header
+		// The RangeStmt itself acts as the defining statement of the loop
+		// variables; place it at the head of the body for dataflow.
+		bodyB.Stmts = append(bodyB.Stmts, st)
+
+		b.breakTo = append(b.breakTo, after)
+		b.contTo = append(b.contTo, header)
+		bodyEnd, err := b.lowerBlock(bodyB, st.Body)
+		if err != nil {
+			return nil, err
+		}
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		b.contTo = b.contTo[:len(b.contTo)-1]
+		if bodyEnd != nil {
+			bodyEnd.Next = header
+		}
+		b.loopDepth--
+		return after, nil
+
+	default:
+		return nil, fmt.Errorf("cfg: unsupported statement %T", s)
+	}
+}
+
+// BlockOf returns the block holding the given statement.
+func (g *Graph) BlockOf(s ast.Stmt) *Block { return g.stmtBlock[s] }
+
+// maxPaths bounds simple-path enumeration; mapper functions are tiny
+// ("idioms ... mainly fit in a single function", paper Section 3.2), so
+// hitting this means the program is not a candidate for optimization.
+const maxPaths = 4096
+
+// PathsTo enumerates the condition sequences of every simple (cycle-free)
+// path from entry to the given block: the paths(s)/conds(path) machinery of
+// paper Figure 3. The returned error is non-nil if enumeration exceeds the
+// path budget.
+func (g *Graph) PathsTo(target *Block) ([][]Cond, error) {
+	var (
+		out     [][]Cond
+		visited = make(map[*Block]bool)
+		walk    func(b *Block, conds []Cond) error
+	)
+	walk = func(b *Block, conds []Cond) error {
+		if b == target {
+			out = append(out, append([]Cond(nil), conds...))
+			if len(out) > maxPaths {
+				return fmt.Errorf("cfg: more than %d paths to %s", maxPaths, target.Name())
+			}
+			return nil
+		}
+		if visited[b] {
+			return nil
+		}
+		visited[b] = true
+		defer func() { visited[b] = false }()
+		if b.Cond != nil {
+			if b.TrueSucc != nil {
+				if err := walk(b.TrueSucc, append(conds, Cond{Expr: b.Cond, Block: b})); err != nil {
+					return err
+				}
+			}
+			if b.FalseSucc != nil {
+				if err := walk(b.FalseSucc, append(conds, Cond{Expr: b.Cond, Negated: true, Block: b})); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if b.Next != nil {
+			return walk(b.Next, conds)
+		}
+		return nil
+	}
+	if err := walk(g.Entry, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ExprString renders an expression compactly for dumps and descriptors.
+func (g *Graph) ExprString(e ast.Expr) string { return ExprString(g.fset, e) }
+
+// ExprString renders an expression using go/printer.
+func ExprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return fmt.Sprintf("<%T>", e)
+	}
+	return buf.String()
+}
+
+// StmtString renders a statement compactly.
+func StmtString(fset *token.FileSet, s ast.Stmt) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, s); err != nil {
+		return fmt.Sprintf("<%T>", s)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+// Dump renders the CFG in the style of paper Figure 4: one line per block
+// with its statements and successor edges.
+func (g *Graph) Dump() string {
+	var b strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&b, "%s:", blk.Name())
+		if blk.InLoop {
+			b.WriteString(" [in-loop]")
+		}
+		b.WriteString("\n")
+		for _, s := range blk.Stmts {
+			fmt.Fprintf(&b, "    %s\n", StmtString(g.fset, s))
+		}
+		switch {
+		case blk.Cond != nil:
+			fmt.Fprintf(&b, "    if %s -> %s else -> %s\n",
+				g.ExprString(blk.Cond), blk.TrueSucc.Name(), blk.FalseSucc.Name())
+		case blk.Next != nil:
+			fmt.Fprintf(&b, "    -> %s\n", blk.Next.Name())
+		case blk.IsExit:
+		default:
+			b.WriteString("    -> (end)\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,248 @@
+package cfg
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"manimal/internal/lang"
+)
+
+func build(t *testing.T, src string) (*lang.Program, *Graph) {
+	t.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g, err := Build(p, p.Map())
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	return p, g
+}
+
+// findEmitBlock locates the block containing the (single) emit statement.
+func findEmitBlock(t *testing.T, g *Graph, ctxName string) *Block {
+	t.Helper()
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Stmts {
+			if es, ok := s.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok && lang.IsEmit(call, ctxName) {
+					return blk
+				}
+			}
+		}
+	}
+	t.Fatal("no emit block")
+	return nil
+}
+
+// TestFigure4CFG reproduces the structure of paper Figure 4: the Section 2
+// map() lowers to fn entry -> branch(v.rank > 1) -> {emit block, end} ->
+// fn exit.
+func TestFigure4CFG(t *testing.T) {
+	_, g := build(t, `
+func Map(k, v *Record, ctx *Ctx) {
+	if v.Int("rank") > 1 {
+		ctx.Emit(k, 1)
+	}
+}
+`)
+	dump := g.Dump()
+	for _, want := range []string{
+		"entry:", "exit:",
+		`if v.Int("rank") > 1 ->`,
+		`ctx.Emit(k, 1)`,
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+	emit := findEmitBlock(t, g, "ctx")
+	paths, err := g.PathsTo(emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("paths to emit = %d, want 1", len(paths))
+	}
+	if len(paths[0]) != 1 || paths[0][0].Negated {
+		t.Fatalf("conds = %+v, want one positive condition", paths[0])
+	}
+	if g.ExprString(paths[0][0].Expr) != `v.Int("rank") > 1` {
+		t.Errorf("cond = %q", g.ExprString(paths[0][0].Expr))
+	}
+}
+
+func TestIfElsePaths(t *testing.T) {
+	_, g := build(t, `
+func Map(k, v *Record, ctx *Ctx) {
+	if v.Int("a") > 1 {
+		ctx.Emit(k, 1)
+	} else if v.Int("b") > 2 {
+		ctx.Emit(k, 2)
+	} else {
+		ctx.Emit(k, 3)
+	}
+}
+`)
+	// The second emit requires !(a>1) && (b>2).
+	var second *Block
+	count := 0
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Stmts {
+			if es, ok := s.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok && lang.IsEmit(call, "ctx") {
+					count++
+					if count == 2 {
+						second = blk
+					}
+				}
+			}
+		}
+	}
+	if count != 3 {
+		t.Fatalf("found %d emits", count)
+	}
+	paths, err := g.PathsTo(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || len(paths[0]) != 2 {
+		t.Fatalf("paths = %+v", paths)
+	}
+	if !paths[0][0].Negated || paths[0][1].Negated {
+		t.Errorf("polarities wrong: %+v", paths[0])
+	}
+}
+
+func TestLoopMarksInLoop(t *testing.T) {
+	_, g := build(t, `
+func Map(k, v *Record, ctx *Ctx) {
+	parts := strings.Split(v.Str("s"), ",")
+	for _, p := range parts {
+		if len(p) > 0 {
+			ctx.Emit(p, 1)
+		}
+	}
+	ctx.Emit(k, 0)
+}
+`)
+	inLoop, outLoop := 0, 0
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Stmts {
+			es, ok := s.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok || !lang.IsEmit(call, "ctx") {
+				continue
+			}
+			if blk.InLoop {
+				inLoop++
+			} else {
+				outLoop++
+			}
+		}
+	}
+	if inLoop != 1 || outLoop != 1 {
+		t.Fatalf("inLoop=%d outLoop=%d", inLoop, outLoop)
+	}
+}
+
+func TestForLoopStructure(t *testing.T) {
+	_, g := build(t, `
+func Map(k, v *Record, ctx *Ctx) {
+	sum := 0
+	for i := 0; i < 10; i++ {
+		sum = sum + i
+		if sum > 100 {
+			break
+		}
+		if sum < 0 {
+			continue
+		}
+	}
+	ctx.Emit(k, sum)
+}
+`)
+	emit := findEmitBlock(t, g, "ctx")
+	if emit.InLoop {
+		t.Error("emit after the loop marked in-loop")
+	}
+	paths, err := g.PathsTo(emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no paths to post-loop emit")
+	}
+}
+
+func TestReturnCutsPath(t *testing.T) {
+	_, g := build(t, `
+func Map(k, v *Record, ctx *Ctx) {
+	if v.Int("rank") < 0 {
+		return
+	}
+	ctx.Emit(k, 1)
+}
+`)
+	emit := findEmitBlock(t, g, "ctx")
+	paths, err := g.PathsTo(emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The only path to the emit takes the false edge of the guard.
+	if len(paths) != 1 || len(paths[0]) != 1 || !paths[0][0].Negated {
+		t.Fatalf("paths = %+v", paths)
+	}
+}
+
+func TestUnreachableEmit(t *testing.T) {
+	_, g := build(t, `
+func Map(k, v *Record, ctx *Ctx) {
+	return
+	ctx.Emit(k, 1)
+}
+`)
+	emit := findEmitBlock(t, g, "ctx")
+	paths, err := g.PathsTo(emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 0 {
+		t.Fatalf("unreachable emit has %d paths", len(paths))
+	}
+}
+
+func TestBreakOutsideLoopRejected(t *testing.T) {
+	p, err := lang.Parse(`
+func Map(k, v *Record, ctx *Ctx) {
+	break
+}
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := Build(p, p.Map()); err == nil {
+		t.Fatal("break outside loop accepted")
+	}
+}
+
+func TestNestedLoopInLoopDepth(t *testing.T) {
+	_, g := build(t, `
+func Map(k, v *Record, ctx *Ctx) {
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			ctx.Emit(i, j)
+		}
+	}
+}
+`)
+	emit := findEmitBlock(t, g, "ctx")
+	if !emit.InLoop {
+		t.Error("nested emit not marked in-loop")
+	}
+}

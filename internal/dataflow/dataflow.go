@@ -1,0 +1,484 @@
+// Package dataflow computes reaching definitions and use-def DAGs over a
+// mapper-language CFG (paper Section 3.1, Figure 5). getUseDef starts from
+// a use, finds every reaching definition, and recursively treats each
+// definition as a new use, bottoming out at map() parameters, constants,
+// or externally-defined member variables (package-level vars). The
+// resulting DAG is what the analyzer's isFunc safety test inspects.
+package dataflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+
+	"manimal/internal/cfg"
+	"manimal/internal/lang"
+)
+
+// NodeKind classifies a use-def DAG node.
+type NodeKind uint8
+
+const (
+	// NodeUse is the root: the queried expression itself.
+	NodeUse NodeKind = iota
+	// NodeStmt is a defining statement inside the function.
+	NodeStmt
+	// NodeParam is a function-parameter leaf (safe for isFunc).
+	NodeParam
+	// NodeGlobal is a package-level variable leaf (defeats isFunc: the
+	// value may carry state across map() invocations, paper Figure 2).
+	NodeGlobal
+)
+
+// Node is one node of a use-def DAG.
+type Node struct {
+	Kind     NodeKind
+	Var      string   // defined variable (NodeStmt/NodeParam/NodeGlobal)
+	Stmt     ast.Stmt // the defining statement (NodeStmt only)
+	Expr     ast.Expr // the queried expression (NodeUse only)
+	Children []*Node
+}
+
+// Walk visits every node of the DAG exactly once.
+func (n *Node) Walk(visit func(*Node)) {
+	seen := make(map[*Node]bool)
+	var rec func(*Node)
+	rec = func(m *Node) {
+		if m == nil || seen[m] {
+			return
+		}
+		seen[m] = true
+		visit(m)
+		for _, c := range m.Children {
+			rec(c)
+		}
+	}
+	rec(n)
+}
+
+// defSite identifies one definition: a statement that assigns a variable.
+type defSite struct {
+	id   int
+	name string
+	stmt ast.Stmt // nil for param/global pseudo-defs
+	kind NodeKind // NodeStmt, NodeParam, or NodeGlobal
+}
+
+// defSet is a set of definition IDs.
+type defSet map[int]bool
+
+func (s defSet) clone() defSet {
+	c := make(defSet, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+// env maps each variable name to the set of definitions reaching a point.
+type env map[string]defSet
+
+func (e env) clone() env {
+	c := make(env, len(e))
+	for k, v := range e {
+		c[k] = v.clone()
+	}
+	return c
+}
+
+func (e env) mergeFrom(o env) (changed bool) {
+	for name, defs := range o {
+		dst, ok := e[name]
+		if !ok {
+			e[name] = defs.clone()
+			changed = true
+			continue
+		}
+		for id := range defs {
+			if !dst[id] {
+				dst[id] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// Analysis holds reaching-definition results for one function.
+type Analysis struct {
+	prog  *lang.Program
+	graph *cfg.Graph
+
+	defs      []*defSite
+	defsOf    map[string][]int   // variable -> its def IDs
+	beforeStm map[ast.Stmt]env   // environment just before each statement
+	atCond    map[*cfg.Block]env // environment at a block's condition
+	nodeMemo  map[int]*Node      // defID -> DAG node
+}
+
+// Analyze runs reaching-definitions over the CFG.
+func Analyze(p *lang.Program, g *cfg.Graph) (*Analysis, error) {
+	a := &Analysis{
+		prog:      p,
+		graph:     g,
+		defsOf:    make(map[string][]int),
+		beforeStm: make(map[ast.Stmt]env),
+		atCond:    make(map[*cfg.Block]env),
+		nodeMemo:  make(map[int]*Node),
+	}
+
+	// Pseudo-definitions for parameters and package-level variables.
+	entry := make(env)
+	for _, prm := range g.Fn.Params {
+		id := a.addDef(prm.Name, nil, NodeParam)
+		entry[prm.Name] = defSet{id: true}
+	}
+	for name := range p.Globals {
+		id := a.addDef(name, nil, NodeGlobal)
+		entry[name] = defSet{id: true}
+	}
+
+	// Real definitions.
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Stmts {
+			for _, name := range DefinedVars(s) {
+				a.addDef(name, s, NodeStmt)
+			}
+		}
+	}
+
+	// Worklist iteration to a fixpoint over block in-environments.
+	in := make(map[*cfg.Block]env)
+	in[g.Entry] = entry
+	work := []*cfg.Block{g.Entry}
+	inWork := map[*cfg.Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		inWork[blk] = false
+		out := a.flow(blk, in[blk].clone(), false)
+		for _, succ := range blk.Succs() {
+			cur, ok := in[succ]
+			if !ok {
+				in[succ] = out.clone()
+			} else if !cur.mergeFrom(out) {
+				continue
+			}
+			if !inWork[succ] {
+				inWork[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+
+	// Record pass: store per-statement and per-condition environments.
+	for _, blk := range g.Blocks {
+		e, ok := in[blk]
+		if !ok {
+			continue // unreachable
+		}
+		a.flow(blk, e.clone(), true)
+	}
+	return a, nil
+}
+
+func (a *Analysis) addDef(name string, stmt ast.Stmt, kind NodeKind) int {
+	id := len(a.defs)
+	a.defs = append(a.defs, &defSite{id: id, name: name, stmt: stmt, kind: kind})
+	a.defsOf[name] = append(a.defsOf[name], id)
+	return id
+}
+
+// flow pushes an environment through a block's statements; when record is
+// set, it snapshots the environment before each statement and at the
+// condition.
+func (a *Analysis) flow(blk *cfg.Block, e env, record bool) env {
+	for _, s := range blk.Stmts {
+		if record {
+			a.beforeStm[s] = e.clone()
+		}
+		for _, name := range DefinedVars(s) {
+			id := a.findDef(name, s)
+			if id >= 0 {
+				e[name] = defSet{id: true}
+			}
+		}
+	}
+	if record && blk.Cond != nil {
+		a.atCond[blk] = e.clone()
+	}
+	return e
+}
+
+func (a *Analysis) findDef(name string, stmt ast.Stmt) int {
+	for _, id := range a.defsOf[name] {
+		if a.defs[id].stmt == stmt {
+			return id
+		}
+	}
+	return -1
+}
+
+// DefinedVars returns the variable names a statement defines.
+func DefinedVars(s ast.Stmt) []string {
+	var out []string
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		for _, l := range st.Lhs {
+			switch lhs := l.(type) {
+			case *ast.Ident:
+				if lhs.Name != "_" {
+					out = append(out, lhs.Name)
+				}
+			case *ast.IndexExpr:
+				// m[k] = v mutates m: model as a redefinition of m.
+				if id, ok := lhs.X.(*ast.Ident); ok {
+					out = append(out, id.Name)
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, n := range vs.Names {
+						if n.Name != "_" {
+							out = append(out, n.Name)
+						}
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := st.X.(*ast.Ident); ok {
+			out = append(out, id.Name)
+		}
+	case *ast.RangeStmt:
+		for _, e := range []ast.Expr{st.Key, st.Value} {
+			if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+				out = append(out, id.Name)
+			}
+		}
+	}
+	return out
+}
+
+// UsedVars returns the variable names an expression reads. Package bases
+// (strings, strconv, math), selector names, builtin literals, and builtin
+// function names are excluded.
+func UsedVars(e ast.Expr) []string {
+	var out []string
+	seen := make(map[string]bool)
+	var rec func(ast.Expr)
+	rec = func(x ast.Expr) {
+		switch ex := x.(type) {
+		case nil:
+		case *ast.Ident:
+			switch ex.Name {
+			case "true", "false", "nil", "_":
+			default:
+				if !seen[ex.Name] {
+					seen[ex.Name] = true
+					out = append(out, ex.Name)
+				}
+			}
+		case *ast.BasicLit, *ast.MapType, *ast.ArrayType:
+		case *ast.ParenExpr:
+			rec(ex.X)
+		case *ast.UnaryExpr:
+			rec(ex.X)
+		case *ast.BinaryExpr:
+			rec(ex.X)
+			rec(ex.Y)
+		case *ast.IndexExpr:
+			rec(ex.X)
+			rec(ex.Index)
+		case *ast.SelectorExpr:
+			// recv.Method — only the receiver is a variable use.
+			rec(ex.X)
+		case *ast.CallExpr:
+			switch fn := ex.Fun.(type) {
+			case *ast.Ident:
+				// Builtin or user function name: not a variable use.
+			case *ast.SelectorExpr:
+				if base, ok := fn.X.(*ast.Ident); ok {
+					switch base.Name {
+					case "strings", "strconv", "math":
+						// package base: not a variable use
+					default:
+						rec(fn.X)
+					}
+				} else {
+					rec(fn.X)
+				}
+				_ = fn
+			}
+			for _, arg := range ex.Args {
+				rec(arg)
+			}
+		}
+	}
+	rec(e)
+	return out
+}
+
+// StmtUses returns the expressions a statement evaluates (its uses).
+func StmtUses(s ast.Stmt) []ast.Expr {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		out := append([]ast.Expr(nil), st.Rhs...)
+		if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+			out = append(out, st.Lhs...) // op-assign reads the target
+		}
+		for _, l := range st.Lhs {
+			if ix, ok := l.(*ast.IndexExpr); ok {
+				out = append(out, ix.X, ix.Index)
+			}
+		}
+		return out
+	case *ast.DeclStmt:
+		var out []ast.Expr
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					out = append(out, vs.Values...)
+				}
+			}
+		}
+		return out
+	case *ast.IncDecStmt:
+		return []ast.Expr{st.X}
+	case *ast.RangeStmt:
+		return []ast.Expr{st.X}
+	case *ast.ExprStmt:
+		return []ast.Expr{st.X}
+	default:
+		return nil
+	}
+}
+
+// UseDefOfExpr builds the use-def DAG for an expression evaluated at the
+// given statement (the expression must occur within that statement).
+func (a *Analysis) UseDefOfExpr(e ast.Expr, at ast.Stmt) (*Node, error) {
+	env, ok := a.beforeStm[at]
+	if !ok {
+		return nil, fmt.Errorf("dataflow: no environment for statement (unreachable?)")
+	}
+	return a.buildUse(e, env), nil
+}
+
+// UseDefOfCondVar builds the use-def DAG for a single variable as read by a
+// block's branch condition.
+func (a *Analysis) UseDefOfCondVar(blk *cfg.Block, name string) (*Node, error) {
+	env, ok := a.atCond[blk]
+	if !ok {
+		return nil, fmt.Errorf("dataflow: no environment for condition of %s", blk.Name())
+	}
+	return a.buildUse(&ast.Ident{Name: name}, env), nil
+}
+
+// UseDefOfCond builds the use-def DAG for a block's branch condition.
+func (a *Analysis) UseDefOfCond(blk *cfg.Block) (*Node, error) {
+	env, ok := a.atCond[blk]
+	if !ok {
+		return nil, fmt.Errorf("dataflow: no environment for condition of %s", blk.Name())
+	}
+	return a.buildUse(blk.Cond, env), nil
+}
+
+func (a *Analysis) buildUse(e ast.Expr, at env) *Node {
+	root := &Node{Kind: NodeUse, Expr: e}
+	for _, name := range UsedVars(e) {
+		for _, id := range sortedIDs(at[name]) {
+			root.Children = append(root.Children, a.nodeFor(id))
+		}
+		if len(at[name]) == 0 {
+			// An undefined variable: surface as a global-like leaf so
+			// isFunc rejects rather than silently accepting.
+			root.Children = append(root.Children, &Node{Kind: NodeGlobal, Var: name})
+		}
+	}
+	return root
+}
+
+// nodeFor returns the memoized DAG node for a definition, creating it (and
+// recursively its children) on first use. Memoization both shares nodes —
+// making the result a DAG, not a tree — and terminates cycles from loops
+// (e.g. x = x + 1 reaching itself).
+func (a *Analysis) nodeFor(id int) *Node {
+	if n, ok := a.nodeMemo[id]; ok {
+		return n
+	}
+	d := a.defs[id]
+	n := &Node{Kind: d.kind, Var: d.name, Stmt: d.stmt}
+	a.nodeMemo[id] = n
+	if d.kind != NodeStmt {
+		return n
+	}
+	env, ok := a.beforeStm[d.stmt]
+	if !ok {
+		return n
+	}
+	for _, use := range StmtUses(d.stmt) {
+		for _, name := range UsedVars(use) {
+			for _, cid := range sortedIDs(env[name]) {
+				n.Children = append(n.Children, a.nodeFor(cid))
+			}
+		}
+	}
+	return n
+}
+
+func sortedIDs(s defSet) []int {
+	out := make([]int, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort: sets are tiny
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Dump renders use-def chains for every statement and condition, in the
+// spirit of paper Figure 5.
+func (a *Analysis) Dump() string {
+	out := ""
+	for _, blk := range a.graph.Blocks {
+		for _, s := range blk.Stmts {
+			if env, ok := a.beforeStm[s]; ok {
+				out += fmt.Sprintf("%s: %s\n", blk.Name(), cfg.StmtString(a.prog.Fset, s))
+				out += a.dumpEnvUses(StmtUses(s), env)
+			}
+		}
+		if blk.Cond != nil {
+			if env, ok := a.atCond[blk]; ok {
+				out += fmt.Sprintf("%s: cond %s\n", blk.Name(), cfg.ExprString(a.prog.Fset, blk.Cond))
+				out += a.dumpEnvUses([]ast.Expr{blk.Cond}, env)
+			}
+		}
+	}
+	return out
+}
+
+func (a *Analysis) dumpEnvUses(uses []ast.Expr, e env) string {
+	out := ""
+	for _, u := range uses {
+		for _, name := range UsedVars(u) {
+			for _, id := range sortedIDs(e[name]) {
+				d := a.defs[id]
+				switch d.kind {
+				case NodeParam:
+					out += fmt.Sprintf("    use %s <- param %s\n", name, d.name)
+				case NodeGlobal:
+					out += fmt.Sprintf("    use %s <- global %s\n", name, d.name)
+				default:
+					out += fmt.Sprintf("    use %s <- def at %q\n", name, cfg.StmtString(a.prog.Fset, d.stmt))
+				}
+			}
+		}
+	}
+	return out
+}

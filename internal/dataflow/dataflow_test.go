@@ -1,0 +1,243 @@
+package dataflow
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"manimal/internal/cfg"
+	"manimal/internal/lang"
+)
+
+func analyze(t *testing.T, src string) (*lang.Program, *cfg.Graph, *Analysis) {
+	t.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g, err := cfg.Build(p, p.Map())
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	a, err := Analyze(p, g)
+	if err != nil {
+		t.Fatalf("dataflow: %v", err)
+	}
+	return p, g, a
+}
+
+// condBlock returns the single branch block of the graph.
+func condBlock(t *testing.T, g *cfg.Graph) *cfg.Block {
+	t.Helper()
+	for _, blk := range g.Blocks {
+		if blk.Cond != nil {
+			return blk
+		}
+	}
+	t.Fatal("no branch block")
+	return nil
+}
+
+// kinds collects the leaf kinds reachable in a DAG.
+func kinds(n *Node) map[NodeKind]int {
+	out := make(map[NodeKind]int)
+	n.Walk(func(m *Node) { out[m.Kind]++ })
+	return out
+}
+
+// TestFigure5UseDef reproduces paper Figure 5: the condition of the
+// Section 2 map() uses only the parameter v; the emit uses k.
+func TestFigure5UseDef(t *testing.T) {
+	_, g, a := analyze(t, `
+func Map(k, v *Record, ctx *Ctx) {
+	if v.Int("rank") > 1 {
+		ctx.Emit(k, 1)
+	}
+}
+`)
+	dag, err := a.UseDefOfCond(condBlock(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := kinds(dag)
+	if ks[NodeParam] != 1 || ks[NodeGlobal] != 0 || ks[NodeStmt] != 0 {
+		t.Fatalf("cond DAG kinds = %v, want exactly one param leaf", ks)
+	}
+	dump := a.Dump()
+	if !strings.Contains(dump, "use v <- param v") {
+		t.Errorf("dump missing use-def chain:\n%s", dump)
+	}
+	if !strings.Contains(dump, "use k <- param k") {
+		t.Errorf("dump missing emit's k chain:\n%s", dump)
+	}
+}
+
+// TestGlobalLeaf reproduces the Figure 2 hazard: a condition reading a
+// member variable must surface a NodeGlobal leaf.
+func TestGlobalLeaf(t *testing.T) {
+	_, g, a := analyze(t, `
+var numMapsRun int
+
+func Map(k, v *Record, ctx *Ctx) {
+	numMapsRun++
+	if v.Int("rank") > 1 || numMapsRun > 200 {
+		ctx.Emit(k, 1)
+	}
+}
+`)
+	dag, err := a.UseDefOfCond(condBlock(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := kinds(dag)
+	if ks[NodeGlobal] == 0 {
+		// numMapsRun++ reaches the condition, and its own use-def chain
+		// bottoms out at the global.
+		t.Fatalf("no global leaf in DAG: %v", ks)
+	}
+}
+
+// TestTransitiveChain: conds over locals must chain through defining
+// statements back to parameters (getUseDef recursion).
+func TestTransitiveChain(t *testing.T) {
+	_, g, a := analyze(t, `
+func Map(k, v *Record, ctx *Ctx) {
+	parts := strings.Split(v.Str("tuple"), "|")
+	rank := strconv.Atoi(parts[1])
+	if rank > 10 {
+		ctx.Emit(parts[0], rank)
+	}
+}
+`)
+	dag, err := a.UseDefOfCond(condBlock(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := kinds(dag)
+	if ks[NodeStmt] != 2 {
+		t.Fatalf("DAG stmt nodes = %d, want 2 (parts :=, rank :=)", ks[NodeStmt])
+	}
+	if ks[NodeParam] != 1 {
+		t.Fatalf("DAG param leaves = %d, want 1 (v)", ks[NodeParam])
+	}
+}
+
+// TestMultipleReachingDefs: both branches of an if define x, so a later use
+// sees two reaching definitions.
+func TestMultipleReachingDefs(t *testing.T) {
+	_, g, a := analyze(t, `
+func Map(k, v *Record, ctx *Ctx) {
+	x := 0
+	if v.Int("rank") > 1 {
+		x = 1
+	} else {
+		x = 2
+	}
+	ctx.Emit(k, x)
+}
+`)
+	// Find the emit statement and query x's reaching defs there.
+	var emitStmt ast.Stmt
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Stmts {
+			if es, ok := s.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok && lang.IsEmit(call, "ctx") {
+					emitStmt = s
+				}
+			}
+		}
+	}
+	dag, err := a.UseDefOfExpr(&ast.Ident{Name: "x"}, emitStmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dag.Children) != 2 {
+		t.Fatalf("x has %d reaching defs at emit, want 2 (x=1 and x=2; x:=0 is killed)", len(dag.Children))
+	}
+}
+
+// TestLoopCycleTerminates: x = x + 1 in a loop reaches itself; the memoized
+// DAG construction must terminate and include the self-cycle.
+func TestLoopCycleTerminates(t *testing.T) {
+	_, g, a := analyze(t, `
+func Map(k, v *Record, ctx *Ctx) {
+	x := 0
+	for i := 0; i < 10; i++ {
+		x = x + 1
+	}
+	if x > 5 {
+		ctx.Emit(k, x)
+	}
+}
+`)
+	dag, err := a.UseDefOfCond(condBlock(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := kinds(dag)
+	if ks[NodeStmt] < 2 {
+		t.Fatalf("expected both x defs in DAG, got %v", ks)
+	}
+}
+
+func TestDefinedVars(t *testing.T) {
+	p, _, _ := analyze(t, `
+func Map(k, v *Record, ctx *Ctx) {
+	m := make(map[string]bool)
+	m["x"] = true
+	y, ok := m["x"]
+	y = ok
+	ctx.Emit(k, y)
+}
+`)
+	_ = p
+	// Syntactic check of DefinedVars on representative statements.
+	prog, err := lang.Parse(`
+func Map(k, v *Record, ctx *Ctx) {
+	a := 1
+	a += 2
+	a++
+	m := make(map[string]bool)
+	m["k"] = true
+	b, ok := m["k"]
+	ctx.Emit(b, ok)
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	ast.Inspect(prog.Map().Body, func(n ast.Node) bool {
+		if s, ok := n.(ast.Stmt); ok {
+			got = append(got, DefinedVars(s)...)
+		}
+		return true
+	})
+	want := map[string]int{"a": 3, "m": 2, "b": 1, "ok": 1}
+	counts := make(map[string]int)
+	for _, name := range got {
+		counts[name]++
+	}
+	for name, n := range want {
+		if counts[name] != n {
+			t.Errorf("DefinedVars: %s defined %d times, want %d (all: %v)", name, counts[name], n, got)
+		}
+	}
+}
+
+func TestUsedVarsSkipsPackagesAndSelectors(t *testing.T) {
+	prog, err := lang.Parse(`
+func Map(k, v *Record, ctx *Ctx) {
+	x := strings.Contains(v.Str("url"), "go")
+	ctx.Emit(k, x)
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := prog.Map().Body.List[0].(*ast.AssignStmt)
+	used := UsedVars(assign.Rhs[0])
+	if len(used) != 1 || used[0] != "v" {
+		t.Fatalf("UsedVars = %v, want [v] (no 'strings', no method names)", used)
+	}
+}

@@ -1,0 +1,137 @@
+// Package fabric wires the pieces of Manimal's execution path together:
+// it adapts interpreted mapper-language programs to the MapReduce engine's
+// Mapper/Reducer interfaces and opens the physical input an execution plan
+// selected (original file, B+Tree range scan, or re-encoded record file).
+package fabric
+
+import (
+	"fmt"
+
+	"manimal/internal/btree"
+	"manimal/internal/interp"
+	"manimal/internal/lang"
+	"manimal/internal/mapreduce"
+	"manimal/internal/optimizer"
+	"manimal/internal/predicate"
+	"manimal/internal/serde"
+)
+
+// interpMapper adapts one interpreter executor to mapreduce.Mapper.
+type interpMapper struct{ ex *interp.Executor }
+
+func (m *interpMapper) Map(k serde.Datum, rec *serde.Record, ctx *interp.Context) error {
+	return m.ex.InvokeMap(k, rec, ctx)
+}
+
+// MapperFactory builds per-task interpreted mappers for the program. Each
+// task gets its own executor, so package-level variables behave like
+// per-task Java member variables.
+func MapperFactory(p *lang.Program) mapreduce.MapperFactory {
+	return func() (mapreduce.Mapper, error) {
+		ex, err := interp.New(p)
+		if err != nil {
+			return nil, err
+		}
+		return &interpMapper{ex: ex}, nil
+	}
+}
+
+type interpReducer struct {
+	ex      *interp.Executor
+	combine bool
+}
+
+func (r *interpReducer) Reduce(key serde.Datum, values interp.ValueIter, ctx *interp.Context) error {
+	if r.combine {
+		return r.ex.InvokeCombine(key, values, ctx)
+	}
+	return r.ex.InvokeReduce(key, values, ctx)
+}
+
+// ReducerFactory builds per-task interpreted reducers, or nil when the
+// program has no Reduce function.
+func ReducerFactory(p *lang.Program) mapreduce.ReducerFactory {
+	if p.Reduce() == nil {
+		return nil
+	}
+	return func() (mapreduce.Reducer, error) {
+		ex, err := interp.New(p)
+		if err != nil {
+			return nil, err
+		}
+		return &interpReducer{ex: ex}, nil
+	}
+}
+
+// CombinerFactory builds per-task interpreted combiners, or nil when the
+// program has no Combine function.
+func CombinerFactory(p *lang.Program) mapreduce.ReducerFactory {
+	if p.Combine() == nil {
+		return nil
+	}
+	return func() (mapreduce.Reducer, error) {
+		ex, err := interp.New(p)
+		if err != nil {
+			return nil, err
+		}
+		return &interpReducer{ex: ex, combine: true}, nil
+	}
+}
+
+// IdentityReducer forwards every value of every group unchanged; it is the
+// reduce stage of B+Tree index-generation jobs (a single reducer gives the
+// globally key-sorted stream the bulk loader requires).
+type IdentityReducer struct{}
+
+// Reduce implements mapreduce.Reducer.
+func (IdentityReducer) Reduce(key serde.Datum, values interp.ValueIter, ctx *interp.Context) error {
+	for values.Next() {
+		if err := ctx.Emit(key, values.Value()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InputForPlan opens the physical input chosen by the optimizer.
+func InputForPlan(plan *optimizer.Plan) (mapreduce.Input, error) {
+	switch plan.Kind {
+	case optimizer.PlanOriginal:
+		return mapreduce.OpenFile(plan.InputPath, false)
+	case optimizer.PlanRecordFile:
+		return mapreduce.OpenFile(plan.IndexPath, plan.DirectCodes)
+	case optimizer.PlanBTree:
+		ranges := make([]mapreduce.ByteRange, 0, len(plan.Ranges))
+		for _, iv := range plan.Ranges {
+			if iv.Empty {
+				continue
+			}
+			var r mapreduce.ByteRange
+			if iv.Lo.IsValid() {
+				r.Lo = btree.LowerBound(iv.Lo, iv.LoInc)
+			}
+			if iv.Hi.IsValid() {
+				r.Hi = btree.UpperBound(iv.Hi, iv.HiInc)
+			}
+			ranges = append(ranges, r)
+		}
+		return mapreduce.OpenIndexed(plan.IndexPath, ranges)
+	default:
+		return nil, fmt.Errorf("fabric: unknown plan kind %v", plan.Kind)
+	}
+}
+
+// RangeSummary renders plan ranges for reports.
+func RangeSummary(ivs []predicate.Interval) string {
+	out := ""
+	for i, iv := range ivs {
+		if i > 0 {
+			out += " ∪ "
+		}
+		out += iv.String()
+	}
+	if out == "" {
+		out = "∅"
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+// Package indexgen synthesizes and runs index-generation programs (paper
+// Section 2.2, Step 1): each submitted job yields, besides its result, a
+// MapReduce program that builds an indexed version of the job's input. The
+// synthesized program is itself mapper-language source executed by the
+// ordinary engine, exactly as the paper's index generators are themselves
+// MapReduce programs.
+package indexgen
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"manimal/internal/analyzer"
+	"manimal/internal/catalog"
+	"manimal/internal/fabric"
+	"manimal/internal/lang"
+	"manimal/internal/mapreduce"
+	"manimal/internal/serde"
+	"manimal/internal/storage"
+)
+
+// Spec describes one index to build.
+type Spec struct {
+	// Kind is catalog.KindBTree or catalog.KindRecordFile.
+	Kind string
+	// KeyExpr is the canonical selection key (KindBTree only). Canonical
+	// expressions are valid mapper-language source, so the synthesized
+	// program embeds them verbatim.
+	KeyExpr string
+	// Fields are the stored fields, in input-schema order (projection);
+	// empty means all fields.
+	Fields []string
+	// Encodings are per-field storage encodings (KindRecordFile only).
+	Encodings map[string]storage.FieldEncoding
+}
+
+// Describe summarizes the spec for reports.
+func (s Spec) Describe() string {
+	switch s.Kind {
+	case catalog.KindBTree:
+		return fmt.Sprintf("B+Tree on %s storing %v", s.KeyExpr, s.Fields)
+	default:
+		return fmt.Sprintf("record file storing %v with encodings %v", s.Fields, encodingNames(s.Encodings))
+	}
+}
+
+func encodingNames(m map[string]storage.FieldEncoding) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v.String()
+	}
+	return out
+}
+
+// Source returns the synthesized index-generation map program.
+func (s Spec) Source() string {
+	key := `k`
+	if s.Kind == catalog.KindBTree {
+		key = s.KeyExpr
+	}
+	return fmt.Sprintf("func Map(k, v *Record, ctx *Ctx) {\n\tctx.Emit(%s, v)\n}\n", key)
+}
+
+// Synthesize derives the index programs implied by an optimization
+// descriptor. The first spec is the primary one: per the paper, "the
+// current analyzer always chooses the index program that exploits as many
+// optimizations as possible". Further specs are the single-optimization
+// alternatives (useful when the index space budget is tight, and used by
+// the per-optimization benchmarks).
+func Synthesize(desc *analyzer.Descriptor, schema *serde.Schema) []Spec {
+	if desc == nil {
+		return nil
+	}
+	all := schema.FieldNames()
+	kept := all
+	if desc.Project != nil {
+		kept = desc.Project.UsedFields
+	}
+
+	var specs []Spec
+	if desc.Select != nil && len(desc.Select.IndexKeys) > 0 {
+		// Primary: selection combined with projection. Delta-compression is
+		// NOT combined (the conflict of paper footnote 3: selection is
+		// favored); B+Tree leaves store plain records.
+		specs = append(specs, Spec{
+			Kind:    catalog.KindBTree,
+			KeyExpr: desc.Select.IndexKeys[0],
+			Fields:  kept,
+		})
+	}
+
+	// Record-file spec combining projection, delta, and dictionary
+	// encodings over the kept fields.
+	enc := make(map[string]storage.FieldEncoding)
+	if desc.Delta != nil {
+		for _, f := range desc.Delta.Fields {
+			if containsString(kept, f) {
+				enc[f] = storage.EncodeDelta
+			}
+		}
+	}
+	if desc.DirectOp != nil {
+		for _, f := range desc.DirectOp.Fields {
+			if containsString(kept, f) {
+				enc[f] = storage.EncodeDict
+			}
+		}
+	}
+	if len(kept) < len(all) || len(enc) > 0 {
+		specs = append(specs, Spec{
+			Kind:      catalog.KindRecordFile,
+			Fields:    kept,
+			Encodings: enc,
+		})
+	}
+	return specs
+}
+
+func containsString(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Build runs the index-generation MapReduce job for the spec over
+// inputPath, writing the index to indexPath, and returns the catalog entry
+// to register. workDir hosts the shuffle of B+Tree builds.
+func Build(spec Spec, inputPath, indexPath, workDir string) (catalog.Entry, error) {
+	start := time.Now()
+	in, err := mapreduce.OpenFile(inputPath, false)
+	if err != nil {
+		return catalog.Entry{}, err
+	}
+	defer in.Close()
+	schema := in.Schema()
+
+	fields := spec.Fields
+	if len(fields) == 0 {
+		fields = schema.FieldNames()
+	}
+	stored, err := schema.Project(fields...)
+	if err != nil {
+		return catalog.Entry{}, fmt.Errorf("indexgen: %w", err)
+	}
+
+	prog, err := lang.Parse(spec.Source())
+	if err != nil {
+		return catalog.Entry{}, fmt.Errorf("indexgen: synthesized program: %w", err)
+	}
+
+	job := &mapreduce.Job{
+		Name:   "indexgen:" + indexPath,
+		Inputs: []mapreduce.MapInput{{Input: in, Mapper: fabric.MapperFactory(prog)}},
+	}
+
+	entry := catalog.Entry{
+		InputPath: inputPath,
+		IndexPath: indexPath,
+		Kind:      spec.Kind,
+		KeyExpr:   spec.KeyExpr,
+		Fields:    fields,
+		CreatedAt: time.Now(),
+	}
+
+	switch spec.Kind {
+	case catalog.KindBTree:
+		out, err := mapreduce.NewBTreeOutput(indexPath, stored, spec.KeyExpr)
+		if err != nil {
+			return catalog.Entry{}, err
+		}
+		job.Output = out
+		// A single reducer receives the merge in global key order, which
+		// is exactly what bottom-up bulk loading requires.
+		job.Reducer = func() (mapreduce.Reducer, error) { return fabric.IdentityReducer{}, nil }
+		job.Config = mapreduce.Config{NumReducers: 1, WorkDir: workDir}
+	case catalog.KindRecordFile:
+		opts := storage.WriterOptions{Encodings: spec.Encodings}
+		out, err := mapreduce.NewRecordFileOutput(indexPath, stored, opts)
+		if err != nil {
+			return catalog.Entry{}, err
+		}
+		job.Output = out
+		// Map-only; a single task keeps the original record order, which
+		// delta-compression depends on for small deltas.
+		job.Config = mapreduce.Config{MaxParallelTasks: 1}
+		if len(spec.Encodings) > 0 {
+			entry.Encodings = encodingNames(spec.Encodings)
+		}
+	default:
+		return catalog.Entry{}, fmt.Errorf("indexgen: unknown index kind %q", spec.Kind)
+	}
+
+	if _, err := mapreduce.Run(job); err != nil {
+		return catalog.Entry{}, fmt.Errorf("indexgen: %w", err)
+	}
+	st, err := os.Stat(indexPath)
+	if err != nil {
+		return catalog.Entry{}, err
+	}
+	entry.SizeBytes = st.Size()
+	entry.BuildDuration = time.Since(start)
+	return entry, nil
+}

@@ -1,0 +1,128 @@
+package indexgen
+
+import (
+	"path/filepath"
+	"testing"
+
+	"manimal/internal/analyzer"
+	"manimal/internal/btree"
+	"manimal/internal/catalog"
+	"manimal/internal/lang"
+	"manimal/internal/storage"
+	"manimal/internal/workload"
+)
+
+func TestSynthesizePrimaryCombines(t *testing.T) {
+	p, err := lang.Parse(`
+func Map(k, v *Record, ctx *Ctx) {
+	if v.Int("rank") > ctx.ConfInt("t") {
+		ctx.Emit(v.Str("url"), v.Int("rank"))
+	}
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := analyzer.Analyze(p, workload.WebPagesSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := Synthesize(desc, workload.WebPagesSchema)
+	if len(specs) != 2 {
+		t.Fatalf("specs = %d, want btree + recordfile", len(specs))
+	}
+	// Primary: selection + projection combined ("as many optimizations as
+	// possible"), with delta deliberately excluded (paper footnote 3).
+	if specs[0].Kind != catalog.KindBTree || specs[0].KeyExpr != `v.Int("rank")` {
+		t.Fatalf("primary = %+v", specs[0])
+	}
+	if len(specs[0].Fields) != 2 {
+		t.Fatalf("primary fields = %v, want projected [url rank]", specs[0].Fields)
+	}
+	if len(specs[0].Encodings) != 0 {
+		t.Fatal("selection index must not carry delta encodings")
+	}
+	// Alternative: projected record file with delta on the numeric field.
+	if specs[1].Kind != catalog.KindRecordFile || specs[1].Encodings["rank"] != storage.EncodeDelta {
+		t.Fatalf("alternative = %+v", specs[1])
+	}
+}
+
+func TestSynthesizeNothingForUnoptimizable(t *testing.T) {
+	p, err := lang.Parse(`
+func Map(k, v *Record, ctx *Ctx) {
+	ctx.Emit(k, v)
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := analyzer.Analyze(p, workload.DocumentsSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs := Synthesize(desc, workload.DocumentsSchema); len(specs) != 0 {
+		t.Fatalf("specs = %+v, want none", specs)
+	}
+}
+
+func TestSourceIsValidProgram(t *testing.T) {
+	for _, spec := range []Spec{
+		{Kind: catalog.KindBTree, KeyExpr: `strconv.Atoi(strings.Split(v.Str("t"), "|")[1])`},
+		{Kind: catalog.KindRecordFile},
+	} {
+		if _, err := lang.Parse(spec.Source()); err != nil {
+			t.Errorf("synthesized source invalid: %v\n%s", err, spec.Source())
+		}
+	}
+}
+
+func TestBuildBTreeSortedAndComplete(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "webpages.rec")
+	if err := workload.NewGen(5).WriteWebPages(data, 3000, 64); err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Kind: catalog.KindBTree, KeyExpr: `v.Int("rank")`, Fields: []string{"url", "rank"}}
+	entry, err := Build(spec, data, filepath.Join(dir, "w.idx"), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := btree.Open(entry.IndexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+	if tree.NumEntries() != 3000 {
+		t.Fatalf("entries = %d", tree.NumEntries())
+	}
+	if tree.KeyExpr() != `v.Int("rank")` {
+		t.Fatalf("key expr = %q", tree.KeyExpr())
+	}
+	it, err := tree.Range(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(-1)
+	n := 0
+	for it.Next() {
+		d, err := it.KeyDatum()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.I < prev {
+			t.Fatal("tree keys out of order")
+		}
+		prev = d.I
+		if it.Record().Schema().NumFields() != 2 {
+			t.Fatal("projection not applied to stored records")
+		}
+		n++
+	}
+	if it.Err() != nil || n != 3000 {
+		t.Fatalf("scan: %v (%d)", it.Err(), n)
+	}
+	if entry.BuildDuration <= 0 || entry.SizeBytes <= 0 {
+		t.Error("entry metadata missing")
+	}
+}

@@ -1,0 +1,562 @@
+package interp
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"math"
+	"strconv"
+	"strings"
+
+	"manimal/internal/lang"
+	"manimal/internal/predicate"
+	"manimal/internal/serde"
+)
+
+func (fr *frame) eval(e ast.Expr) (Value, error) {
+	switch ex := e.(type) {
+	case *ast.BasicLit:
+		return litValue(ex)
+	case *ast.Ident:
+		switch ex.Name {
+		case "true":
+			return BoolVal(true), nil
+		case "false":
+			return BoolVal(false), nil
+		}
+		v, err := fr.lookup(ex.Name)
+		if err != nil {
+			return Value{}, err
+		}
+		return *v, nil
+	case *ast.ParenExpr:
+		return fr.eval(ex.X)
+	case *ast.UnaryExpr:
+		return fr.evalUnary(ex)
+	case *ast.BinaryExpr:
+		return fr.evalBinary(ex)
+	case *ast.IndexExpr:
+		return fr.evalIndex(ex)
+	case *ast.CallExpr:
+		return fr.evalCall(ex)
+	default:
+		return Value{}, fmt.Errorf("interp: unsupported expression %T", e)
+	}
+}
+
+func (fr *frame) evalUnary(ex *ast.UnaryExpr) (Value, error) {
+	x, err := fr.eval(ex.X)
+	if err != nil {
+		return Value{}, err
+	}
+	d, err := x.scalar()
+	if err != nil {
+		return Value{}, err
+	}
+	switch ex.Op {
+	case token.NOT:
+		if d.Kind != serde.KindBool {
+			return Value{}, fmt.Errorf("interp: ! of %v", d.Kind)
+		}
+		return BoolVal(!d.Bool), nil
+	case token.SUB:
+		switch d.Kind {
+		case serde.KindInt64:
+			return IntVal(-d.I), nil
+		case serde.KindFloat64:
+			return FloatVal(-d.F), nil
+		}
+		return Value{}, fmt.Errorf("interp: - of %v", d.Kind)
+	case token.ADD:
+		return x, nil
+	default:
+		return Value{}, fmt.Errorf("interp: unsupported unary %s", ex.Op)
+	}
+}
+
+func (fr *frame) evalBinary(ex *ast.BinaryExpr) (Value, error) {
+	// Short-circuit logical operators.
+	if ex.Op == token.LAND || ex.Op == token.LOR {
+		l, err := fr.evalBool(ex.X)
+		if err != nil {
+			return Value{}, err
+		}
+		if ex.Op == token.LAND && !l {
+			return BoolVal(false), nil
+		}
+		if ex.Op == token.LOR && l {
+			return BoolVal(true), nil
+		}
+		r, err := fr.evalBool(ex.Y)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolVal(r), nil
+	}
+	l, err := fr.eval(ex.X)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := fr.eval(ex.Y)
+	if err != nil {
+		return Value{}, err
+	}
+	ld, err := l.scalar()
+	if err != nil {
+		return Value{}, err
+	}
+	rd, err := r.scalar()
+	if err != nil {
+		return Value{}, err
+	}
+	out, err := predicate.EvalBinary(ex.Op, ld, rd)
+	if err != nil {
+		return Value{}, err
+	}
+	return Scalar(out), nil
+}
+
+func (fr *frame) evalIndex(ex *ast.IndexExpr) (Value, error) {
+	x, err := fr.eval(ex.X)
+	if err != nil {
+		return Value{}, err
+	}
+	i, err := fr.eval(ex.Index)
+	if err != nil {
+		return Value{}, err
+	}
+	switch x.Kind {
+	case ValList:
+		idx, err := i.integer()
+		if err != nil {
+			return Value{}, err
+		}
+		if idx < 0 || idx >= int64(len(x.List)) {
+			return Value{}, fmt.Errorf("interp: list index %d out of range [0,%d)", idx, len(x.List))
+		}
+		return Scalar(x.List[idx]), nil
+	case ValMap:
+		kd, err := i.scalar()
+		if err != nil {
+			return Value{}, err
+		}
+		if d, ok := x.M[mapKey(kd)]; ok {
+			return Scalar(d), nil
+		}
+		return BoolVal(false), nil // zero value for absent keys
+	default:
+		return Value{}, fmt.Errorf("interp: cannot index a %v", x.Kind)
+	}
+}
+
+func (fr *frame) evalCall(c *ast.CallExpr) (Value, error) {
+	// Method calls on parameters: record accessors, ctx methods, iterator.
+	if recv, method, ok := lang.MethodOn(c); ok {
+		switch {
+		case recv == "strings" || recv == "strconv" || recv == "math":
+			return fr.evalBuiltin(recv+"."+method, c)
+		case recv == fr.ctxParam:
+			return fr.evalCtxCall(method, c.Args)
+		case recv == fr.iterParam:
+			return fr.evalIterCall(method, c.Args)
+		default:
+			if v, err := fr.lookup(recv); err == nil && v.Kind == ValRecord {
+				return evalAccessor(v.Rec, method, fr, c.Args)
+			}
+			return Value{}, fmt.Errorf("interp: %q is not a record, ctx, or iterator", recv)
+		}
+	}
+	name, _ := lang.CallName(c)
+	return fr.evalBuiltin(name, c)
+}
+
+func evalAccessor(rec *serde.Record, method string, fr *frame, args []ast.Expr) (Value, error) {
+	if len(args) != 1 {
+		return Value{}, fmt.Errorf("interp: %s takes exactly one field name", method)
+	}
+	fv, err := fr.eval(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	field, err := fv.str()
+	if err != nil {
+		return Value{}, err
+	}
+	d, ok := rec.Lookup(field)
+	if method == "Has" {
+		return BoolVal(ok), nil
+	}
+	if !ok {
+		return Value{}, fmt.Errorf("interp: record has no field %q (schema %s)", field, rec.Schema())
+	}
+	var want serde.Kind
+	switch method {
+	case "Int":
+		want = serde.KindInt64
+	case "Float":
+		want = serde.KindFloat64
+	case "Str":
+		want = serde.KindString
+	case "Raw":
+		want = serde.KindBytes
+	case "Flag":
+		want = serde.KindBool
+	default:
+		return Value{}, fmt.Errorf("interp: unknown record accessor %q", method)
+	}
+	if d.Kind != want {
+		return Value{}, fmt.Errorf("interp: field %q is %v, accessor %s wants %v", field, d.Kind, method, want)
+	}
+	return Scalar(d), nil
+}
+
+func (fr *frame) evalCtxCall(method string, args []ast.Expr) (Value, error) {
+	switch method {
+	case "Emit":
+		if len(args) != 2 {
+			return Value{}, fmt.Errorf("interp: Emit takes (key, value)")
+		}
+		kv, err := fr.eval(args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		kd, err := kv.scalar()
+		if err != nil {
+			return Value{}, fmt.Errorf("interp: emit key: %w", err)
+		}
+		vv, err := fr.eval(args[1])
+		if err != nil {
+			return Value{}, err
+		}
+		ev, err := FromValue(vv)
+		if err != nil {
+			return Value{}, err
+		}
+		if fr.ctx.Emit == nil {
+			return Value{}, fmt.Errorf("interp: context has no emitter")
+		}
+		return Value{}, fr.ctx.Emit(kd, ev)
+	case "ConfInt", "ConfFloat", "ConfStr":
+		if len(args) != 1 {
+			return Value{}, fmt.Errorf("interp: %s takes one parameter name", method)
+		}
+		nv, err := fr.eval(args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		name, err := nv.str()
+		if err != nil {
+			return Value{}, err
+		}
+		d, ok := fr.ctx.Conf[name]
+		if !ok {
+			return Value{}, fmt.Errorf("interp: job config has no parameter %q", name)
+		}
+		var want serde.Kind
+		switch method {
+		case "ConfInt":
+			want = serde.KindInt64
+		case "ConfFloat":
+			want = serde.KindFloat64
+		default:
+			want = serde.KindString
+		}
+		if d.Kind != want {
+			return Value{}, fmt.Errorf("interp: config %q is %v, %s wants %v", name, d.Kind, method, want)
+		}
+		return Scalar(d), nil
+	case "Log":
+		if len(args) != 1 {
+			return Value{}, fmt.Errorf("interp: Log takes one message")
+		}
+		mv, err := fr.eval(args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if fr.ctx.Log != nil {
+			fr.ctx.Log(mv.D.String())
+		}
+		return Value{}, nil
+	case "Counter":
+		if len(args) != 1 {
+			return Value{}, fmt.Errorf("interp: Counter takes one name")
+		}
+		nv, err := fr.eval(args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		name, err := nv.str()
+		if err != nil {
+			return Value{}, err
+		}
+		if fr.ctx.Counter != nil {
+			fr.ctx.Counter(name, 1)
+		}
+		return Value{}, nil
+	default:
+		return Value{}, fmt.Errorf("interp: unknown ctx method %q", method)
+	}
+}
+
+func (fr *frame) evalIterCall(method string, args []ast.Expr) (Value, error) {
+	switch method {
+	case "Next":
+		fr.iterOK = fr.iter.Next()
+		if fr.iterOK {
+			fr.iterCur = fr.iter.Value()
+		}
+		return BoolVal(fr.iterOK), nil
+	case "Int", "Float", "Str":
+		if !fr.iterOK {
+			return Value{}, fmt.Errorf("interp: values.%s before a successful Next", method)
+		}
+		if fr.iterCur.IsRecord() {
+			return Value{}, fmt.Errorf("interp: values.%s on a record value; use Field%s", method, method)
+		}
+		d := fr.iterCur.D
+		var want serde.Kind
+		switch method {
+		case "Int":
+			want = serde.KindInt64
+		case "Float":
+			want = serde.KindFloat64
+		default:
+			want = serde.KindString
+		}
+		if d.Kind != want {
+			return Value{}, fmt.Errorf("interp: current value is %v, values.%s wants %v", d.Kind, method, want)
+		}
+		return Scalar(d), nil
+	case "FieldInt", "FieldFloat", "FieldStr", "HasField":
+		if !fr.iterOK {
+			return Value{}, fmt.Errorf("interp: values.%s before a successful Next", method)
+		}
+		if !fr.iterCur.IsRecord() {
+			return Value{}, fmt.Errorf("interp: values.%s on a scalar value", method)
+		}
+		acc := map[string]string{
+			"FieldInt": "Int", "FieldFloat": "Float", "FieldStr": "Str", "HasField": "Has",
+		}[method]
+		return evalAccessor(fr.iterCur.Rec, acc, fr, args)
+	default:
+		return Value{}, fmt.Errorf("interp: unknown iterator method %q", method)
+	}
+}
+
+// evalBuiltin implements the whitelisted standard functions. This set is
+// asserted (by test) to cover exactly lang.PureFuncs ∪ lang.ImpureFuncs, so
+// the analyzer's purity knowledge and the runtime agree.
+func (fr *frame) evalBuiltin(name string, c *ast.CallExpr) (Value, error) {
+	// make(map[K]V) is special: its argument is a type, not a value.
+	if name == "make" {
+		if len(c.Args) != 1 {
+			return Value{}, fmt.Errorf("interp: make takes exactly one type argument")
+		}
+		if _, ok := c.Args[0].(*ast.MapType); !ok {
+			return Value{}, fmt.Errorf("interp: make supports only map types")
+		}
+		return NewMapVal(), nil
+	}
+
+	args := make([]Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := fr.eval(a)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	str := func(i int) (string, error) { return args[i].str() }
+	num := func(i int) (float64, error) {
+		d, err := args[i].scalar()
+		if err != nil {
+			return 0, err
+		}
+		switch d.Kind {
+		case serde.KindInt64:
+			return float64(d.I), nil
+		case serde.KindFloat64:
+			return d.F, nil
+		default:
+			return 0, fmt.Errorf("interp: %s arg %d: expected number, got %v", name, i, d.Kind)
+		}
+	}
+
+	switch name {
+	case "len":
+		if len(args) != 1 {
+			return Value{}, fmt.Errorf("interp: len takes one argument")
+		}
+		switch args[0].Kind {
+		case ValScalar:
+			if args[0].D.Kind == serde.KindString {
+				return IntVal(int64(len(args[0].D.S))), nil
+			}
+			if args[0].D.Kind == serde.KindBytes {
+				return IntVal(int64(len(args[0].D.B))), nil
+			}
+			return Value{}, fmt.Errorf("interp: len of %v", args[0].D.Kind)
+		case ValList:
+			return IntVal(int64(len(args[0].List))), nil
+		case ValMap:
+			return IntVal(int64(len(args[0].M))), nil
+		default:
+			return Value{}, fmt.Errorf("interp: len of %v", args[0].Kind)
+		}
+	case "min", "max":
+		if len(args) < 2 {
+			return Value{}, fmt.Errorf("interp: %s takes at least two arguments", name)
+		}
+		best, err := args[0].scalar()
+		if err != nil {
+			return Value{}, err
+		}
+		for _, a := range args[1:] {
+			d, err := a.scalar()
+			if err != nil {
+				return Value{}, err
+			}
+			c := d.Compare(best)
+			if (name == "min" && c < 0) || (name == "max" && c > 0) {
+				best = d
+			}
+		}
+		return Scalar(best), nil
+
+	case "strings.Contains", "strings.HasPrefix", "strings.HasSuffix", "strings.Index":
+		s, err := str(0)
+		if err != nil {
+			return Value{}, err
+		}
+		sub, err := str(1)
+		if err != nil {
+			return Value{}, err
+		}
+		switch name {
+		case "strings.Contains":
+			return BoolVal(strings.Contains(s, sub)), nil
+		case "strings.HasPrefix":
+			return BoolVal(strings.HasPrefix(s, sub)), nil
+		case "strings.HasSuffix":
+			return BoolVal(strings.HasSuffix(s, sub)), nil
+		default:
+			return IntVal(int64(strings.Index(s, sub))), nil
+		}
+	case "strings.ToLower", "strings.ToUpper", "strings.TrimSpace":
+		s, err := str(0)
+		if err != nil {
+			return Value{}, err
+		}
+		switch name {
+		case "strings.ToLower":
+			return StrVal(strings.ToLower(s)), nil
+		case "strings.ToUpper":
+			return StrVal(strings.ToUpper(s)), nil
+		default:
+			return StrVal(strings.TrimSpace(s)), nil
+		}
+	case "strings.Split", "strings.Fields":
+		s, err := str(0)
+		if err != nil {
+			return Value{}, err
+		}
+		var parts []string
+		if name == "strings.Split" {
+			sep, err := str(1)
+			if err != nil {
+				return Value{}, err
+			}
+			parts = strings.Split(s, sep)
+		} else {
+			parts = strings.Fields(s)
+		}
+		ds := make([]serde.Datum, len(parts))
+		for i, p := range parts {
+			ds[i] = serde.String(p)
+		}
+		return ListVal(ds), nil
+	case "strings.Join":
+		if args[0].Kind != ValList {
+			return Value{}, fmt.Errorf("interp: strings.Join needs a list")
+		}
+		sep, err := str(1)
+		if err != nil {
+			return Value{}, err
+		}
+		parts := make([]string, len(args[0].List))
+		for i, d := range args[0].List {
+			parts[i] = d.String()
+		}
+		return StrVal(strings.Join(parts, sep)), nil
+	case "strings.Replace":
+		s, err := str(0)
+		if err != nil {
+			return Value{}, err
+		}
+		old, err := str(1)
+		if err != nil {
+			return Value{}, err
+		}
+		new_, err := str(2)
+		if err != nil {
+			return Value{}, err
+		}
+		n, err := args[3].integer()
+		if err != nil {
+			return Value{}, err
+		}
+		return StrVal(strings.Replace(s, old, new_, int(n))), nil
+
+	case "strconv.Atoi":
+		// Language spec: single-valued; unparsable input yields 0.
+		s, err := str(0)
+		if err != nil {
+			return Value{}, err
+		}
+		v, _ := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		return IntVal(v), nil
+	case "strconv.Itoa":
+		v, err := args[0].integer()
+		if err != nil {
+			return Value{}, err
+		}
+		return StrVal(strconv.FormatInt(v, 10)), nil
+	case "strconv.ParseFloat":
+		// Language spec: single-valued; optional bit-size arg is ignored.
+		s, err := str(0)
+		if err != nil {
+			return Value{}, err
+		}
+		v, _ := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		return FloatVal(v), nil
+
+	case "math.Abs", "math.Floor", "math.Sqrt":
+		x, err := num(0)
+		if err != nil {
+			return Value{}, err
+		}
+		switch name {
+		case "math.Abs":
+			return FloatVal(math.Abs(x)), nil
+		case "math.Floor":
+			return FloatVal(math.Floor(x)), nil
+		default:
+			return FloatVal(math.Sqrt(x)), nil
+		}
+	case "math.Max", "math.Min":
+		x, err := num(0)
+		if err != nil {
+			return Value{}, err
+		}
+		y, err := num(1)
+		if err != nil {
+			return Value{}, err
+		}
+		if name == "math.Max" {
+			return FloatVal(math.Max(x, y)), nil
+		}
+		return FloatVal(math.Min(x, y)), nil
+	default:
+		return Value{}, fmt.Errorf("interp: unknown function %q", name)
+	}
+}

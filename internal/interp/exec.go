@@ -1,0 +1,497 @@
+package interp
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"manimal/internal/lang"
+	"manimal/internal/predicate"
+	"manimal/internal/serde"
+)
+
+// Executor runs the Map and Reduce functions of one program. It carries the
+// program's package-level variable state, which — exactly like Java member
+// variables in the paper (Figure 2) — persists across invocations within a
+// task and is what the analyzer's isFunc test protects against.
+//
+// An Executor is not safe for concurrent use; the engine creates one per
+// task, which also gives each task its own member-variable state, matching
+// per-JVM task state in Hadoop.
+type Executor struct {
+	prog    *lang.Program
+	globals map[string]*Value
+}
+
+// New creates an executor for the program with freshly-initialized
+// package-level variables.
+func New(p *lang.Program) (*Executor, error) {
+	ex := &Executor{prog: p, globals: make(map[string]*Value)}
+	for name, g := range p.Globals {
+		v, err := globalInit(g)
+		if err != nil {
+			return nil, err
+		}
+		ex.globals[name] = &v
+	}
+	return ex, nil
+}
+
+func globalInit(g *lang.Global) (Value, error) {
+	if g.Init != nil {
+		lit, ok := g.Init.(*ast.BasicLit)
+		if !ok {
+			return Value{}, fmt.Errorf("interp: global %q initializer must be a literal", g.Name)
+		}
+		return litValue(lit)
+	}
+	switch g.Type {
+	case "int", "int64":
+		return IntVal(0), nil
+	case "float64":
+		return FloatVal(0), nil
+	case "string":
+		return StrVal(""), nil
+	case "bool":
+		return BoolVal(false), nil
+	default:
+		return Value{}, fmt.Errorf("interp: unsupported global type %q for %q", g.Type, g.Name)
+	}
+}
+
+// InvokeMap runs Map(k, v, ctx).
+func (ex *Executor) InvokeMap(k serde.Datum, v *serde.Record, ctx *Context) error {
+	fn := ex.prog.Map()
+	if len(fn.Params) != 3 {
+		return fmt.Errorf("interp: Map must take (k, v, ctx), has %d params", len(fn.Params))
+	}
+	fr := ex.newFrame(ctx)
+	fr.define(fn.Params[0].Name, Scalar(k))
+	fr.define(fn.Params[1].Name, RecordVal(v))
+	fr.define(fn.Params[2].Name, Value{}) // ctx: accessed only via method calls
+	fr.ctxParam = fn.Params[2].Name
+	fr.recParams[fn.Params[1].Name] = true
+	_, err := fr.execBlock(fn.Body)
+	return err
+}
+
+// InvokeReduce runs Reduce(key, values, ctx).
+func (ex *Executor) InvokeReduce(key serde.Datum, values ValueIter, ctx *Context) error {
+	return ex.invokeReduceLike(lang.ReduceFuncName, key, values, ctx)
+}
+
+// InvokeCombine runs the optional Combine(key, values, ctx).
+func (ex *Executor) InvokeCombine(key serde.Datum, values ValueIter, ctx *Context) error {
+	return ex.invokeReduceLike(lang.CombineFuncName, key, values, ctx)
+}
+
+func (ex *Executor) invokeReduceLike(name string, key serde.Datum, values ValueIter, ctx *Context) error {
+	fn := ex.prog.Funcs[name]
+	if fn == nil {
+		return fmt.Errorf("interp: program has no %s function", name)
+	}
+	if len(fn.Params) != 3 {
+		return fmt.Errorf("interp: %s must take (key, values, ctx), has %d params", name, len(fn.Params))
+	}
+	fr := ex.newFrame(ctx)
+	fr.define(fn.Params[0].Name, Scalar(key))
+	fr.define(fn.Params[1].Name, Value{})
+	fr.define(fn.Params[2].Name, Value{})
+	fr.ctxParam = fn.Params[2].Name
+	fr.iterParam = fn.Params[1].Name
+	fr.iter = values
+	_, err := fr.execBlock(fn.Body)
+	return err
+}
+
+// frame is the per-invocation execution state. The mapper language forbids
+// shadowing, so a single flat scope per invocation is exact.
+type frame struct {
+	ex        *Executor
+	ctx       *Context
+	vars      map[string]*Value
+	ctxParam  string
+	iterParam string
+	recParams map[string]bool
+	iter      ValueIter
+	iterCur   EmitValue
+	iterOK    bool
+}
+
+func (ex *Executor) newFrame(ctx *Context) *frame {
+	return &frame{
+		ex:        ex,
+		ctx:       ctx,
+		vars:      make(map[string]*Value),
+		recParams: make(map[string]bool),
+	}
+}
+
+func (fr *frame) define(name string, v Value) {
+	if name == "_" {
+		return
+	}
+	fr.vars[name] = &v
+}
+
+// lookup resolves a variable: locals/params first, then program globals.
+func (fr *frame) lookup(name string) (*Value, error) {
+	if v, ok := fr.vars[name]; ok {
+		return v, nil
+	}
+	if v, ok := fr.ex.globals[name]; ok {
+		return v, nil
+	}
+	return nil, fmt.Errorf("interp: undefined variable %q", name)
+}
+
+// ctrl is the control-flow outcome of a statement.
+type ctrl uint8
+
+const (
+	ctrlNone ctrl = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+func (fr *frame) execBlock(b *ast.BlockStmt) (ctrl, error) {
+	for _, s := range b.List {
+		c, err := fr.execStmt(s)
+		if err != nil || c != ctrlNone {
+			return c, err
+		}
+	}
+	return ctrlNone, nil
+}
+
+func (fr *frame) execStmt(s ast.Stmt) (ctrl, error) {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		return ctrlNone, fr.execAssign(st)
+	case *ast.DeclStmt:
+		gd := st.Decl.(*ast.GenDecl)
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			for i, n := range vs.Names {
+				var v Value
+				if i < len(vs.Values) {
+					var err error
+					v, err = fr.eval(vs.Values[i])
+					if err != nil {
+						return ctrlNone, err
+					}
+				} else {
+					var err error
+					v, err = zeroValue(vs.Type)
+					if err != nil {
+						return ctrlNone, err
+					}
+				}
+				fr.define(n.Name, v)
+			}
+		}
+		return ctrlNone, nil
+	case *ast.ExprStmt:
+		_, err := fr.eval(st.X)
+		return ctrlNone, err
+	case *ast.IncDecStmt:
+		id, ok := st.X.(*ast.Ident)
+		if !ok {
+			return ctrlNone, fmt.Errorf("interp: ++/-- target must be a variable")
+		}
+		v, err := fr.lookup(id.Name)
+		if err != nil {
+			return ctrlNone, err
+		}
+		d, err := v.scalar()
+		if err != nil {
+			return ctrlNone, err
+		}
+		delta := int64(1)
+		if st.Tok == token.DEC {
+			delta = -1
+		}
+		switch d.Kind {
+		case serde.KindInt64:
+			v.D = serde.Int(d.I + delta)
+		case serde.KindFloat64:
+			v.D = serde.Float(d.F + float64(delta))
+		default:
+			return ctrlNone, fmt.Errorf("interp: ++/-- on %v", d.Kind)
+		}
+		return ctrlNone, nil
+	case *ast.IfStmt:
+		cond, err := fr.evalBool(st.Cond)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if cond {
+			return fr.execBlock(st.Body)
+		}
+		switch e := st.Else.(type) {
+		case nil:
+			return ctrlNone, nil
+		case *ast.BlockStmt:
+			return fr.execBlock(e)
+		case *ast.IfStmt:
+			return fr.execStmt(e)
+		}
+		return ctrlNone, nil
+	case *ast.ForStmt:
+		if st.Init != nil {
+			if _, err := fr.execStmt(st.Init); err != nil {
+				return ctrlNone, err
+			}
+		}
+		for iter := 0; ; iter++ {
+			if iter >= maxLoopIterations {
+				return ctrlNone, fmt.Errorf("interp: loop exceeded %d iterations", maxLoopIterations)
+			}
+			if st.Cond != nil {
+				cond, err := fr.evalBool(st.Cond)
+				if err != nil {
+					return ctrlNone, err
+				}
+				if !cond {
+					break
+				}
+			}
+			c, err := fr.execBlock(st.Body)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if c == ctrlBreak {
+				break
+			}
+			if c == ctrlReturn {
+				return ctrlReturn, nil
+			}
+			if st.Post != nil {
+				if _, err := fr.execStmt(st.Post); err != nil {
+					return ctrlNone, err
+				}
+			}
+		}
+		return ctrlNone, nil
+	case *ast.RangeStmt:
+		xv, err := fr.eval(st.X)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if xv.Kind != ValList {
+			return ctrlNone, fmt.Errorf("interp: range requires a list, got %v", xv.Kind)
+		}
+		for i, d := range xv.List {
+			if id, ok := st.Key.(*ast.Ident); ok && id.Name != "_" {
+				fr.define(id.Name, IntVal(int64(i)))
+			}
+			if id, ok := st.Value.(*ast.Ident); ok && id.Name != "_" {
+				fr.define(id.Name, Scalar(d))
+			}
+			c, err := fr.execBlock(st.Body)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if c == ctrlBreak {
+				break
+			}
+			if c == ctrlReturn {
+				return ctrlReturn, nil
+			}
+		}
+		return ctrlNone, nil
+	case *ast.ReturnStmt:
+		return ctrlReturn, nil
+	case *ast.BranchStmt:
+		if st.Tok == token.BREAK {
+			return ctrlBreak, nil
+		}
+		return ctrlContinue, nil
+	case *ast.BlockStmt:
+		return fr.execBlock(st)
+	default:
+		return ctrlNone, fmt.Errorf("interp: unsupported statement %T", s)
+	}
+}
+
+// maxLoopIterations bounds runaway loops; mapper functions process one
+// record per invocation, so this is generous.
+const maxLoopIterations = 10_000_000
+
+func zeroValue(t ast.Expr) (Value, error) {
+	switch tt := t.(type) {
+	case *ast.Ident:
+		switch tt.Name {
+		case "int", "int64":
+			return IntVal(0), nil
+		case "float64":
+			return FloatVal(0), nil
+		case "string":
+			return StrVal(""), nil
+		case "bool":
+			return BoolVal(false), nil
+		}
+	case *ast.MapType:
+		return NewMapVal(), nil
+	}
+	return Value{}, fmt.Errorf("interp: unsupported var type")
+}
+
+func (fr *frame) execAssign(st *ast.AssignStmt) error {
+	// Two-value form: x, ok := m[k].
+	if len(st.Lhs) == 2 {
+		ix, ok := st.Rhs[0].(*ast.IndexExpr)
+		if !ok {
+			return fmt.Errorf("interp: two-value assignment requires a map index")
+		}
+		mv, err := fr.eval(ix.X)
+		if err != nil {
+			return err
+		}
+		if mv.Kind != ValMap {
+			return fmt.Errorf("interp: two-value index on %v", mv.Kind)
+		}
+		kv, err := fr.eval(ix.Index)
+		if err != nil {
+			return err
+		}
+		kd, err := kv.scalar()
+		if err != nil {
+			return err
+		}
+		d, found := mv.M[mapKey(kd)]
+		if !found {
+			d = serde.Bool(false) // zero value; language maps default to bool
+		}
+		if err := fr.assignTo(st.Lhs[0], st.Tok, Scalar(d)); err != nil {
+			return err
+		}
+		return fr.assignTo(st.Lhs[1], st.Tok, BoolVal(found))
+	}
+
+	rhs, err := fr.eval(st.Rhs[0])
+	if err != nil {
+		return err
+	}
+	if st.Tok == token.ASSIGN || st.Tok == token.DEFINE {
+		return fr.assignTo(st.Lhs[0], st.Tok, rhs)
+	}
+	// Op-assign: read, combine, write.
+	cur, err := fr.eval(st.Lhs[0])
+	if err != nil {
+		return err
+	}
+	curD, err := cur.scalar()
+	if err != nil {
+		return err
+	}
+	rhsD, err := rhs.scalar()
+	if err != nil {
+		return err
+	}
+	var op token.Token
+	switch st.Tok {
+	case token.ADD_ASSIGN:
+		op = token.ADD
+	case token.SUB_ASSIGN:
+		op = token.SUB
+	case token.MUL_ASSIGN:
+		op = token.MUL
+	case token.QUO_ASSIGN:
+		op = token.QUO
+	case token.REM_ASSIGN:
+		op = token.REM
+	}
+	out, err := predicate.EvalBinary(op, curD, rhsD)
+	if err != nil {
+		return err
+	}
+	return fr.assignTo(st.Lhs[0], token.ASSIGN, Scalar(out))
+}
+
+func (fr *frame) assignTo(lhs ast.Expr, tok token.Token, v Value) error {
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return nil
+		}
+		if tok == token.DEFINE {
+			fr.define(l.Name, v)
+			return nil
+		}
+		dst, err := fr.lookup(l.Name)
+		if err != nil {
+			// := of a pair may redefine one name; allow define-on-assign for
+			// names never seen (validator guarantees well-formedness).
+			fr.define(l.Name, v)
+			return nil
+		}
+		*dst = v
+		return nil
+	case *ast.IndexExpr:
+		mv, err := fr.eval(l.X)
+		if err != nil {
+			return err
+		}
+		if mv.Kind != ValMap {
+			return fmt.Errorf("interp: index assignment on %v", mv.Kind)
+		}
+		kv, err := fr.eval(l.Index)
+		if err != nil {
+			return err
+		}
+		kd, err := kv.scalar()
+		if err != nil {
+			return err
+		}
+		d, err := v.scalar()
+		if err != nil {
+			return err
+		}
+		mv.M[mapKey(kd)] = d
+		return nil
+	default:
+		return fmt.Errorf("interp: unsupported assignment target %T", lhs)
+	}
+}
+
+func (fr *frame) evalBool(e ast.Expr) (bool, error) {
+	v, err := fr.eval(e)
+	if err != nil {
+		return false, err
+	}
+	return v.truth()
+}
+
+func litValue(l *ast.BasicLit) (Value, error) {
+	switch l.Kind {
+	case token.INT:
+		v, err := strconv.ParseInt(l.Value, 0, 64)
+		if err != nil {
+			return Value{}, err
+		}
+		return IntVal(v), nil
+	case token.FLOAT:
+		v, err := strconv.ParseFloat(l.Value, 64)
+		if err != nil {
+			return Value{}, err
+		}
+		return FloatVal(v), nil
+	case token.STRING:
+		v, err := strconv.Unquote(l.Value)
+		if err != nil {
+			return Value{}, err
+		}
+		return StrVal(v), nil
+	case token.CHAR:
+		v, _, _, err := strconv.UnquoteChar(l.Value[1:len(l.Value)-1], '\'')
+		if err != nil {
+			return Value{}, err
+		}
+		return IntVal(int64(v)), nil
+	default:
+		return Value{}, fmt.Errorf("interp: unsupported literal %s", l.Kind)
+	}
+}

@@ -1,0 +1,157 @@
+// Package interp executes mapper-language programs by walking the same AST
+// the analyzer inspects. The paper runs compiled JVM bytecode; here,
+// interpreting the analyzed representation directly guarantees that the
+// program Manimal reasoned about is byte-for-byte the program that runs
+// (DESIGN.md, substitutions). The interpreter implements exactly the
+// whitelisted function set the analyzer has purity knowledge of
+// (lang.PureFuncs); a test asserts the two stay in sync.
+package interp
+
+import (
+	"fmt"
+
+	"manimal/internal/serde"
+)
+
+// ValKind classifies an interpreter runtime value.
+type ValKind uint8
+
+const (
+	// ValScalar is a serde.Datum.
+	ValScalar ValKind = iota
+	// ValList is a slice of datums (e.g. strings.Split result).
+	ValList
+	// ValMap is a mutable map from datum keys to datum values (the
+	// Hashtable analogue of paper Benchmark 4).
+	ValMap
+	// ValRecord is a record reference (the map() value parameter or a
+	// record passed through to emit).
+	ValRecord
+)
+
+// Value is one interpreter runtime value.
+type Value struct {
+	Kind ValKind
+	D    serde.Datum
+	List []serde.Datum
+	M    map[string]serde.Datum // key = tagged encoding of the key datum
+	Rec  *serde.Record
+}
+
+// Scalar wraps a datum.
+func Scalar(d serde.Datum) Value { return Value{Kind: ValScalar, D: d} }
+
+// IntVal, FloatVal, StrVal, BoolVal are scalar constructors.
+func IntVal(v int64) Value     { return Scalar(serde.Int(v)) }
+func FloatVal(v float64) Value { return Scalar(serde.Float(v)) }
+func StrVal(v string) Value    { return Scalar(serde.String(v)) }
+func BoolVal(v bool) Value     { return Scalar(serde.Bool(v)) }
+
+// RecordVal wraps a record.
+func RecordVal(r *serde.Record) Value { return Value{Kind: ValRecord, Rec: r} }
+
+// ListVal wraps a datum list.
+func ListVal(ds []serde.Datum) Value { return Value{Kind: ValList, List: ds} }
+
+// NewMapVal returns an empty mutable map value.
+func NewMapVal() Value { return Value{Kind: ValMap, M: make(map[string]serde.Datum)} }
+
+// mapKey converts a datum into the internal map key representation.
+func mapKey(d serde.Datum) string { return string(d.AppendTagged(nil)) }
+
+// scalar extracts the datum of a scalar value or errors.
+func (v Value) scalar() (serde.Datum, error) {
+	if v.Kind != ValScalar {
+		return serde.Datum{}, fmt.Errorf("interp: expected a scalar value, got %v", v.Kind)
+	}
+	return v.D, nil
+}
+
+// str extracts a string scalar.
+func (v Value) str() (string, error) {
+	d, err := v.scalar()
+	if err != nil {
+		return "", err
+	}
+	if d.Kind != serde.KindString {
+		return "", fmt.Errorf("interp: expected string, got %v", d.Kind)
+	}
+	return d.S, nil
+}
+
+// integer extracts an int64 scalar.
+func (v Value) integer() (int64, error) {
+	d, err := v.scalar()
+	if err != nil {
+		return 0, err
+	}
+	if d.Kind != serde.KindInt64 {
+		return 0, fmt.Errorf("interp: expected int, got %v", d.Kind)
+	}
+	return d.I, nil
+}
+
+// truth extracts a bool scalar.
+func (v Value) truth() (bool, error) {
+	d, err := v.scalar()
+	if err != nil {
+		return false, err
+	}
+	if d.Kind != serde.KindBool {
+		return false, fmt.Errorf("interp: condition is %v, not bool", d.Kind)
+	}
+	return d.Bool, nil
+}
+
+// String renders the value kind for errors.
+func (k ValKind) String() string {
+	switch k {
+	case ValScalar:
+		return "scalar"
+	case ValList:
+		return "list"
+	case ValMap:
+		return "map"
+	case ValRecord:
+		return "record"
+	default:
+		return "unknown"
+	}
+}
+
+// EmitValue is the value half of an emitted key/value pair: either a scalar
+// datum or a whole record.
+type EmitValue struct {
+	D   serde.Datum
+	Rec *serde.Record
+}
+
+// IsRecord reports whether the emitted value is a record.
+func (e EmitValue) IsRecord() bool { return e.Rec != nil }
+
+// FromValue converts an interpreter value into an emittable value.
+func FromValue(v Value) (EmitValue, error) {
+	switch v.Kind {
+	case ValScalar:
+		return EmitValue{D: v.D}, nil
+	case ValRecord:
+		return EmitValue{Rec: v.Rec}, nil
+	default:
+		return EmitValue{}, fmt.Errorf("interp: cannot emit a %v value", v.Kind)
+	}
+}
+
+// Context is the ctx parameter of map() and reduce(): emission, job
+// configuration, and side-effect hooks (logging, counters).
+type Context struct {
+	Conf    map[string]serde.Datum
+	Emit    func(key serde.Datum, value EmitValue) error
+	Log     func(msg string)
+	Counter func(name string, delta int64)
+}
+
+// ValueIter supplies reduce() with the values of one key group.
+type ValueIter interface {
+	Next() bool
+	Value() EmitValue
+}

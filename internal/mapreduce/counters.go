@@ -1,0 +1,68 @@
+package mapreduce
+
+import (
+	"sort"
+	"sync"
+)
+
+// Standard counter names maintained by the engine. User programs add their
+// own via ctx.Counter.
+const (
+	CtrMapInputRecords    = "map.input.records"
+	CtrMapOutputRecords   = "map.output.records"
+	CtrMapOutputBytes     = "map.output.bytes" // intermediate data size
+	CtrInputBytesRead     = "input.bytes.read"
+	CtrSpills             = "shuffle.spills"
+	CtrReduceInputGroups  = "reduce.input.groups"
+	CtrReduceInputRecords = "reduce.input.records"
+	CtrOutputRecords      = "output.records"
+	CtrMapTasks           = "map.tasks"
+	CtrReduceTasks        = "reduce.tasks"
+	CtrSkippedSideEffects = "manimal.skipped.map.invocations"
+)
+
+// Counters is a concurrency-safe named counter set.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
+
+// Add increments a counter by delta.
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Get returns a counter's value (0 when never written).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Names returns all counter names, sorted.
+func (c *Counters) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.m))
+	for n := range c.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot copies all counters into a plain map.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}

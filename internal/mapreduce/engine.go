@@ -1,0 +1,212 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"manimal/internal/interp"
+	"manimal/internal/serde"
+)
+
+// Run executes a job to completion and returns its counters and duration.
+func Run(job *Job) (*Result, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	counters := NewCounters()
+	start := time.Now()
+	if job.Config.StartupDelay > 0 {
+		time.Sleep(job.Config.StartupDelay)
+	}
+
+	// Plan map tasks: splits from every input, each bound to its mapper.
+	type taskSpec struct {
+		split   Split
+		factory MapperFactory
+	}
+	var tasks []taskSpec
+	parallel := job.Config.maxParallel()
+	for _, in := range job.Inputs {
+		splits, err := in.Input.Splits(parallel * 2)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: %q: splits: %w", job.Name, err)
+		}
+		for _, s := range splits {
+			tasks = append(tasks, taskSpec{split: s, factory: in.Mapper})
+		}
+	}
+	counters.Add(CtrMapTasks, int64(len(tasks)))
+
+	mapOnly := job.Reducer == nil
+	numReducers := 0
+	if !mapOnly {
+		numReducers = job.Config.numReducers()
+	}
+	sink := &syncOutput{out: job.Output, counters: counters}
+
+	// Per-task segment lists, gathered after the map phase.
+	segments := make([][]string, numReducers)
+	var segMu sync.Mutex
+
+	runTask := func(taskID int, spec taskSpec) error {
+		mapper, err := spec.factory()
+		if err != nil {
+			return err
+		}
+		var emit func(serde.Datum, interp.EmitValue) error
+		var se *shuffleEmitter
+		if mapOnly {
+			emit = sink.Write
+		} else {
+			se = newShuffleEmitter(taskID, numReducers, job.Config.WorkDir,
+				job.Config.spillBuffer(), job.Combiner, counters, job.Config.Conf)
+			emit = se.emit
+		}
+		ctx := &interp.Context{
+			Conf: job.Config.Conf,
+			Emit: emit,
+			Counter: func(name string, delta int64) {
+				counters.Add("user."+name, delta)
+			},
+		}
+		it, err := spec.split.Open()
+		if err != nil {
+			return err
+		}
+		defer it.Close()
+		for it.Next() {
+			counters.Add(CtrMapInputRecords, 1)
+			if err := mapper.Map(it.Key(), it.Record(), ctx); err != nil {
+				return err
+			}
+		}
+		if err := it.Err(); err != nil {
+			return err
+		}
+		if se != nil {
+			if err := se.spill(); err != nil {
+				return err
+			}
+			segMu.Lock()
+			for p, segs := range se.segments {
+				segments[p] = append(segments[p], segs...)
+			}
+			segMu.Unlock()
+		}
+		return nil
+	}
+
+	if err := runPool(parallel, len(tasks), func(i int) error {
+		return runTask(i, tasks[i])
+	}); err != nil {
+		return nil, fmt.Errorf("mapreduce: %q: map phase: %w", job.Name, err)
+	}
+
+	if !mapOnly {
+		counters.Add(CtrReduceTasks, int64(numReducers))
+		reduceTask := func(p int) error {
+			reducer, err := job.Reducer()
+			if err != nil {
+				return err
+			}
+			m, err := newMergeIter(segments[p])
+			if err != nil {
+				return err
+			}
+			defer m.closeAll()
+			ctx := &interp.Context{
+				Conf: job.Config.Conf,
+				Emit: sink.Write,
+				Counter: func(name string, delta int64) {
+					counters.Add("user."+name, delta)
+				},
+			}
+			for m.nextGroup() {
+				counters.Add(CtrReduceInputGroups, 1)
+				key, _, err := serde.DecodeSortKey(m.groupKey)
+				if err != nil {
+					return err
+				}
+				g := &groupValueIter{m: m}
+				if err := reducer.Reduce(key, g, ctx); err != nil {
+					return err
+				}
+				m.drainGroup()
+				counters.Add(CtrReduceInputRecords, g.n)
+				if m.err != nil {
+					return m.err
+				}
+			}
+			return m.err
+		}
+		if err := runPool(parallel, numReducers, reduceTask); err != nil {
+			return nil, fmt.Errorf("mapreduce: %q: reduce phase: %w", job.Name, err)
+		}
+	}
+
+	for _, in := range job.Inputs {
+		counters.Add(CtrInputBytesRead, in.Input.BytesRead())
+	}
+	if err := job.Output.Close(); err != nil {
+		return nil, fmt.Errorf("mapreduce: %q: close output: %w", job.Name, err)
+	}
+	return &Result{Counters: counters, Duration: time.Since(start)}, nil
+}
+
+// runPool executes n indexed tasks with at most parallel workers, stopping
+// at the first error.
+func runPool(parallel, n int, task func(i int) error) error {
+	if parallel > n {
+		parallel = n
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if err := task(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// syncOutput serializes writes to the job output and counts records.
+type syncOutput struct {
+	mu       sync.Mutex
+	out      Output
+	counters *Counters
+}
+
+func (s *syncOutput) Write(k serde.Datum, v interp.EmitValue) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters.Add(CtrOutputRecords, 1)
+	return s.out.Write(k, v)
+}

@@ -1,0 +1,288 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"manimal/internal/btree"
+	"manimal/internal/serde"
+	"manimal/internal/storage"
+)
+
+// Input is a source of (key, record) pairs divisible into splits that map
+// tasks consume in parallel. The key plays Hadoop's "record offset" role
+// for plain files and is the index key for B+Tree-indexed input.
+type Input interface {
+	Schema() *serde.Schema
+	// Splits partitions the input into about target independent splits.
+	Splits(target int) ([]Split, error)
+	// BytesRead reports data bytes scanned so far (for counters).
+	BytesRead() int64
+	Close() error
+}
+
+// Split is one map task's share of an input.
+type Split interface {
+	Open() (RecordIter, error)
+}
+
+// RecordIter iterates a split's records.
+type RecordIter interface {
+	Next() bool
+	Key() serde.Datum
+	Record() *serde.Record
+	Err() error
+	Close() error
+}
+
+// FileInput reads a Manimal record file (plain, projected, or compressed).
+type FileInput struct {
+	r *storage.Reader
+}
+
+// OpenFile opens a record file as an input. directCodes enables
+// direct-operation mode on dictionary-compressed fields: codes are passed
+// to map() without decompression.
+func OpenFile(path string, directCodes bool) (*FileInput, error) {
+	r, err := storage.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r.DirectCodes = directCodes
+	return &FileInput{r: r}, nil
+}
+
+// Reader exposes the underlying storage reader (for size statistics).
+func (f *FileInput) Reader() *storage.Reader { return f.r }
+
+// Schema implements Input.
+func (f *FileInput) Schema() *serde.Schema { return f.r.Schema() }
+
+// BytesRead implements Input.
+func (f *FileInput) BytesRead() int64 { return f.r.BytesRead() }
+
+// Close implements Input.
+func (f *FileInput) Close() error { return f.r.Close() }
+
+// Splits implements Input, partitioning storage blocks evenly.
+func (f *FileInput) Splits(target int) ([]Split, error) {
+	n := f.r.NumBlocks()
+	if target < 1 {
+		target = 1
+	}
+	if target > n {
+		target = n
+	}
+	var out []Split
+	if n == 0 {
+		return out, nil
+	}
+	per := n / target
+	extra := n % target
+	lo := 0
+	base := int64(0)
+	for i := 0; i < target; i++ {
+		hi := lo + per
+		if i < extra {
+			hi++
+		}
+		recs := f.r.RecordsInBlocks(lo, hi)
+		out = append(out, &fileSplit{r: f.r, lo: lo, hi: hi, baseKey: base})
+		base += recs
+		lo = hi
+	}
+	return out, nil
+}
+
+type fileSplit struct {
+	r       *storage.Reader
+	lo, hi  int
+	baseKey int64
+}
+
+func (s *fileSplit) Open() (RecordIter, error) {
+	sc, err := s.r.Scan(s.lo, s.hi)
+	if err != nil {
+		return nil, err
+	}
+	return &fileIter{sc: sc, pos: s.baseKey - 1}, nil
+}
+
+type fileIter struct {
+	sc  *storage.Scanner
+	pos int64
+}
+
+func (it *fileIter) Next() bool {
+	if it.sc.Next() {
+		it.pos++
+		return true
+	}
+	return false
+}
+
+func (it *fileIter) Key() serde.Datum      { return serde.Int(it.pos) }
+func (it *fileIter) Record() *serde.Record { return it.sc.Record() }
+func (it *fileIter) Err() error            { return it.sc.Err() }
+func (it *fileIter) Close() error          { return nil }
+
+// IndexedInput scans only the relevant key ranges of a B+Tree selection
+// index (paper Section 2.1: "use the index to skip map invocations that do
+// not yield output data").
+type IndexedInput struct {
+	t      *btree.Tree
+	ranges []ByteRange
+}
+
+// ByteRange is one [Lo, Hi) key-byte scan range; nil bounds are unbounded.
+type ByteRange struct {
+	Lo, Hi []byte
+}
+
+// OpenIndexed opens a B+Tree index restricted to the given ranges.
+func OpenIndexed(path string, ranges []ByteRange) (*IndexedInput, error) {
+	t, err := btree.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &IndexedInput{t: t, ranges: ranges}, nil
+}
+
+// Tree exposes the underlying index (for statistics).
+func (ix *IndexedInput) Tree() *btree.Tree { return ix.t }
+
+// Schema implements Input.
+func (ix *IndexedInput) Schema() *serde.Schema { return ix.t.Schema() }
+
+// BytesRead implements Input.
+func (ix *IndexedInput) BytesRead() int64 { return ix.t.BytesRead() }
+
+// Close implements Input.
+func (ix *IndexedInput) Close() error { return ix.t.Close() }
+
+// Splits implements Input: one split per scan range. Ranges produced by
+// interval merging are disjoint, so splits never overlap.
+func (ix *IndexedInput) Splits(int) ([]Split, error) {
+	out := make([]Split, len(ix.ranges))
+	for i, r := range ix.ranges {
+		out[i] = &indexSplit{t: ix.t, r: r}
+	}
+	return out, nil
+}
+
+type indexSplit struct {
+	t *btree.Tree
+	r ByteRange
+}
+
+func (s *indexSplit) Open() (RecordIter, error) {
+	it, err := s.t.Range(s.r.Lo, s.r.Hi)
+	if err != nil {
+		return nil, err
+	}
+	return &indexIter{it: it}, nil
+}
+
+type indexIter struct {
+	it  *btree.Iterator
+	key serde.Datum
+	err error
+}
+
+func (ii *indexIter) Next() bool {
+	if !ii.it.Next() {
+		return false
+	}
+	d, err := ii.it.KeyDatum()
+	if err != nil {
+		ii.err = err
+		return false
+	}
+	ii.key = d
+	return true
+}
+
+func (ii *indexIter) Key() serde.Datum      { return ii.key }
+func (ii *indexIter) Record() *serde.Record { return ii.it.Record() }
+func (ii *indexIter) Err() error {
+	if ii.err != nil {
+		return ii.err
+	}
+	return ii.it.Err()
+}
+func (ii *indexIter) Close() error { return nil }
+
+// MemInput serves records from memory; used by tests and tiny examples.
+type MemInput struct {
+	schema  *serde.Schema
+	records []*serde.Record
+}
+
+// NewMemInput wraps records (all must share the schema).
+func NewMemInput(schema *serde.Schema, records []*serde.Record) (*MemInput, error) {
+	for i, r := range records {
+		if !r.Schema().Equal(schema) {
+			return nil, fmt.Errorf("mapreduce: mem record %d schema mismatch", i)
+		}
+	}
+	return &MemInput{schema: schema, records: records}, nil
+}
+
+// Schema implements Input.
+func (m *MemInput) Schema() *serde.Schema { return m.schema }
+
+// BytesRead implements Input.
+func (m *MemInput) BytesRead() int64 { return 0 }
+
+// Close implements Input.
+func (m *MemInput) Close() error { return nil }
+
+// Splits implements Input.
+func (m *MemInput) Splits(target int) ([]Split, error) {
+	if target < 1 {
+		target = 1
+	}
+	if target > len(m.records) {
+		target = len(m.records)
+	}
+	var out []Split
+	if len(m.records) == 0 {
+		return out, nil
+	}
+	per := (len(m.records) + target - 1) / target
+	for lo := 0; lo < len(m.records); lo += per {
+		hi := lo + per
+		if hi > len(m.records) {
+			hi = len(m.records)
+		}
+		out = append(out, &memSplit{recs: m.records[lo:hi], base: int64(lo)})
+	}
+	return out, nil
+}
+
+type memSplit struct {
+	recs []*serde.Record
+	base int64
+}
+
+func (s *memSplit) Open() (RecordIter, error) {
+	return &memIter{recs: s.recs, pos: -1, base: s.base}, nil
+}
+
+type memIter struct {
+	recs []*serde.Record
+	pos  int
+	base int64
+}
+
+func (it *memIter) Next() bool {
+	if it.pos+1 >= len(it.recs) {
+		return false
+	}
+	it.pos++
+	return true
+}
+
+func (it *memIter) Key() serde.Datum      { return serde.Int(it.base + int64(it.pos)) }
+func (it *memIter) Record() *serde.Record { return it.recs[it.pos] }
+func (it *memIter) Err() error            { return nil }
+func (it *memIter) Close() error          { return nil }

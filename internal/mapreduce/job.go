@@ -1,0 +1,139 @@
+// Package mapreduce is Manimal's execution fabric (paper Figure 1): a
+// from-scratch MapReduce engine with file splits, parallel map tasks, a
+// sort/spill/merge shuffle, optional combiners, reduce tasks, and counters.
+// It retains the standard map-shuffle-reduce sequence; Manimal-specific
+// behaviour enters only through pluggable inputs (B+Tree-indexed, projected
+// and compressed record files) and outputs, exactly as the paper's
+// prototype modified Hadoop only for indexed input formats and
+// delta-compression.
+package mapreduce
+
+import (
+	"fmt"
+	"time"
+
+	"manimal/internal/interp"
+	"manimal/internal/serde"
+)
+
+// Mapper processes one input record. Implementations are created per task
+// (per-task member-variable state, like a Hadoop task JVM) and are never
+// shared across goroutines.
+type Mapper interface {
+	Map(key serde.Datum, rec *serde.Record, ctx *interp.Context) error
+}
+
+// Reducer processes one key group.
+type Reducer interface {
+	Reduce(key serde.Datum, values interp.ValueIter, ctx *interp.Context) error
+}
+
+// MapperFactory builds one mapper instance per map task.
+type MapperFactory func() (Mapper, error)
+
+// ReducerFactory builds one reducer instance per reduce task.
+type ReducerFactory func() (Reducer, error)
+
+// MapInput pairs an input source with the mapper that consumes it,
+// supporting heterogeneous multi-input jobs (e.g. a repartition join reads
+// UserVisits and Rankings with different map functions).
+type MapInput struct {
+	Input  Input
+	Mapper MapperFactory
+}
+
+// Output receives the job's final key/value pairs. The engine serializes
+// calls to Write.
+type Output interface {
+	Write(key serde.Datum, value interp.EmitValue) error
+	Close() error
+}
+
+// Config tunes one job execution.
+type Config struct {
+	// NumReducers is the reduce-task count; 0 means DefaultNumReducers.
+	// Ignored for map-only jobs.
+	NumReducers int
+	// MaxParallelTasks caps concurrently running map (and reduce) tasks —
+	// the cluster's "slots"; 0 means DefaultMaxParallelTasks.
+	MaxParallelTasks int
+	// WorkDir holds shuffle spill segments; required for jobs with a
+	// reduce phase.
+	WorkDir string
+	// SpillBufferBytes is the per-task in-memory shuffle buffer before a
+	// sorted spill; 0 means DefaultSpillBufferBytes.
+	SpillBufferBytes int
+	// StartupDelay simulates the job-launch latency of a real cluster
+	// (paper Appendix D observes up to 15 s for Hadoop). Zero by default so
+	// tests run fast; benchmarks set it to model startup-dominated regimes.
+	StartupDelay time.Duration
+	// SortedOutput declares that the user requires the final output in
+	// key-sorted order. The optimizer refuses direct-operation compression
+	// of map output keys in that case (paper footnote 1).
+	SortedOutput bool
+	// Conf carries the job parameters programs read via ctx.Conf*.
+	Conf map[string]serde.Datum
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultNumReducers      = 4
+	DefaultMaxParallelTasks = 4
+	DefaultSpillBufferBytes = 32 << 20
+)
+
+func (c *Config) numReducers() int {
+	if c.NumReducers > 0 {
+		return c.NumReducers
+	}
+	return DefaultNumReducers
+}
+
+func (c *Config) maxParallel() int {
+	if c.MaxParallelTasks > 0 {
+		return c.MaxParallelTasks
+	}
+	return DefaultMaxParallelTasks
+}
+
+func (c *Config) spillBuffer() int {
+	if c.SpillBufferBytes > 0 {
+		return c.SpillBufferBytes
+	}
+	return DefaultSpillBufferBytes
+}
+
+// Job describes one MapReduce execution.
+type Job struct {
+	Name     string
+	Inputs   []MapInput
+	Reducer  ReducerFactory // nil = map-only job
+	Combiner ReducerFactory // optional map-side pre-aggregation
+	Output   Output
+	Config   Config
+}
+
+// Validate checks the job is runnable.
+func (j *Job) Validate() error {
+	if len(j.Inputs) == 0 {
+		return fmt.Errorf("mapreduce: job %q has no inputs", j.Name)
+	}
+	for i, in := range j.Inputs {
+		if in.Input == nil || in.Mapper == nil {
+			return fmt.Errorf("mapreduce: job %q input %d incomplete", j.Name, i)
+		}
+	}
+	if j.Output == nil {
+		return fmt.Errorf("mapreduce: job %q has no output", j.Name)
+	}
+	if j.Reducer != nil && j.Config.WorkDir == "" {
+		return fmt.Errorf("mapreduce: job %q needs Config.WorkDir for its shuffle", j.Name)
+	}
+	return nil
+}
+
+// Result reports a completed job.
+type Result struct {
+	Counters *Counters
+	Duration time.Duration
+}

@@ -1,0 +1,337 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"manimal/internal/interp"
+	"manimal/internal/serde"
+)
+
+var wordSchema = serde.MustSchema(serde.Field{Name: "text", Kind: serde.KindString})
+
+func textRecords(lines ...string) []*serde.Record {
+	out := make([]*serde.Record, len(lines))
+	for i, l := range lines {
+		r := serde.NewRecord(wordSchema)
+		r.MustSet("text", serde.String(l))
+		out[i] = r
+	}
+	return out
+}
+
+// wordCountMapper is a native Go mapper (the engine is language-agnostic;
+// interpreted programs are just one Mapper implementation).
+type wordCountMapper struct{}
+
+func (wordCountMapper) Map(_ serde.Datum, rec *serde.Record, ctx *interp.Context) error {
+	word := ""
+	text := rec.Str("text")
+	for i := 0; i <= len(text); i++ {
+		if i == len(text) || text[i] == ' ' {
+			if word != "" {
+				if err := ctx.Emit(serde.String(word), interp.EmitValue{D: serde.Int(1)}); err != nil {
+					return err
+				}
+			}
+			word = ""
+		} else {
+			word += string(text[i])
+		}
+	}
+	return nil
+}
+
+type sumReducer struct{}
+
+func (sumReducer) Reduce(key serde.Datum, values interp.ValueIter, ctx *interp.Context) error {
+	var sum int64
+	for values.Next() {
+		sum += values.Value().D.I
+	}
+	return ctx.Emit(key, interp.EmitValue{D: serde.Int(sum)})
+}
+
+func wordCountJob(t *testing.T, lines []string, cfg Config, combiner bool) map[string]int64 {
+	t.Helper()
+	in, err := NewMemInput(wordSchema, textRecords(lines...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "out.kv")
+	kv, err := NewKVFileOutput(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.WorkDir = t.TempDir()
+	job := &Job{
+		Name:    "wordcount",
+		Inputs:  []MapInput{{Input: in, Mapper: func() (Mapper, error) { return wordCountMapper{}, nil }}},
+		Reducer: func() (Reducer, error) { return sumReducer{}, nil },
+		Output:  kv,
+		Config:  cfg,
+	}
+	if combiner {
+		job.Combiner = func() (Reducer, error) { return sumReducer{}, nil }
+	}
+	res, err := Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Get(CtrMapTasks) == 0 {
+		t.Error("no map tasks counted")
+	}
+	pairs, err := ReadKVFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]int64)
+	for _, p := range pairs {
+		got[p.Key.S] = p.Value.D.I
+	}
+	return got
+}
+
+func TestWordCount(t *testing.T) {
+	got := wordCountJob(t, []string{
+		"the quick brown fox",
+		"the lazy dog",
+		"the quick dog",
+	}, Config{NumReducers: 3, MaxParallelTasks: 2}, false)
+	want := map[string]int64{"the": 3, "quick": 2, "brown": 1, "fox": 1, "lazy": 1, "dog": 2}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for w, n := range want {
+		if got[w] != n {
+			t.Errorf("%s = %d, want %d", w, got[w], n)
+		}
+	}
+}
+
+// Combiner, spill pressure, and parallelism must not change results.
+func TestDeterminismUnderConfig(t *testing.T) {
+	rnd := rand.New(rand.NewSource(8))
+	words := []string{"a", "b", "c", "d", "e", "f"}
+	var lines []string
+	for i := 0; i < 500; i++ {
+		line := ""
+		for j := 0; j < 10; j++ {
+			line += words[rnd.Intn(len(words))] + " "
+		}
+		lines = append(lines, line)
+	}
+	base := wordCountJob(t, lines, Config{NumReducers: 1, MaxParallelTasks: 1}, false)
+	variants := []struct {
+		cfg      Config
+		combiner bool
+	}{
+		{Config{NumReducers: 7, MaxParallelTasks: 8}, false},
+		{Config{NumReducers: 3, MaxParallelTasks: 4}, true},
+		{Config{NumReducers: 2, MaxParallelTasks: 2, SpillBufferBytes: 64}, true}, // force many spills
+		{Config{NumReducers: 2, MaxParallelTasks: 2, SpillBufferBytes: 64}, false},
+	}
+	for i, v := range variants {
+		got := wordCountJob(t, lines, v.cfg, v.combiner)
+		if len(got) != len(base) {
+			t.Fatalf("variant %d: %d words vs %d", i, len(got), len(base))
+		}
+		for w, n := range base {
+			if got[w] != n {
+				t.Errorf("variant %d: %s = %d, want %d", i, w, got[w], n)
+			}
+		}
+	}
+}
+
+func TestMapOnlyJob(t *testing.T) {
+	in, err := NewMemInput(wordSchema, textRecords("x", "y", "z"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "out.kv")
+	kv, err := NewKVFileOutput(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := &Job{
+		Name:   "identity",
+		Inputs: []MapInput{{Input: in, Mapper: func() (Mapper, error) { return passMapper{}, nil }}},
+		Output: kv,
+	}
+	res, err := Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Get(CtrOutputRecords) != 3 {
+		t.Fatalf("output records = %d", res.Counters.Get(CtrOutputRecords))
+	}
+	pairs, err := ReadKVFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 3 || !pairs[0].Value.IsRecord() {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+}
+
+type passMapper struct{}
+
+func (passMapper) Map(k serde.Datum, rec *serde.Record, ctx *interp.Context) error {
+	return ctx.Emit(k, interp.EmitValue{Rec: rec})
+}
+
+type failMapper struct{}
+
+func (failMapper) Map(serde.Datum, *serde.Record, *interp.Context) error {
+	return fmt.Errorf("synthetic map failure")
+}
+
+func TestMapFailurePropagates(t *testing.T) {
+	in, err := NewMemInput(wordSchema, textRecords("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := &Job{
+		Name:   "failing",
+		Inputs: []MapInput{{Input: in, Mapper: func() (Mapper, error) { return failMapper{}, nil }}},
+		Output: &DiscardOutput{},
+	}
+	if _, err := Run(job); err == nil {
+		t.Fatal("map failure swallowed")
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	if err := (&Job{Name: "empty"}).Validate(); err == nil {
+		t.Error("empty job validated")
+	}
+	in, _ := NewMemInput(wordSchema, nil)
+	job := &Job{
+		Name:    "no-workdir",
+		Inputs:  []MapInput{{Input: in, Mapper: func() (Mapper, error) { return passMapper{}, nil }}},
+		Reducer: func() (Reducer, error) { return sumReducer{}, nil },
+		Output:  &DiscardOutput{},
+	}
+	if err := job.Validate(); err == nil {
+		t.Error("reduce job without workdir validated")
+	}
+}
+
+func TestKVFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kv.out")
+	o, err := NewKVFileOutput(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := textRecords("hello")[0]
+	if err := o.Write(serde.Int(1), interp.EmitValue{D: serde.String("v1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Write(serde.String("k2"), interp.EmitValue{Rec: rec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := ReadKVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	if pairs[0].Key.I != 1 || pairs[0].Value.D.S != "v1" {
+		t.Errorf("pair 0 = %+v", pairs[0])
+	}
+	if !pairs[1].Value.IsRecord() || pairs[1].Value.Rec.Str("text") != "hello" {
+		t.Errorf("pair 1 = %+v", pairs[1])
+	}
+}
+
+func TestPartitionStability(t *testing.T) {
+	// The same key must always land in the same partition, and partitions
+	// must spread across the range.
+	used := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		k := serde.String(fmt.Sprintf("key-%d", i)).SortKey()
+		p1 := partition(k, 8)
+		p2 := partition(k, 8)
+		if p1 != p2 {
+			t.Fatal("partition not deterministic")
+		}
+		if p1 < 0 || p1 >= 8 {
+			t.Fatalf("partition %d out of range", p1)
+		}
+		used[p1] = true
+	}
+	if len(used) < 8 {
+		t.Errorf("only %d of 8 partitions used", len(used))
+	}
+}
+
+func TestEncodeDecodeValue(t *testing.T) {
+	rec := textRecords("payload")[0]
+	for _, v := range []interp.EmitValue{
+		{D: serde.Int(-5)},
+		{D: serde.String("x")},
+		{Rec: rec},
+	} {
+		buf := encodeValue(v, nil)
+		got, n, err := decodeValue(buf)
+		if err != nil || n != len(buf) {
+			t.Fatalf("decode: %v (n=%d)", err, n)
+		}
+		if v.IsRecord() != got.IsRecord() {
+			t.Fatal("record-ness lost")
+		}
+		if v.IsRecord() && !v.Rec.Equal(got.Rec) {
+			t.Fatal("record mismatch")
+		}
+		if !v.IsRecord() && !v.D.Equal(got.D) {
+			t.Fatal("datum mismatch")
+		}
+	}
+}
+
+// Reducers that do not drain their value iterator must not corrupt the
+// group stream (drainGroup covers the remainder).
+type firstOnlyReducer struct{}
+
+func (firstOnlyReducer) Reduce(key serde.Datum, values interp.ValueIter, ctx *interp.Context) error {
+	if values.Next() {
+		return ctx.Emit(key, values.Value())
+	}
+	return nil
+}
+
+func TestPartialIterationReducer(t *testing.T) {
+	in, err := NewMemInput(wordSchema, textRecords("a a a b b c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "out.kv")
+	kv, err := NewKVFileOutput(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := &Job{
+		Name:    "partial",
+		Inputs:  []MapInput{{Input: in, Mapper: func() (Mapper, error) { return wordCountMapper{}, nil }}},
+		Reducer: func() (Reducer, error) { return firstOnlyReducer{}, nil },
+		Output:  kv,
+		Config:  Config{WorkDir: t.TempDir(), NumReducers: 2},
+	}
+	if _, err := Run(job); err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := ReadKVFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 3 {
+		t.Fatalf("got %d groups, want 3 (a, b, c)", len(pairs))
+	}
+}

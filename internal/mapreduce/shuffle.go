@@ -1,0 +1,418 @@
+package mapreduce
+
+import (
+	"bufio"
+	"bytes"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"manimal/internal/interp"
+	"manimal/internal/serde"
+)
+
+// Value tags within shuffle segments and KV output files.
+const (
+	valTagDatum  = 0
+	valTagRecord = 1
+)
+
+// encodeValue serializes an emitted value (scalar datum or whole record,
+// with embedded schema so heterogeneous record streams — e.g. a
+// repartition join's two sides — decode correctly).
+func encodeValue(v interp.EmitValue, dst []byte) []byte {
+	if v.Rec == nil {
+		dst = append(dst, valTagDatum)
+		return v.D.AppendTagged(dst)
+	}
+	dst = append(dst, valTagRecord)
+	sch := v.Rec.Schema().AppendBinary(nil)
+	dst = binary.AppendUvarint(dst, uint64(len(sch)))
+	dst = append(dst, sch...)
+	payload := v.Rec.AppendBinary(nil)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
+
+// decodeValue is the inverse of encodeValue.
+func decodeValue(buf []byte) (interp.EmitValue, int, error) {
+	if len(buf) < 1 {
+		return interp.EmitValue{}, 0, fmt.Errorf("mapreduce: truncated value")
+	}
+	switch buf[0] {
+	case valTagDatum:
+		d, n, err := serde.DecodeTagged(buf[1:])
+		return interp.EmitValue{D: d}, n + 1, err
+	case valTagRecord:
+		pos := 1
+		sl, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return interp.EmitValue{}, 0, fmt.Errorf("mapreduce: truncated value schema length")
+		}
+		pos += n
+		sch, _, err := serde.DecodeSchema(buf[pos : pos+int(sl)])
+		if err != nil {
+			return interp.EmitValue{}, 0, err
+		}
+		pos += int(sl)
+		pl, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return interp.EmitValue{}, 0, fmt.Errorf("mapreduce: truncated value payload length")
+		}
+		pos += n
+		rec, _, err := serde.DecodeRecord(sch, buf[pos:pos+int(pl)])
+		if err != nil {
+			return interp.EmitValue{}, 0, err
+		}
+		return interp.EmitValue{Rec: rec}, pos + int(pl), nil
+	default:
+		return interp.EmitValue{}, 0, fmt.Errorf("mapreduce: bad value tag %d", buf[0])
+	}
+}
+
+// entry is one buffered intermediate pair: key as its order-preserving
+// sort-key bytes (cheap byte comparison during sort and merge), value
+// opaque.
+type entry struct {
+	k []byte
+	v []byte
+}
+
+// partition assigns a key to one of n reducers by hashing its sort key.
+func partition(k []byte, n int) int {
+	h := fnv.New32a()
+	h.Write(k)
+	return int(h.Sum32() % uint32(n))
+}
+
+// shuffleEmitter buffers one map task's output per partition, sorting and
+// spilling segments to disk (with optional combiner) when the buffer
+// exceeds the threshold and at task end.
+type shuffleEmitter struct {
+	taskID    int
+	workDir   string
+	parts     [][]entry
+	bytes     int
+	threshold int
+	combiner  ReducerFactory
+	counters  *Counters
+	conf      map[string]serde.Datum
+	segments  [][]string // per partition, appended at each spill
+	spills    int
+}
+
+func newShuffleEmitter(taskID, numParts int, workDir string, threshold int, combiner ReducerFactory, counters *Counters, conf map[string]serde.Datum) *shuffleEmitter {
+	return &shuffleEmitter{
+		taskID:    taskID,
+		workDir:   workDir,
+		parts:     make([][]entry, numParts),
+		threshold: threshold,
+		combiner:  combiner,
+		counters:  counters,
+		conf:      conf,
+		segments:  make([][]string, numParts),
+	}
+}
+
+func (se *shuffleEmitter) emit(key serde.Datum, value interp.EmitValue) error {
+	e := entry{k: key.AppendSortKey(nil), v: encodeValue(value, nil)}
+	p := partition(e.k, len(se.parts))
+	se.parts[p] = append(se.parts[p], e)
+	se.bytes += len(e.k) + len(e.v)
+	se.counters.Add(CtrMapOutputRecords, 1)
+	se.counters.Add(CtrMapOutputBytes, int64(len(e.k)+len(e.v)))
+	if se.bytes >= se.threshold {
+		return se.spill()
+	}
+	return nil
+}
+
+// spill sorts and writes every non-empty partition buffer to segment files.
+func (se *shuffleEmitter) spill() error {
+	for p := range se.parts {
+		if len(se.parts[p]) == 0 {
+			continue
+		}
+		ents := se.parts[p]
+		sort.Slice(ents, func(i, j int) bool { return bytes.Compare(ents[i].k, ents[j].k) < 0 })
+		if se.combiner != nil {
+			var err error
+			ents, err = se.combine(ents)
+			if err != nil {
+				return err
+			}
+		}
+		path := filepath.Join(se.workDir, fmt.Sprintf("map%06d_p%03d_s%03d.seg", se.taskID, p, se.spills))
+		if err := writeSegment(path, ents); err != nil {
+			return err
+		}
+		se.segments[p] = append(se.segments[p], path)
+		se.parts[p] = nil
+	}
+	se.bytes = 0
+	se.spills++
+	se.counters.Add(CtrSpills, 1)
+	return nil
+}
+
+// combine runs the combiner over each key group of a sorted buffer,
+// re-sorting its output (Hadoop-style map-side pre-aggregation).
+func (se *shuffleEmitter) combine(ents []entry) ([]entry, error) {
+	c, err := se.combiner()
+	if err != nil {
+		return nil, err
+	}
+	var out []entry
+	emit := func(key serde.Datum, value interp.EmitValue) error {
+		out = append(out, entry{k: key.AppendSortKey(nil), v: encodeValue(value, nil)})
+		return nil
+	}
+	ctx := &interp.Context{
+		Conf: se.conf,
+		Emit: emit,
+		Counter: func(name string, delta int64) {
+			se.counters.Add("user."+name, delta)
+		},
+	}
+	for lo := 0; lo < len(ents); {
+		hi := lo + 1
+		for hi < len(ents) && bytes.Equal(ents[hi].k, ents[lo].k) {
+			hi++
+		}
+		key, _, err := serde.DecodeSortKey(ents[lo].k)
+		if err != nil {
+			return nil, err
+		}
+		it := &sliceValueIter{ents: ents[lo:hi], pos: -1}
+		if err := c.Reduce(key, it, ctx); err != nil {
+			return nil, err
+		}
+		if it.err != nil {
+			return nil, it.err
+		}
+		lo = hi
+	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i].k, out[j].k) < 0 })
+	return out, nil
+}
+
+// sliceValueIter iterates the values of one in-memory key group.
+type sliceValueIter struct {
+	ents []entry
+	pos  int
+	cur  interp.EmitValue
+	err  error
+}
+
+func (it *sliceValueIter) Next() bool {
+	if it.err != nil || it.pos+1 >= len(it.ents) {
+		return false
+	}
+	it.pos++
+	v, _, err := decodeValue(it.ents[it.pos].v)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	it.cur = v
+	return true
+}
+
+func (it *sliceValueIter) Value() interp.EmitValue { return it.cur }
+
+// writeSegment streams sorted entries to a spill file.
+func writeSegment(path string, ents []entry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("mapreduce: create segment: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 256<<10)
+	var hdr []byte
+	for _, e := range ents {
+		hdr = hdr[:0]
+		hdr = binary.AppendUvarint(hdr, uint64(len(e.k)))
+		hdr = binary.AppendUvarint(hdr, uint64(len(e.v)))
+		if _, err := w.Write(hdr); err != nil {
+			return err
+		}
+		if _, err := w.Write(e.k); err != nil {
+			return err
+		}
+		if _, err := w.Write(e.v); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// segCursor streams one segment during the merge.
+type segCursor struct {
+	f   *os.File
+	r   *bufio.Reader
+	k   []byte
+	v   []byte
+	err error
+	eof bool
+}
+
+func openSegment(path string) (*segCursor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &segCursor{f: f, r: bufio.NewReaderSize(f, 256<<10)}, nil
+}
+
+func (c *segCursor) advance() bool {
+	kl, err := binary.ReadUvarint(c.r)
+	if err == io.EOF {
+		c.eof = true
+		return false
+	}
+	if err != nil {
+		c.err = err
+		return false
+	}
+	vl, err := binary.ReadUvarint(c.r)
+	if err != nil {
+		c.err = err
+		return false
+	}
+	c.k = make([]byte, kl)
+	if _, err := io.ReadFull(c.r, c.k); err != nil {
+		c.err = err
+		return false
+	}
+	c.v = make([]byte, vl)
+	if _, err := io.ReadFull(c.r, c.v); err != nil {
+		c.err = err
+		return false
+	}
+	return true
+}
+
+func (c *segCursor) close() { c.f.Close() }
+
+// cursorHeap is a min-heap of segment cursors ordered by current key.
+type cursorHeap []*segCursor
+
+func (h cursorHeap) Len() int           { return len(h) }
+func (h cursorHeap) Less(i, j int) bool { return bytes.Compare(h[i].k, h[j].k) < 0 }
+func (h cursorHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x any)        { *h = append(*h, x.(*segCursor)) }
+func (h *cursorHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// mergeIter performs the k-way merge of one partition's segments and
+// exposes key groups to the reducer.
+type mergeIter struct {
+	h       cursorHeap
+	cursors []*segCursor
+	err     error
+
+	groupKey   []byte
+	curVal     interp.EmitValue
+	valReady   bool
+	groupEnded bool
+}
+
+func newMergeIter(paths []string) (*mergeIter, error) {
+	m := &mergeIter{}
+	for _, p := range paths {
+		c, err := openSegment(p)
+		if err != nil {
+			m.closeAll()
+			return nil, err
+		}
+		m.cursors = append(m.cursors, c)
+		if c.advance() {
+			m.h = append(m.h, c)
+		} else if c.err != nil {
+			m.closeAll()
+			return nil, c.err
+		}
+	}
+	heap.Init(&m.h)
+	return m, nil
+}
+
+func (m *mergeIter) closeAll() {
+	for _, c := range m.cursors {
+		c.close()
+	}
+}
+
+// nextGroup positions at the next key group; returns false at stream end.
+func (m *mergeIter) nextGroup() bool {
+	if m.err != nil || m.h.Len() == 0 {
+		return false
+	}
+	m.groupKey = append([]byte(nil), m.h[0].k...)
+	m.groupEnded = false
+	m.valReady = false
+	return true
+}
+
+// nextValue advances within the current group.
+func (m *mergeIter) nextValue() bool {
+	if m.err != nil || m.groupEnded {
+		return false
+	}
+	if m.h.Len() == 0 || !bytes.Equal(m.h[0].k, m.groupKey) {
+		m.groupEnded = true
+		return false
+	}
+	c := m.h[0]
+	v, _, err := decodeValue(c.v)
+	if err != nil {
+		m.err = err
+		return false
+	}
+	m.curVal = v
+	if c.advance() {
+		heap.Fix(&m.h, 0)
+	} else {
+		if c.err != nil {
+			m.err = c.err
+			return false
+		}
+		heap.Pop(&m.h)
+	}
+	return true
+}
+
+// drainGroup consumes any values the reducer did not read, so the merge is
+// positioned at the next group.
+func (m *mergeIter) drainGroup() {
+	for m.nextValue() {
+	}
+}
+
+// groupValueIter adapts one merge group to interp.ValueIter.
+type groupValueIter struct {
+	m *mergeIter
+	n int64
+}
+
+func (g *groupValueIter) Next() bool {
+	if g.m.nextValue() {
+		g.n++
+		return true
+	}
+	return false
+}
+
+func (g *groupValueIter) Value() interp.EmitValue { return g.m.curVal }

@@ -1,0 +1,260 @@
+// Package optimizer chooses an execution plan from the analyzer's
+// optimization descriptor plus the catalog of previously-built indexes
+// (paper Section 2.2, Step 2). Planning follows the paper's rule-based
+// heuristics: a simple hard-coded ranking of applicable optimizations, with
+// selection favored over delta-compression when the two conflict
+// (paper footnote 3).
+package optimizer
+
+import (
+	"fmt"
+
+	"manimal/internal/analyzer"
+	"manimal/internal/catalog"
+	"manimal/internal/predicate"
+	"manimal/internal/serde"
+	"manimal/internal/storage"
+)
+
+// PlanKind says which physical input the job will read.
+type PlanKind uint8
+
+const (
+	// PlanOriginal scans the unmodified input file.
+	PlanOriginal PlanKind = iota
+	// PlanBTree range-scans a clustered B+Tree selection index.
+	PlanBTree
+	// PlanRecordFile scans a re-encoded record file (projection and/or
+	// compression index).
+	PlanRecordFile
+)
+
+// String names the plan kind for reports.
+func (k PlanKind) String() string {
+	switch k {
+	case PlanOriginal:
+		return "original"
+	case PlanBTree:
+		return "btree"
+	case PlanRecordFile:
+		return "recordfile"
+	default:
+		return "unknown"
+	}
+}
+
+// Plan is the execution descriptor (paper Figure 1): which file to read,
+// which key ranges to scan, and which optimizations are in effect.
+type Plan struct {
+	Kind      PlanKind
+	InputPath string // original data file
+	IndexPath string // index file when Kind != PlanOriginal
+	// KeyExpr and Ranges drive B+Tree scans.
+	KeyExpr string
+	Ranges  []predicate.Interval
+	// DirectCodes turns on direct operation on dictionary codes.
+	DirectCodes bool
+	// Applied lists the optimizations in effect, e.g. ["selection",
+	// "projection"]. Empty for original scans.
+	Applied []string
+	// Notes explains the decision for `manimal explain`.
+	Notes []string
+}
+
+func (p *Plan) notef(format string, args ...any) {
+	p.Notes = append(p.Notes, fmt.Sprintf(format, args...))
+}
+
+// Options tunes planning.
+type Options struct {
+	// SortedOutput disables direct operation on map output keys
+	// (paper footnote 1).
+	SortedOutput bool
+	// SafeMode implements paper footnote 2: avoid optimizations that could
+	// modify detected side effects. Skipping map() invocations (selection)
+	// or dropping fields a Log statement reads (projection) changes the
+	// debug-log stream, so when the program has detected side effects,
+	// safe mode keeps every record and every field and allows only the
+	// lossless compressions.
+	SafeMode bool
+}
+
+// Choose selects the best plan for one input of a job.
+//
+// desc may be nil (no analysis — run unmodified). schema is the input
+// file's schema; entries are the catalog's indexes for that input; conf
+// binds config parameters referenced by the selection formula.
+func Choose(desc *analyzer.Descriptor, inputPath string, schema *serde.Schema, entries []catalog.Entry, conf predicate.Config, opts Options) *Plan {
+	plan := &Plan{Kind: PlanOriginal, InputPath: inputPath}
+	if desc == nil {
+		plan.notef("no optimization descriptor; running unmodified")
+		return plan
+	}
+
+	// Fields the program may touch: the projection analysis' used set, or —
+	// when projection analysis could not distinguish fields — all of them.
+	required := schema.FieldNames()
+	if desc.Project != nil {
+		required = desc.Project.UsedFields
+	}
+
+	guarded := opts.SafeMode && len(desc.SideEffects) > 0
+	if guarded {
+		// Side effects must be preserved exactly: no skipped invocations,
+		// no dropped fields.
+		required = schema.FieldNames()
+		plan.notef("safe mode: side effects detected (%d); selection and projection disabled", len(desc.SideEffects))
+	}
+
+	// Rank 1: selection via a B+Tree index (the paper's top-ranked
+	// optimization; conflicts with delta-compression, which B+Tree storage
+	// does not use — selection is favored).
+	if desc.Select != nil && !guarded {
+		if best := chooseBTree(desc, entries, required, conf, plan); best != nil {
+			return best
+		}
+	} else {
+		plan.notef("selection not applicable")
+	}
+
+	// Rank 2-4: projection / direct-operation / delta via record files.
+	if best := chooseRecordFile(desc, schema, entries, required, opts.SortedOutput, plan); best != nil {
+		return best
+	}
+
+	plan.notef("no usable index in catalog; scanning original file")
+	return plan
+}
+
+// chooseBTree picks a B+Tree entry whose key expression the formula bounds
+// in every disjunct and whose stored fields cover the program's needs.
+// Among candidates it prefers the most-projected (fewest stored fields).
+func chooseBTree(desc *analyzer.Descriptor, entries []catalog.Entry, required []string, conf predicate.Config, base *Plan) *Plan {
+	var (
+		best       *Plan
+		bestFields = int(^uint(0) >> 1)
+	)
+	for _, e := range entries {
+		if e.Kind != catalog.KindBTree {
+			continue
+		}
+		if !containsString(desc.Select.IndexKeys, e.KeyExpr) {
+			base.notef("btree %s: key %q not indexable for this program", e.IndexPath, e.KeyExpr)
+			continue
+		}
+		if !e.CoversFields(required) {
+			base.notef("btree %s: does not store all required fields", e.IndexPath)
+			continue
+		}
+		ranges, ok, err := desc.Select.Formula.RangesFor(e.KeyExpr, conf)
+		if err != nil {
+			base.notef("btree %s: %v", e.IndexPath, err)
+			continue
+		}
+		if !ok {
+			base.notef("btree %s: some disjunct does not bound %q", e.IndexPath, e.KeyExpr)
+			continue
+		}
+		if len(e.Fields) < bestFields {
+			bestFields = len(e.Fields)
+			p := &Plan{
+				Kind:      PlanBTree,
+				InputPath: base.InputPath,
+				IndexPath: e.IndexPath,
+				KeyExpr:   e.KeyExpr,
+				Ranges:    ranges,
+				Applied:   []string{"selection"},
+				Notes:     base.Notes,
+			}
+			if desc.Project != nil && len(e.Fields) < len(desc.Project.UsedFields)+len(desc.Project.DroppedFields) {
+				p.Applied = append(p.Applied, "projection")
+			}
+			p.notef("selection via %s on %s, %d range(s)", e.IndexPath, e.KeyExpr, len(ranges))
+			best = p
+		}
+	}
+	return best
+}
+
+// chooseRecordFile scores re-encoded record files by the hard-coded
+// ranking: projection > direct-operation > delta-compression.
+func chooseRecordFile(desc *analyzer.Descriptor, schema *serde.Schema, entries []catalog.Entry, required []string, sortedOutput bool, base *Plan) *Plan {
+	var (
+		best      *Plan
+		bestScore int
+		bestSize  int64
+	)
+	for _, e := range entries {
+		if e.Kind != catalog.KindRecordFile {
+			continue
+		}
+		if !e.CoversFields(required) {
+			base.notef("recordfile %s: does not store all required fields", e.IndexPath)
+			continue
+		}
+		var applied []string
+		score := 0
+		if len(e.Fields) < schema.NumFields() {
+			score += 4
+			applied = append(applied, "projection")
+		}
+		var deltaFields, dictFields []string
+		for f, enc := range e.Encodings {
+			switch enc {
+			case storage.EncodeDelta.String():
+				deltaFields = append(deltaFields, f)
+			case storage.EncodeDict.String():
+				dictFields = append(dictFields, f)
+			}
+		}
+		directCodes := false
+		if len(dictFields) > 0 {
+			if desc.DirectOp != nil && subset(dictFields, desc.DirectOp.Fields) && !sortedOutput {
+				directCodes = true
+				score += 2
+				applied = append(applied, "direct-operation")
+			} else {
+				base.notef("recordfile %s: dict fields decoded (direct-operation not safe here)", e.IndexPath)
+			}
+		}
+		if len(deltaFields) > 0 {
+			score++
+			applied = append(applied, "delta-compression")
+		}
+		if score == 0 {
+			base.notef("recordfile %s: no benefit over original", e.IndexPath)
+			continue
+		}
+		if best == nil || score > bestScore || (score == bestScore && e.SizeBytes < bestSize) {
+			bestScore, bestSize = score, e.SizeBytes
+			best = &Plan{
+				Kind:        PlanRecordFile,
+				InputPath:   base.InputPath,
+				IndexPath:   e.IndexPath,
+				DirectCodes: directCodes,
+				Applied:     applied,
+				Notes:       base.Notes,
+			}
+			best.notef("record file %s: %v", e.IndexPath, applied)
+		}
+	}
+	return best
+}
+
+func containsString(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func subset(xs, of []string) bool {
+	for _, x := range xs {
+		if !containsString(of, x) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,219 @@
+package optimizer
+
+import (
+	"testing"
+
+	"manimal/internal/analyzer"
+	"manimal/internal/catalog"
+	"manimal/internal/lang"
+	"manimal/internal/predicate"
+	"manimal/internal/serde"
+)
+
+var uvSchema = serde.MustSchema(
+	serde.Field{Name: "destURL", Kind: serde.KindString},
+	serde.Field{Name: "visitDate", Kind: serde.KindInt64},
+	serde.Field{Name: "duration", Kind: serde.KindInt64},
+)
+
+func describe(t *testing.T, src string) *analyzer.Descriptor {
+	t.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := analyzer.Analyze(p, uvSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+const selProg = `
+func Map(k, v *Record, ctx *Ctx) {
+	if v.Int("visitDate") > ctx.ConfInt("since") {
+		ctx.Emit(v.Int("visitDate"), v.Int("duration"))
+	}
+}
+`
+
+func TestChooseOriginalWhenCatalogEmpty(t *testing.T) {
+	d := describe(t, selProg)
+	plan := Choose(d, "uv.rec", uvSchema, nil, predicate.Config{"since": serde.Int(5)}, Options{})
+	if plan.Kind != PlanOriginal {
+		t.Fatalf("plan = %v", plan.Kind)
+	}
+}
+
+func TestChooseBTree(t *testing.T) {
+	d := describe(t, selProg)
+	entries := []catalog.Entry{{
+		InputPath: "uv.rec", IndexPath: "uv.idx", Kind: catalog.KindBTree,
+		KeyExpr: `v.Int("visitDate")`,
+		Fields:  []string{"destURL", "visitDate", "duration"},
+	}}
+	plan := Choose(d, "uv.rec", uvSchema, entries, predicate.Config{"since": serde.Int(5)}, Options{})
+	if plan.Kind != PlanBTree || plan.IndexPath != "uv.idx" {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if len(plan.Ranges) != 1 || plan.Ranges[0].String() != "(5, +inf)" {
+		t.Fatalf("ranges = %v", plan.Ranges)
+	}
+}
+
+func TestBTreeRequiresFieldCoverage(t *testing.T) {
+	d := describe(t, selProg)
+	// The index dropped duration, which the program emits: unusable.
+	entries := []catalog.Entry{{
+		InputPath: "uv.rec", IndexPath: "uv.idx", Kind: catalog.KindBTree,
+		KeyExpr: `v.Int("visitDate")`,
+		Fields:  []string{"visitDate"},
+	}}
+	plan := Choose(d, "uv.rec", uvSchema, entries, predicate.Config{"since": serde.Int(5)}, Options{})
+	if plan.Kind != PlanOriginal {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+func TestBTreeKeyMismatchRejected(t *testing.T) {
+	d := describe(t, selProg)
+	entries := []catalog.Entry{{
+		InputPath: "uv.rec", IndexPath: "uv.idx", Kind: catalog.KindBTree,
+		KeyExpr: `v.Int("duration")`, // wrong key
+		Fields:  uvSchema.FieldNames(),
+	}}
+	plan := Choose(d, "uv.rec", uvSchema, entries, predicate.Config{"since": serde.Int(5)}, Options{})
+	if plan.Kind != PlanOriginal {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+func TestPreferMostProjectedBTree(t *testing.T) {
+	d := describe(t, selProg)
+	entries := []catalog.Entry{
+		{InputPath: "uv.rec", IndexPath: "full.idx", Kind: catalog.KindBTree,
+			KeyExpr: `v.Int("visitDate")`, Fields: uvSchema.FieldNames()},
+		{InputPath: "uv.rec", IndexPath: "proj.idx", Kind: catalog.KindBTree,
+			KeyExpr: `v.Int("visitDate")`, Fields: []string{"visitDate", "duration"}},
+	}
+	plan := Choose(d, "uv.rec", uvSchema, entries, predicate.Config{"since": serde.Int(5)}, Options{})
+	if plan.IndexPath != "proj.idx" {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if len(plan.Applied) != 2 {
+		t.Fatalf("applied = %v, want selection+projection", plan.Applied)
+	}
+}
+
+const aggProg = `
+func Map(k, v *Record, ctx *Ctx) {
+	ctx.Emit(v.Str("destURL"), v.Int("duration"))
+}
+
+func Reduce(key Datum, values *Iter, ctx *Ctx) {
+	sum := 0
+	for values.Next() {
+		sum = sum + values.Int()
+	}
+	ctx.Emit(0, sum)
+}
+`
+
+func TestChooseRecordFileRanking(t *testing.T) {
+	d := describe(t, aggProg)
+	entries := []catalog.Entry{
+		{InputPath: "uv.rec", IndexPath: "delta.rec", Kind: catalog.KindRecordFile,
+			Fields:    uvSchema.FieldNames(),
+			Encodings: map[string]string{"duration": "delta"}},
+		{InputPath: "uv.rec", IndexPath: "proj.rec", Kind: catalog.KindRecordFile,
+			Fields: []string{"destURL", "duration"}},
+	}
+	plan := Choose(d, "uv.rec", uvSchema, entries, nil, Options{})
+	// Projection (score 4) must beat delta alone (score 1).
+	if plan.IndexPath != "proj.rec" {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+func TestDirectCodesGating(t *testing.T) {
+	d := describe(t, aggProg)
+	if d.DirectOp == nil {
+		t.Fatalf("direct-op not detected; notes %v", d.Notes)
+	}
+	entries := []catalog.Entry{{
+		InputPath: "uv.rec", IndexPath: "dict.rec", Kind: catalog.KindRecordFile,
+		Fields:    uvSchema.FieldNames(),
+		Encodings: map[string]string{"destURL": "dict"},
+	}}
+	plan := Choose(d, "uv.rec", uvSchema, entries, nil, Options{})
+	if plan.Kind != PlanRecordFile || !plan.DirectCodes {
+		t.Fatalf("plan = %+v", plan)
+	}
+	// Sorted output forbids recoded keys (paper footnote 1)...
+	sorted := Choose(d, "uv.rec", uvSchema, entries, nil, Options{SortedOutput: true})
+	if sorted.DirectCodes {
+		t.Fatal("direct codes enabled despite SortedOutput")
+	}
+	// ...and with no other benefit the dict file is then pointless: the
+	// optimizer reads it in decode mode only if something else is gained.
+	if sorted.Kind != PlanOriginal {
+		t.Fatalf("sorted plan = %+v", sorted)
+	}
+}
+
+func TestNilDescriptorRunsUnmodified(t *testing.T) {
+	plan := Choose(nil, "uv.rec", uvSchema, nil, nil, Options{})
+	if plan.Kind != PlanOriginal {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+const loggingSelProg = `
+func Map(k, v *Record, ctx *Ctx) {
+	ctx.Log(v.Str("destURL"))
+	if v.Int("visitDate") > ctx.ConfInt("since") {
+		ctx.Emit(v.Int("visitDate"), v.Int("duration"))
+	}
+}
+`
+
+// TestSafeMode implements paper footnote 2: with side effects present,
+// safe mode must refuse selection (skipped invocations would skip logs)
+// and projection (dropped fields may be logged), while a program without
+// side effects is unaffected.
+func TestSafeMode(t *testing.T) {
+	d := describe(t, loggingSelProg)
+	if len(d.SideEffects) == 0 {
+		t.Fatal("side effect not detected")
+	}
+	entries := []catalog.Entry{
+		{InputPath: "uv.rec", IndexPath: "uv.idx", Kind: catalog.KindBTree,
+			KeyExpr: `v.Int("visitDate")`, Fields: uvSchema.FieldNames()},
+		{InputPath: "uv.rec", IndexPath: "proj.rec", Kind: catalog.KindRecordFile,
+			Fields: []string{"visitDate", "duration"}},
+		{InputPath: "uv.rec", IndexPath: "delta.rec", Kind: catalog.KindRecordFile,
+			Fields:    uvSchema.FieldNames(),
+			Encodings: map[string]string{"visitDate": "delta"}},
+	}
+	conf := predicate.Config{"since": serde.Int(5)}
+
+	normal := Choose(d, "uv.rec", uvSchema, entries, conf, Options{})
+	if normal.Kind != PlanBTree {
+		t.Fatalf("normal plan = %+v", normal)
+	}
+	safe := Choose(d, "uv.rec", uvSchema, entries, conf, Options{SafeMode: true})
+	if safe.Kind == PlanBTree {
+		t.Fatal("safe mode used a selection index despite side effects")
+	}
+	// Lossless delta over the full field set remains allowed.
+	if safe.Kind != PlanRecordFile || safe.IndexPath != "delta.rec" {
+		t.Fatalf("safe plan = %+v", safe)
+	}
+
+	// A program without side effects is unaffected by safe mode.
+	clean := describe(t, selProg)
+	cleanSafe := Choose(clean, "uv.rec", uvSchema, entries, conf, Options{SafeMode: true})
+	if cleanSafe.Kind != PlanBTree {
+		t.Fatalf("safe mode blocked a side-effect-free program: %+v", cleanSafe)
+	}
+}

@@ -1,0 +1,49 @@
+package programs
+
+import (
+	"testing"
+
+	"manimal/internal/lang"
+	"manimal/internal/serde"
+)
+
+// Every shipped program must parse and validate, and every Table 1 schema
+// must be well-formed.
+func TestAllProgramsParse(t *testing.T) {
+	sources := map[string]string{
+		"Benchmark1Selection":      Benchmark1Selection,
+		"Benchmark2Aggregation":    Benchmark2Aggregation,
+		"Benchmark3JoinUV":         Benchmark3JoinUserVisits,
+		"Benchmark3JoinRankings":   Benchmark3JoinRankings,
+		"Benchmark4UDFAggregation": Benchmark4UDFAggregation,
+		"SelectionQuery":           SelectionQuery,
+		"ProjectionQuery":          ProjectionQuery,
+		"DeltaQuery":               DeltaQuery,
+		"CompressionQuery":         CompressionQuery,
+	}
+	for name, src := range sources {
+		if _, err := lang.Parse(src); err != nil {
+			t.Errorf("%s does not parse: %v", name, err)
+		}
+	}
+	for _, row := range Table1 {
+		if _, err := lang.Parse(row.Source); err != nil {
+			t.Errorf("%s source invalid: %v", row.Name, err)
+		}
+		if _, err := serde.ParseSchema(row.SchemaText); err != nil {
+			t.Errorf("%s schema invalid: %v", row.Name, err)
+		}
+	}
+}
+
+func TestReducersPresentWhereNeeded(t *testing.T) {
+	for _, src := range []string{Benchmark2Aggregation, Benchmark3JoinUserVisits, SelectionQuery, CompressionQuery, DeltaQuery, Benchmark4UDFAggregation} {
+		p, err := lang.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Reduce() == nil {
+			t.Errorf("program missing Reduce:\n%s", src)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Package serde implements the typed record model that Manimal jobs operate
+// on: schemas, scalar datums, records, their binary wire encodings, and
+// order-preserving sort-key encodings used by the shuffle and the B+Tree.
+//
+// A file of serialized records plus its schema plays the role of the
+// "serialized class declares the file's schema" observation from the paper
+// (Section 2.2): the schema is what lets the analyzer reason about fields.
+package serde
+
+import "fmt"
+
+// Kind identifies the runtime type of a scalar value.
+type Kind uint8
+
+// The supported scalar kinds. KindInvalid is the zero value and never
+// appears in a valid schema.
+const (
+	KindInvalid Kind = iota
+	KindInt64
+	KindFloat64
+	KindString
+	KindBytes
+	KindBool
+)
+
+// String returns the lower-case name of the kind as used in schema text.
+func (k Kind) String() string {
+	switch k {
+	case KindInt64:
+		return "int64"
+	case KindFloat64:
+		return "float64"
+	case KindString:
+		return "string"
+	case KindBytes:
+		return "bytes"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("invalid(%d)", uint8(k))
+	}
+}
+
+// KindOf parses a kind name as produced by Kind.String.
+func KindOf(name string) (Kind, error) {
+	switch name {
+	case "int64", "int":
+		return KindInt64, nil
+	case "float64", "float":
+		return KindFloat64, nil
+	case "string":
+		return KindString, nil
+	case "bytes":
+		return KindBytes, nil
+	case "bool":
+		return KindBool, nil
+	default:
+		return KindInvalid, fmt.Errorf("serde: unknown kind %q", name)
+	}
+}
+
+// Numeric reports whether the kind is numeric, i.e. eligible for
+// delta-compression (paper Appendix C).
+func (k Kind) Numeric() bool { return k == KindInt64 || k == KindFloat64 }

@@ -1,0 +1,335 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+
+	"manimal/internal/compress"
+	"manimal/internal/serde"
+)
+
+// Reader reads a record file written by Writer. A single Reader may serve
+// multiple concurrent Scanners (one per map task); scanners do their own
+// positioned reads and share only immutable metadata and the byte counter.
+type Reader struct {
+	f         *os.File
+	path      string
+	schema    *serde.Schema
+	encodings []FieldEncoding
+	dicts     []*compress.Dictionary
+	blocks    []blockInfo
+	dataStart int64
+	fileSize  int64
+	bytesRead atomic.Int64
+	// DirectCodes controls dictionary-field materialization: when false
+	// (default) codes are decoded back to the original strings (lossless
+	// compression); when true, the fabric operates directly on compact
+	// code-strings and never decodes (paper's direct-operation mode).
+	DirectCodes bool
+}
+
+// Open opens a record file for reading.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	r := &Reader{f: f, path: path}
+	if err := r.readMeta(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+func (r *Reader) readMeta() error {
+	st, err := r.f.Stat()
+	if err != nil {
+		return err
+	}
+	r.fileSize = st.Size()
+
+	// Header.
+	hdrPrefix := make([]byte, len(magicHeader)+binary.MaxVarintLen64)
+	if _, err := io.ReadFull(r.f, hdrPrefix[:min(len(hdrPrefix), int(r.fileSize))]); err != nil {
+		return fmt.Errorf("read header: %w", err)
+	}
+	if string(hdrPrefix[:len(magicHeader)]) != magicHeader {
+		return fmt.Errorf("bad magic: not a Manimal record file")
+	}
+	hdrLen, used := binary.Uvarint(hdrPrefix[len(magicHeader):])
+	if used <= 0 {
+		return fmt.Errorf("truncated header length")
+	}
+	hdrOff := int64(len(magicHeader) + used)
+	hdr := make([]byte, hdrLen)
+	if _, err := r.f.ReadAt(hdr, hdrOff); err != nil {
+		return fmt.Errorf("read header body: %w", err)
+	}
+	schema, n, err := serde.DecodeSchema(hdr)
+	if err != nil {
+		return err
+	}
+	r.schema = schema
+	if len(hdr[n:]) < schema.NumFields() {
+		return fmt.Errorf("truncated encoding tags")
+	}
+	r.encodings = make([]FieldEncoding, schema.NumFields())
+	for i := range r.encodings {
+		r.encodings[i] = FieldEncoding(hdr[n+i])
+	}
+	r.dataStart = hdrOff + int64(hdrLen)
+
+	// Footer.
+	tail := make([]byte, 8+len(magicFooter))
+	if _, err := r.f.ReadAt(tail, r.fileSize-int64(len(tail))); err != nil {
+		return fmt.Errorf("read footer tail: %w", err)
+	}
+	if string(tail[8:]) != magicFooter {
+		return fmt.Errorf("bad footer magic: truncated record file")
+	}
+	ftrLen := int64(binary.LittleEndian.Uint64(tail[:8]))
+	ftr := make([]byte, ftrLen)
+	if _, err := r.f.ReadAt(ftr, r.fileSize-int64(len(tail))-ftrLen); err != nil {
+		return fmt.Errorf("read footer: %w", err)
+	}
+	pos := 0
+	nb, used := binary.Uvarint(ftr[pos:])
+	if used <= 0 {
+		return fmt.Errorf("truncated block index")
+	}
+	pos += used
+	r.blocks = make([]blockInfo, 0, nb)
+	for i := uint64(0); i < nb; i++ {
+		var b blockInfo
+		for _, dst := range []*int64{&b.offset, &b.length, &b.records} {
+			v, used := binary.Uvarint(ftr[pos:])
+			if used <= 0 {
+				return fmt.Errorf("truncated block index entry %d", i)
+			}
+			*dst = int64(v)
+			pos += used
+		}
+		r.blocks = append(r.blocks, b)
+	}
+	r.dicts = make([]*compress.Dictionary, schema.NumFields())
+	for i, e := range r.encodings {
+		if e != EncodeDict {
+			continue
+		}
+		d, used, err := compress.DecodeDictionary(ftr[pos:])
+		if err != nil {
+			return fmt.Errorf("field %q dictionary: %w", schema.Field(i).Name, err)
+		}
+		r.dicts[i] = d
+		pos += used
+	}
+	return nil
+}
+
+// Schema returns the file schema.
+func (r *Reader) Schema() *serde.Schema { return r.schema }
+
+// Path returns the file path the reader was opened with.
+func (r *Reader) Path() string { return r.path }
+
+// NumBlocks returns the number of storage blocks.
+func (r *Reader) NumBlocks() int { return len(r.blocks) }
+
+// RecordsInBlocks returns the number of records stored in blocks [lo, hi).
+func (r *Reader) RecordsInBlocks(lo, hi int) int64 {
+	var n int64
+	for i := lo; i < hi && i < len(r.blocks); i++ {
+		n += r.blocks[i].records
+	}
+	return n
+}
+
+// NumRecords returns the total number of records in the file.
+func (r *Reader) NumRecords() int64 {
+	var n int64
+	for _, b := range r.blocks {
+		n += b.records
+	}
+	return n
+}
+
+// Size returns the total file size in bytes (header and footer included).
+func (r *Reader) Size() int64 { return r.fileSize }
+
+// BytesRead returns the data bytes scanned so far across all scanners.
+func (r *Reader) BytesRead() int64 { return r.bytesRead.Load() }
+
+// Encoding returns the stored encoding of the named field.
+func (r *Reader) Encoding(name string) (FieldEncoding, bool) {
+	i := r.schema.IndexOf(name)
+	if i < 0 {
+		return EncodePlain, false
+	}
+	return r.encodings[i], true
+}
+
+// Dictionary returns the dictionary of a dict-encoded field, or nil.
+func (r *Reader) Dictionary(name string) *compress.Dictionary {
+	i := r.schema.IndexOf(name)
+	if i < 0 {
+		return nil
+	}
+	return r.dicts[i]
+}
+
+// Close closes the underlying file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// Scanner iterates over the records of a contiguous block range. It is not
+// safe for concurrent use; create one scanner per map task.
+type Scanner struct {
+	r        *Reader
+	blockLo  int // next block to load
+	blockHi  int // one past last block
+	buf      []byte
+	recsLeft int64
+	pos      int
+	deltas   []*compress.DeltaDecoder
+	cur      *serde.Record
+	err      error
+}
+
+// Scan returns a scanner over blocks [lo, hi). Passing (0, NumBlocks())
+// scans the whole file.
+func (r *Reader) Scan(lo, hi int) (*Scanner, error) {
+	if lo < 0 || hi > len(r.blocks) || lo > hi {
+		return nil, fmt.Errorf("storage: block range [%d,%d) out of [0,%d)", lo, hi, len(r.blocks))
+	}
+	s := &Scanner{r: r, blockLo: lo, blockHi: hi, deltas: make([]*compress.DeltaDecoder, r.schema.NumFields())}
+	for i, e := range r.encodings {
+		if e == EncodeDelta {
+			d, err := compress.NewDeltaDecoder(r.schema.Field(i).Kind)
+			if err != nil {
+				return nil, err
+			}
+			s.deltas[i] = d
+		}
+	}
+	return s, nil
+}
+
+// ScanAll returns a scanner over the entire file.
+func (r *Reader) ScanAll() (*Scanner, error) { return r.Scan(0, len(r.blocks)) }
+
+// Next advances to the next record, returning false at the end of the range
+// or on error (check Err).
+func (s *Scanner) Next() bool {
+	if s.err != nil {
+		return false
+	}
+	for s.recsLeft == 0 {
+		if s.blockLo >= s.blockHi {
+			return false
+		}
+		if err := s.loadBlock(s.blockLo); err != nil {
+			s.err = err
+			return false
+		}
+		s.blockLo++
+	}
+	rec := serde.NewRecord(s.r.schema)
+	for i := 0; i < s.r.schema.NumFields(); i++ {
+		var (
+			d   serde.Datum
+			n   int
+			err error
+		)
+		switch s.r.encodings[i] {
+		case EncodePlain:
+			d, n, err = serde.DecodeValue(s.r.schema.Field(i).Kind, s.buf[s.pos:])
+		case EncodeDelta:
+			d, n, err = s.deltas[i].Decode(s.buf[s.pos:])
+		case EncodeDict:
+			var code uint64
+			code, n = binary.Uvarint(s.buf[s.pos:])
+			if n <= 0 {
+				err = fmt.Errorf("truncated dict code")
+			} else if s.r.DirectCodes {
+				d = serde.String(compress.CodeString(code))
+			} else {
+				var term string
+				term, err = s.r.dicts[i].Decode(code)
+				d = serde.String(term)
+			}
+		default:
+			err = fmt.Errorf("unknown encoding %d", s.r.encodings[i])
+		}
+		if err != nil {
+			s.err = fmt.Errorf("storage: %s field %q: %w", s.r.path, s.r.schema.Field(i).Name, err)
+			return false
+		}
+		if err := rec.SetAt(i, d); err != nil {
+			s.err = err
+			return false
+		}
+		s.pos += n
+	}
+	s.recsLeft--
+	s.cur = rec
+	return true
+}
+
+func (s *Scanner) loadBlock(i int) error {
+	b := s.r.blocks[i]
+	raw := make([]byte, b.length)
+	if _, err := s.r.f.ReadAt(raw, b.offset); err != nil {
+		return fmt.Errorf("storage: read block %d: %w", i, err)
+	}
+	s.r.bytesRead.Add(b.length)
+	payloadLen, n1 := binary.Uvarint(raw)
+	if n1 <= 0 {
+		return fmt.Errorf("storage: block %d: truncated payload length", i)
+	}
+	recs, n2 := binary.Uvarint(raw[n1:])
+	if n2 <= 0 {
+		return fmt.Errorf("storage: block %d: truncated record count", i)
+	}
+	if int64(n1+n2)+int64(payloadLen) != b.length {
+		return fmt.Errorf("storage: block %d: length mismatch", i)
+	}
+	s.buf = raw[n1+n2:]
+	s.pos = 0
+	s.recsLeft = int64(recs)
+	for _, d := range s.deltas {
+		if d != nil {
+			d.Reset()
+		}
+	}
+	return nil
+}
+
+// Record returns the current record after a successful Next.
+func (s *Scanner) Record() *serde.Record { return s.cur }
+
+// Err returns the first error encountered while scanning.
+func (s *Scanner) Err() error { return s.err }
+
+// ReadAll is a convenience that scans the whole file into memory.
+func ReadAll(path string) ([]*serde.Record, *serde.Schema, error) {
+	r, err := Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer r.Close()
+	sc, err := r.ScanAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []*serde.Record
+	for sc.Next() {
+		out = append(out, sc.Record())
+	}
+	if sc.Err() != nil {
+		return nil, nil, sc.Err()
+	}
+	return out, r.Schema(), nil
+}

@@ -1,0 +1,254 @@
+// Package storage implements Manimal's on-disk record file: a blocked,
+// splittable container of schema-typed records, with per-field encodings
+// (plain, delta-compressed, dictionary-compressed). Both the original input
+// files and every index variant the optimizer produces (projected files,
+// compressed files) are record files; the B+Tree (package btree) is the one
+// other on-disk structure.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"manimal/internal/compress"
+	"manimal/internal/serde"
+)
+
+// FieldEncoding selects how one field's values are stored within a block.
+type FieldEncoding uint8
+
+const (
+	// EncodePlain stores the schema-implied serde encoding.
+	EncodePlain FieldEncoding = iota
+	// EncodeDelta stores zigzag-varint deltas (numeric fields only).
+	EncodeDelta
+	// EncodeDict stores dictionary codes (string fields only).
+	EncodeDict
+)
+
+// String returns the encoding's name for descriptors and tooling.
+func (e FieldEncoding) String() string {
+	switch e {
+	case EncodePlain:
+		return "plain"
+	case EncodeDelta:
+		return "delta"
+	case EncodeDict:
+		return "dict"
+	default:
+		return fmt.Sprintf("encoding(%d)", uint8(e))
+	}
+}
+
+const (
+	magicHeader = "MANIMAL1"
+	magicFooter = "MANIMAL2"
+
+	// DefaultBlockSize is the target uncompressed payload per block.
+	DefaultBlockSize = 256 << 10
+)
+
+// blockInfo locates one block inside the file.
+type blockInfo struct {
+	offset  int64
+	length  int64
+	records int64
+}
+
+// WriterOptions configures a record file writer.
+type WriterOptions struct {
+	// Encodings maps field name to encoding; absent fields are plain.
+	Encodings map[string]FieldEncoding
+	// BlockSize is the target block payload size; 0 means DefaultBlockSize.
+	BlockSize int
+}
+
+// Writer writes a record file.
+type Writer struct {
+	f         *os.File
+	schema    *serde.Schema
+	encodings []FieldEncoding
+	deltas    []*compress.DeltaEncoder // per field, nil unless delta
+	dicts     []*compress.Dictionary   // per field, nil unless dict
+	blockSize int
+	buf       []byte // current block payload
+	blockRecs int64
+	offset    int64
+	blocks    []blockInfo
+	records   int64
+	closed    bool
+}
+
+// NewWriter creates (truncating) a record file at path.
+func NewWriter(path string, schema *serde.Schema, opts WriterOptions) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create %s: %w", path, err)
+	}
+	w := &Writer{
+		f:         f,
+		schema:    schema,
+		encodings: make([]FieldEncoding, schema.NumFields()),
+		deltas:    make([]*compress.DeltaEncoder, schema.NumFields()),
+		dicts:     make([]*compress.Dictionary, schema.NumFields()),
+		blockSize: opts.BlockSize,
+	}
+	if w.blockSize <= 0 {
+		w.blockSize = DefaultBlockSize
+	}
+	for name, enc := range opts.Encodings {
+		i := schema.IndexOf(name)
+		if i < 0 {
+			f.Close()
+			return nil, fmt.Errorf("storage: encoding for unknown field %q", name)
+		}
+		kind := schema.Field(i).Kind
+		switch enc {
+		case EncodePlain:
+		case EncodeDelta:
+			d, err := compress.NewDeltaEncoder(kind)
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("storage: field %q: %w", name, err)
+			}
+			w.deltas[i] = d
+		case EncodeDict:
+			if kind != serde.KindString {
+				f.Close()
+				return nil, fmt.Errorf("storage: dict encoding requires string field, %q is %v", name, kind)
+			}
+			w.dicts[i] = compress.NewDictionary()
+		default:
+			f.Close()
+			return nil, fmt.Errorf("storage: unknown encoding %d for field %q", enc, name)
+		}
+		w.encodings[i] = enc
+	}
+	if err := w.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *Writer) writeHeader() error {
+	var hdr []byte
+	hdr = w.schema.AppendBinary(hdr)
+	for _, e := range w.encodings {
+		hdr = append(hdr, byte(e))
+	}
+	out := []byte(magicHeader)
+	out = binary.AppendUvarint(out, uint64(len(hdr)))
+	out = append(out, hdr...)
+	n, err := w.f.Write(out)
+	w.offset = int64(n)
+	if err != nil {
+		return fmt.Errorf("storage: write header: %w", err)
+	}
+	return nil
+}
+
+// Append adds one record, which must match the writer's schema.
+func (w *Writer) Append(r *serde.Record) error {
+	if w.closed {
+		return fmt.Errorf("storage: append to closed writer")
+	}
+	if !r.Schema().Equal(w.schema) {
+		return fmt.Errorf("storage: record schema %s != file schema %s", r.Schema(), w.schema)
+	}
+	for i := 0; i < w.schema.NumFields(); i++ {
+		d := r.At(i)
+		if !d.IsValid() {
+			return fmt.Errorf("storage: record field %q unset", w.schema.Field(i).Name)
+		}
+		switch w.encodings[i] {
+		case EncodePlain:
+			w.buf = d.AppendValue(w.buf)
+		case EncodeDelta:
+			var err error
+			w.buf, err = w.deltas[i].Append(w.buf, d)
+			if err != nil {
+				return err
+			}
+		case EncodeDict:
+			w.buf = binary.AppendUvarint(w.buf, w.dicts[i].Encode(d.S))
+		}
+	}
+	w.blockRecs++
+	w.records++
+	if len(w.buf) >= w.blockSize {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+func (w *Writer) flushBlock() error {
+	if w.blockRecs == 0 {
+		return nil
+	}
+	var hdr []byte
+	hdr = binary.AppendUvarint(hdr, uint64(len(w.buf)))
+	hdr = binary.AppendUvarint(hdr, uint64(w.blockRecs))
+	if _, err := w.f.Write(hdr); err != nil {
+		return fmt.Errorf("storage: write block header: %w", err)
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		return fmt.Errorf("storage: write block: %w", err)
+	}
+	w.blocks = append(w.blocks, blockInfo{
+		offset:  w.offset,
+		length:  int64(len(hdr) + len(w.buf)),
+		records: w.blockRecs,
+	})
+	w.offset += int64(len(hdr) + len(w.buf))
+	w.buf = w.buf[:0]
+	w.blockRecs = 0
+	for _, d := range w.deltas {
+		if d != nil {
+			d.Reset()
+		}
+	}
+	return nil
+}
+
+// NumRecords returns the number of records appended so far.
+func (w *Writer) NumRecords() int64 { return w.records }
+
+// Close flushes the final block, writes the footer, and closes the file.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.flushBlock(); err != nil {
+		w.f.Close()
+		return err
+	}
+	var ftr []byte
+	ftr = binary.AppendUvarint(ftr, uint64(len(w.blocks)))
+	for _, b := range w.blocks {
+		ftr = binary.AppendUvarint(ftr, uint64(b.offset))
+		ftr = binary.AppendUvarint(ftr, uint64(b.length))
+		ftr = binary.AppendUvarint(ftr, uint64(b.records))
+	}
+	for i, d := range w.dicts {
+		if w.encodings[i] == EncodeDict {
+			ftr = d.AppendBinary(ftr)
+		}
+	}
+	ftr = binary.LittleEndian.AppendUint64(ftr, uint64(len(ftr)))
+	ftr = append(ftr, magicFooter...)
+	if _, err := w.f.Write(ftr); err != nil {
+		w.f.Close()
+		return fmt.Errorf("storage: write footer: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("storage: sync: %w", err)
+	}
+	return w.f.Close()
+}
+
+// Schema returns the writer's file schema.
+func (w *Writer) Schema() *serde.Schema { return w.schema }

@@ -1,0 +1,260 @@
+// Package workload generates the datasets of the paper's evaluation
+// (Section 4 and Appendix D, modeled on Pavlo et al.): Rankings, WebPages
+// (unique pages with Zipfian popularity), UserVisits (fields drawn from
+// fixed pools, destURL Zipfian over the page list), and plain text
+// documents for the UDF-aggregation benchmark. All generation is
+// deterministic given the seed. Data volumes are scaled down from the
+// paper's 120+ GB per DESIGN.md: the ratios that drive the results
+// (selectivity, field-size proportions, Zipf skew) are preserved.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"manimal/internal/serde"
+	"manimal/internal/storage"
+)
+
+// Schemas of the generated datasets (paper Figure 7, with the minor typing
+// simplifications the paper itself applies).
+var (
+	// RankingsSchema mirrors Pavlo's Rankings(pageURL, pageRank, avgDuration).
+	RankingsSchema = serde.MustSchema(
+		serde.Field{Name: "pageURL", Kind: serde.KindString},
+		serde.Field{Name: "pageRank", Kind: serde.KindInt64},
+		serde.Field{Name: "avgDuration", Kind: serde.KindInt64},
+	)
+	// RankingsOpaqueSchema is the AbstractTuple-style variant of Benchmark
+	// 1: the whole tuple serialized into one opaque pipe-separated string,
+	// hiding the field structure from the analyzer.
+	RankingsOpaqueSchema = serde.MustSchema(
+		serde.Field{Name: "tuple", Kind: serde.KindString},
+	)
+	// WebPagesSchema is WebPages(url, rank, content).
+	WebPagesSchema = serde.MustSchema(
+		serde.Field{Name: "url", Kind: serde.KindString},
+		serde.Field{Name: "rank", Kind: serde.KindInt64},
+		serde.Field{Name: "content", Kind: serde.KindString},
+	)
+	// UserVisitsSchema is UserVisits(sourceIP, destURL, visitDate,
+	// adRevenue, userAgent, countryCode, languageCode, searchWord, duration).
+	UserVisitsSchema = serde.MustSchema(
+		serde.Field{Name: "sourceIP", Kind: serde.KindString},
+		serde.Field{Name: "destURL", Kind: serde.KindString},
+		serde.Field{Name: "visitDate", Kind: serde.KindInt64},
+		serde.Field{Name: "adRevenue", Kind: serde.KindInt64},
+		serde.Field{Name: "userAgent", Kind: serde.KindString},
+		serde.Field{Name: "countryCode", Kind: serde.KindString},
+		serde.Field{Name: "languageCode", Kind: serde.KindString},
+		serde.Field{Name: "searchWord", Kind: serde.KindString},
+		serde.Field{Name: "duration", Kind: serde.KindInt64},
+	)
+	// DocumentsSchema holds raw text content for UDF aggregation.
+	DocumentsSchema = serde.MustSchema(
+		serde.Field{Name: "content", Kind: serde.KindString},
+	)
+)
+
+// RankMax is the exclusive upper bound of the uniform pageRank/rank
+// distribution; thresholds map directly to selectivities
+// (rank > T  selects (RankMax-1-T)/RankMax of the records).
+const RankMax = 10000
+
+// Gen is a deterministic dataset generator.
+type Gen struct {
+	rnd    *rand.Rand
+	ipPool []string
+}
+
+// ipPoolSize bounds the distinct source IPs: web logs see repeat visitors,
+// which is what makes combiner pre-aggregation (and the paper's Benchmark
+// 2 grouping) meaningful.
+const ipPoolSize = 1000
+
+// NewGen returns a generator with the given seed.
+func NewGen(seed int64) *Gen {
+	g := &Gen{rnd: rand.New(rand.NewSource(seed))}
+	g.ipPool = make([]string, ipPoolSize)
+	for i := range g.ipPool {
+		g.ipPool[i] = fmt.Sprintf("%d.%d.%d.%d",
+			g.rnd.Intn(223)+1, g.rnd.Intn(256), g.rnd.Intn(256), g.rnd.Intn(256))
+	}
+	return g
+}
+
+// URL returns the i-th synthetic page URL.
+func URL(i int) string {
+	return fmt.Sprintf("http://www.site%04d.example.com/page-%06d.html", i%977, i)
+}
+
+var (
+	userAgents = []string{
+		"Mozilla/5.0 (X11; Linux x86_64)", "Mozilla/5.0 (Windows NT 10.0)",
+		"Mozilla/5.0 (Macintosh; Intel)", "Opera/9.80", "Lynx/2.8.9",
+	}
+	countryCodes  = []string{"US", "DE", "JP", "BR", "IN", "GB", "FR", "CN", "AU", "CA"}
+	languageCodes = []string{"en", "de", "ja", "pt", "hi", "fr", "zh"}
+	searchWords   = []string{
+		"database", "systems", "mapreduce", "optimizer", "index", "btree",
+		"hadoop", "analysis", "compression", "projection", "selection",
+	}
+	contentWords = []string{
+		"the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog",
+		"data", "processing", "large", "clusters", "query", "engine",
+		"distributed", "storage", "record", "field", "value", "stream",
+	}
+)
+
+func (g *Gen) pick(xs []string) string { return xs[g.rnd.Intn(len(xs))] }
+
+func (g *Gen) ip() string { return g.ipPool[g.rnd.Intn(len(g.ipPool))] }
+
+// text builds ~size bytes of word salad.
+func (g *Gen) text(size int) string {
+	var b strings.Builder
+	b.Grow(size + 16)
+	for b.Len() < size {
+		b.WriteString(g.pick(contentWords))
+		b.WriteByte(' ')
+	}
+	return b.String()
+}
+
+// Ranking is one Rankings row.
+type Ranking struct {
+	PageURL     string
+	PageRank    int64
+	AvgDuration int64
+}
+
+// Ranking generates the i-th Rankings row.
+func (g *Gen) Ranking(i int) Ranking {
+	return Ranking{
+		PageURL:     URL(i),
+		PageRank:    int64(g.rnd.Intn(RankMax)),
+		AvgDuration: int64(g.rnd.Intn(300) + 1),
+	}
+}
+
+// WriteRankings writes n Rankings rows to a record file.
+func (g *Gen) WriteRankings(path string, n int) error {
+	w, err := storage.NewWriter(path, RankingsSchema, storage.WriterOptions{})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		r := g.Ranking(i)
+		rec := serde.NewRecord(RankingsSchema)
+		rec.MustSet("pageURL", serde.String(r.PageURL))
+		rec.MustSet("pageRank", serde.Int(r.PageRank))
+		rec.MustSet("avgDuration", serde.Int(r.AvgDuration))
+		if err := w.Append(rec); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// WriteRankingsOpaque writes n Rankings rows in the AbstractTuple style:
+// one pipe-separated string per record (Benchmark 1's custom serialization
+// that hides fields from the analyzer).
+func (g *Gen) WriteRankingsOpaque(path string, n int) error {
+	w, err := storage.NewWriter(path, RankingsOpaqueSchema, storage.WriterOptions{})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		r := g.Ranking(i)
+		rec := serde.NewRecord(RankingsOpaqueSchema)
+		rec.MustSet("tuple", serde.String(fmt.Sprintf("%s|%d|%d", r.PageURL, r.PageRank, r.AvgDuration)))
+		if err := w.Append(rec); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// WriteWebPages writes n WebPages rows with ~contentSize-byte content
+// fields. Ranks are uniform over [0, RankMax) so selection thresholds map
+// directly to selectivities (paper Table 3's sweep).
+func (g *Gen) WriteWebPages(path string, n, contentSize int) error {
+	w, err := storage.NewWriter(path, WebPagesSchema, storage.WriterOptions{})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		rec := serde.NewRecord(WebPagesSchema)
+		rec.MustSet("url", serde.String(URL(i)))
+		rec.MustSet("rank", serde.Int(int64(g.rnd.Intn(RankMax))))
+		rec.MustSet("content", serde.String(g.text(contentSize)))
+		if err := w.Append(rec); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// WriteUserVisits writes n UserVisits rows. destURL follows a Zipfian
+// distribution over numURLs synthetic pages; visitDate is non-decreasing
+// with small steps and adRevenue/duration vary slowly, which is what gives
+// delta-compression its ~47% space saving on the numeric fields.
+func (g *Gen) WriteUserVisits(path string, n, numURLs int) error {
+	w, err := storage.NewWriter(path, UserVisitsSchema, storage.WriterOptions{})
+	if err != nil {
+		return err
+	}
+	zipf := rand.NewZipf(g.rnd, 1.3, 1.0, uint64(numURLs-1))
+	visitDate := int64(1_200_000_000) // epoch seconds, advancing
+	for i := 0; i < n; i++ {
+		visitDate += int64(g.rnd.Intn(30))
+		rec := serde.NewRecord(UserVisitsSchema)
+		rec.MustSet("sourceIP", serde.String(g.ip()))
+		rec.MustSet("destURL", serde.String(URL(int(zipf.Uint64()))))
+		rec.MustSet("visitDate", serde.Int(visitDate))
+		rec.MustSet("adRevenue", serde.Int(int64(g.rnd.Intn(1000))))
+		rec.MustSet("userAgent", serde.String(g.pick(userAgents)))
+		rec.MustSet("countryCode", serde.String(g.pick(countryCodes)))
+		rec.MustSet("languageCode", serde.String(g.pick(languageCodes)))
+		rec.MustSet("searchWord", serde.String(g.pick(searchWords)))
+		rec.MustSet("duration", serde.Int(int64(g.rnd.Intn(3600))))
+		if err := w.Append(rec); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// WriteDocuments writes n text documents of ~contentSize bytes, each
+// embedding a few URLs from a pool of urlPool pages (for the UDF
+// aggregation benchmark's inlink counting).
+func (g *Gen) WriteDocuments(path string, n, contentSize, urlPool int) error {
+	w, err := storage.NewWriter(path, DocumentsSchema, storage.WriterOptions{})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		var b strings.Builder
+		b.WriteString(g.text(contentSize))
+		// Roughly 70% of documents embed 1-4 URLs; the rest have none,
+		// which is the implicit selection the paper's Benchmark 4 performs.
+		if g.rnd.Intn(10) < 7 {
+			for links := g.rnd.Intn(4) + 1; links > 0; links-- {
+				b.WriteByte(' ')
+				b.WriteString(URL(g.rnd.Intn(urlPool)))
+			}
+		}
+		rec := serde.NewRecord(DocumentsSchema)
+		rec.MustSet("content", serde.String(b.String()))
+		if err := w.Append(rec); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"manimal/internal/storage"
+)
+
+func TestDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.rec")
+	b := filepath.Join(dir, "b.rec")
+	if err := NewGen(7).WriteUserVisits(a, 500, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewGen(7).WriteUserVisits(b, 500, 100); err != nil {
+		t.Fatal(err)
+	}
+	ra, _, err := storage.ReadAll(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _, err := storage.ReadAll(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ra {
+		if !ra[i].Equal(rb[i]) {
+			t.Fatalf("record %d differs between same-seed runs", i)
+		}
+	}
+}
+
+func TestUserVisitsShape(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "uv.rec")
+	if err := NewGen(1).WriteUserVisits(path, 2000, 50); err != nil {
+		t.Fatal(err)
+	}
+	recs, schema, err := storage.ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !schema.Equal(UserVisitsSchema) {
+		t.Fatalf("schema = %s", schema)
+	}
+	prev := int64(0)
+	urls := make(map[string]int)
+	for _, r := range recs {
+		if d := r.Int("visitDate"); d < prev {
+			t.Fatal("visitDate not non-decreasing")
+		} else {
+			prev = d
+		}
+		urls[r.Str("destURL")]++
+		if r.Int("duration") < 0 || r.Int("duration") >= 3600 {
+			t.Fatal("duration out of range")
+		}
+	}
+	if len(urls) < 10 || len(urls) > 50 {
+		t.Fatalf("distinct URLs = %d, want within pool", len(urls))
+	}
+	// Zipf skew: the most popular URL should dominate.
+	max := 0
+	for _, n := range urls {
+		if n > max {
+			max = n
+		}
+	}
+	if max < len(recs)/10 {
+		t.Errorf("top URL has %d of %d visits; expected Zipfian skew", max, len(recs))
+	}
+}
+
+func TestRankingsUniformRank(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.rec")
+	if err := NewGen(2).WriteRankings(path, 5000); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := storage.ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	above := 0
+	for _, r := range recs {
+		rank := r.Int("pageRank")
+		if rank < 0 || rank >= RankMax {
+			t.Fatal("rank out of range")
+		}
+		if rank > RankMax/2 {
+			above++
+		}
+	}
+	frac := float64(above) / float64(len(recs))
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("rank > max/2 fraction = %.2f; expected ~0.5 (uniform)", frac)
+	}
+}
+
+func TestOpaqueRankingsParseBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "o.rec")
+	if err := NewGen(3).WriteRankingsOpaque(path, 100); err != nil {
+		t.Fatal(err)
+	}
+	recs, schema, err := storage.ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !schema.Equal(RankingsOpaqueSchema) {
+		t.Fatalf("schema = %s", schema)
+	}
+	for _, r := range recs {
+		parts := strings.Split(r.Str("tuple"), "|")
+		if len(parts) != 3 || !strings.HasPrefix(parts[0], "http://") {
+			t.Fatalf("bad opaque tuple %q", r.Str("tuple"))
+		}
+	}
+}
+
+func TestWebPagesContentSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.rec")
+	if err := NewGen(4).WriteWebPages(path, 200, 1000); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := storage.ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if n := len(r.Str("content")); n < 1000 || n > 1100 {
+			t.Fatalf("content size %d, want ~1000", n)
+		}
+	}
+}
+
+func TestDocumentsEmbedURLs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.rec")
+	if err := NewGen(5).WriteDocuments(path, 500, 100, 50); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := storage.ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withURL := 0
+	for _, r := range recs {
+		if strings.Contains(r.Str("content"), "http://") {
+			withURL++
+		}
+	}
+	frac := float64(withURL) / float64(len(recs))
+	if frac < 0.5 || frac > 0.9 {
+		t.Errorf("documents with URLs = %.2f, want ~0.7", frac)
+	}
+}

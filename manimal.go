@@ -1,0 +1,349 @@
+// Package manimal is a Go reproduction of MANIMAL ("Automatic Optimization
+// for MapReduce Programs", Jahani, Cafarella & Ré, PVLDB 4(6), 2011): a
+// system that statically analyzes unmodified MapReduce programs, detects
+// relational-style optimization opportunities — selection, projection,
+// delta-compression, and direct operation on compressed data — and executes
+// the programs against automatically-built indexes, with no change to
+// program output.
+//
+// The three components of paper Figure 1 map to this API as follows:
+//
+//   - the analyzer:   System.Analyze (package internal/analyzer)
+//   - the optimizer:  plan selection inside System.Submit
+//     (package internal/optimizer + the catalog)
+//   - execution fabric: the MapReduce engine (package internal/mapreduce)
+//
+// Programs are written in a Go-syntax mapper language (see ParseProgram);
+// the analyzed representation is exactly the executed representation.
+//
+// Quick start:
+//
+//	sys, _ := manimal.NewSystem(dir)
+//	prog, _ := manimal.ParseProgram("topurls", src)
+//	report, _ := sys.Submit(manimal.JobSpec{
+//	    Name:       "topurls",
+//	    Inputs:     []manimal.InputSpec{{Path: "webpages.rec", Program: prog}},
+//	    OutputPath: "out.kv",
+//	    Conf:       manimal.Conf{"threshold": manimal.Int(1)},
+//	})
+//
+// Submitting a job yields not just a result but also the synthesized
+// index-generation programs; run them with System.BuildIndex (the paper
+// leaves the decision to the administrator, like CREATE INDEX), and
+// subsequent submissions of the same program run against the index.
+package manimal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"manimal/internal/analyzer"
+	"manimal/internal/catalog"
+	"manimal/internal/fabric"
+	"manimal/internal/indexgen"
+	"manimal/internal/lang"
+	"manimal/internal/mapreduce"
+	"manimal/internal/optimizer"
+	"manimal/internal/serde"
+	"manimal/internal/storage"
+)
+
+// Datum re-exports the scalar value type used for keys, config parameters,
+// and record fields.
+type Datum = serde.Datum
+
+// Record re-exports the typed tuple programs consume.
+type Record = serde.Record
+
+// Schema re-exports the record schema type.
+type Schema = serde.Schema
+
+// Conf carries job parameters read by programs via ctx.ConfInt etc.
+type Conf = map[string]serde.Datum
+
+// Scalar constructors, re-exported for ergonomic job configuration.
+var (
+	Int    = serde.Int
+	Float  = serde.Float
+	String = serde.String
+	Bool   = serde.Bool
+)
+
+// ParseSchema parses "name:kind,..." schema text.
+func ParseSchema(text string) (*Schema, error) { return serde.ParseSchema(text) }
+
+// Program is a parsed, validated mapper-language program.
+type Program struct {
+	Name   string
+	Source string
+	parsed *lang.Program
+}
+
+// ParseProgram parses and validates mapper-language source (top-level func
+// Map, optional Reduce and Combine, optional package-level vars).
+func ParseProgram(name, source string) (*Program, error) {
+	p, err := lang.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Name: name, Source: source, parsed: p}, nil
+}
+
+// Parsed exposes the underlying language object (for tooling like the CLI's
+// explain command).
+func (p *Program) Parsed() *lang.Program { return p.parsed }
+
+// Descriptor re-exports the analyzer's optimization descriptor.
+type Descriptor = analyzer.Descriptor
+
+// Plan re-exports the optimizer's execution descriptor.
+type Plan = optimizer.Plan
+
+// IndexSpec re-exports the synthesized index description.
+type IndexSpec = indexgen.Spec
+
+// CatalogEntry re-exports a catalog index record.
+type CatalogEntry = catalog.Entry
+
+// System owns a catalog directory and a scratch area, and submits jobs.
+type System struct {
+	dir     string
+	workDir string
+	cat     *catalog.Catalog
+}
+
+// NewSystem opens (or initializes) a Manimal system rooted at dir: the
+// catalog lives in dir, scratch shuffle space in dir/work.
+func NewSystem(dir string) (*System, error) {
+	cat, err := catalog.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	workDir := filepath.Join(dir, "work")
+	if err := os.MkdirAll(workDir, 0o755); err != nil {
+		return nil, fmt.Errorf("manimal: %w", err)
+	}
+	return &System{dir: dir, workDir: workDir, cat: cat}, nil
+}
+
+// Catalog exposes the index catalog.
+func (s *System) Catalog() *catalog.Catalog { return s.cat }
+
+// Analyze runs the static analyzer against the program for an input file's
+// schema.
+func (s *System) Analyze(p *Program, inputPath string) (*Descriptor, error) {
+	schema, err := schemaOf(inputPath)
+	if err != nil {
+		return nil, err
+	}
+	return analyzer.Analyze(p.parsed, schema)
+}
+
+// AnalyzeSchema is Analyze with an explicit schema (no file required).
+func AnalyzeSchema(p *Program, schema *Schema) (*Descriptor, error) {
+	return analyzer.Analyze(p.parsed, schema)
+}
+
+func schemaOf(path string) (*serde.Schema, error) {
+	r, err := storage.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return r.Schema(), nil
+}
+
+// InputSpec names one input file and the program whose Map consumes it.
+// Multi-input jobs (e.g. repartition joins) list several.
+type InputSpec struct {
+	Path    string
+	Program *Program
+}
+
+// JobSpec describes one job submission.
+type JobSpec struct {
+	Name   string
+	Inputs []InputSpec
+	// OutputPath receives the final KV output file.
+	OutputPath string
+	// Conf holds the job parameters programs read via ctx.Conf*.
+	Conf Conf
+	// MapOnly skips the shuffle/reduce phase even if the program has a
+	// Reduce function.
+	MapOnly bool
+	// SortedOutput requires key-sorted final output, which (paper footnote
+	// 1) disables direct operation on map output keys.
+	SortedOutput bool
+	// SafeMode avoids optimizations that would modify detected side
+	// effects such as debug logging (paper footnote 2), at the cost of
+	// reduced optimization opportunities.
+	SafeMode bool
+	// DisableOptimization runs the job exactly as a conventional MapReduce
+	// system would: no analysis, no indexes. This is the paper's "Hadoop"
+	// baseline.
+	DisableOptimization bool
+	// NumReducers / MaxParallelTasks / StartupDelay tune the engine; zero
+	// values use engine defaults.
+	NumReducers      int
+	MaxParallelTasks int
+	StartupDelay     time.Duration
+}
+
+// InputReport carries per-input analysis and planning results.
+type InputReport struct {
+	Path       string
+	Descriptor *Descriptor
+	Plan       *Plan
+	// IndexPrograms are the synthesized index-generation programs for this
+	// input (primary first). They are returned, not run: building an index
+	// is the administrator's call, via System.BuildIndex.
+	IndexPrograms []IndexSpec
+}
+
+// JobReport is the outcome of a submission.
+type JobReport struct {
+	Inputs   []InputReport
+	Result   *mapreduce.Result
+	Duration time.Duration
+}
+
+// Submit analyzes, optimizes, and executes a job (paper Section 2.2's
+// three-step walkthrough), returning the report with the synthesized
+// index-generation programs.
+func (s *System) Submit(spec JobSpec) (*JobReport, error) {
+	if len(spec.Inputs) == 0 {
+		return nil, fmt.Errorf("manimal: job %q has no inputs", spec.Name)
+	}
+	if spec.OutputPath == "" {
+		return nil, fmt.Errorf("manimal: job %q has no output path", spec.Name)
+	}
+
+	report := &JobReport{}
+	var inputs []mapreduce.MapInput
+	closeAll := func() {
+		for _, in := range inputs {
+			in.Input.Close()
+		}
+	}
+
+	for _, ispec := range spec.Inputs {
+		schema, err := schemaOf(ispec.Path)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		ir := InputReport{Path: ispec.Path}
+		if !spec.DisableOptimization {
+			desc, err := analyzer.Analyze(ispec.Program.parsed, schema)
+			if err != nil {
+				closeAll()
+				return nil, fmt.Errorf("manimal: analyzing %s for %s: %w", ispec.Program.Name, ispec.Path, err)
+			}
+			ir.Descriptor = desc
+			ir.IndexPrograms = indexgen.Synthesize(desc, schema)
+			ir.Plan = optimizer.Choose(desc, ispec.Path, schema, s.cat.ForInput(ispec.Path), spec.Conf,
+				optimizer.Options{SortedOutput: spec.SortedOutput, SafeMode: spec.SafeMode})
+		} else {
+			ir.Plan = &optimizer.Plan{Kind: optimizer.PlanOriginal, InputPath: ispec.Path}
+		}
+		in, err := fabric.InputForPlan(ir.Plan)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		inputs = append(inputs, mapreduce.MapInput{
+			Input:  in,
+			Mapper: fabric.MapperFactory(ispec.Program.parsed),
+		})
+		report.Inputs = append(report.Inputs, ir)
+	}
+	defer closeAll()
+
+	out, err := mapreduce.NewKVFileOutput(spec.OutputPath)
+	if err != nil {
+		return nil, err
+	}
+
+	jobWork, err := os.MkdirTemp(s.workDir, "job-*")
+	if err != nil {
+		return nil, fmt.Errorf("manimal: %w", err)
+	}
+	defer os.RemoveAll(jobWork)
+
+	job := &mapreduce.Job{
+		Name:   spec.Name,
+		Inputs: inputs,
+		Output: out,
+		Config: mapreduce.Config{
+			NumReducers:      spec.NumReducers,
+			MaxParallelTasks: spec.MaxParallelTasks,
+			WorkDir:          jobWork,
+			StartupDelay:     spec.StartupDelay,
+			SortedOutput:     spec.SortedOutput,
+			Conf:             spec.Conf,
+		},
+	}
+	if !spec.MapOnly {
+		lead := spec.Inputs[0].Program.parsed
+		job.Reducer = fabric.ReducerFactory(lead)
+		job.Combiner = fabric.CombinerFactory(lead)
+	}
+
+	res, err := mapreduce.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	report.Result = res
+	report.Duration = res.Duration
+	return report, nil
+}
+
+// BuildIndex runs an index-generation program over inputPath, writes the
+// index to indexPath, and registers it in the catalog (the CREATE INDEX of
+// Manimal's world).
+func (s *System) BuildIndex(spec IndexSpec, inputPath, indexPath string) (CatalogEntry, error) {
+	jobWork, err := os.MkdirTemp(s.workDir, "idx-*")
+	if err != nil {
+		return CatalogEntry{}, fmt.Errorf("manimal: %w", err)
+	}
+	defer os.RemoveAll(jobWork)
+	entry, err := indexgen.Build(spec, inputPath, indexPath, jobWork)
+	if err != nil {
+		return CatalogEntry{}, err
+	}
+	if err := s.cat.Add(entry); err != nil {
+		return CatalogEntry{}, err
+	}
+	return entry, nil
+}
+
+// BuildBestIndexes analyzes the program against the input and builds every
+// synthesized index (primary combined index plus alternatives), returning
+// the catalog entries. Index files are placed next to the input file with
+// a .idxN suffix.
+func (s *System) BuildBestIndexes(p *Program, inputPath string) ([]CatalogEntry, error) {
+	schema, err := schemaOf(inputPath)
+	if err != nil {
+		return nil, err
+	}
+	desc, err := analyzer.Analyze(p.parsed, schema)
+	if err != nil {
+		return nil, err
+	}
+	specs := indexgen.Synthesize(desc, schema)
+	var out []CatalogEntry
+	for i, ispec := range specs {
+		indexPath := fmt.Sprintf("%s.idx%d", inputPath, i)
+		e, err := s.BuildIndex(ispec, inputPath, indexPath)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// ReadOutput loads a job's KV output file.
+func ReadOutput(path string) ([]mapreduce.KVPair, error) { return mapreduce.ReadKVFile(path) }
