@@ -8,6 +8,7 @@ import (
 	"manimal"
 	"manimal/internal/bench"
 	"manimal/internal/interp"
+	"manimal/internal/lang"
 	"manimal/internal/serde"
 	"manimal/internal/storage"
 	"manimal/internal/workload"
@@ -101,7 +102,12 @@ func BenchmarkRecordFileScan(b *testing.B) {
 	}
 }
 
-func BenchmarkInterpreterMapInvocation(b *testing.B) {
+// benchMapInvocation measures one selection-map invocation per op through
+// the given executor constructor. The compiled-closure path (interp.New)
+// and the AST tree-walking path (interp.NewTreeWalker) run the same
+// program, so the two benchmarks quantify what closure compilation buys on
+// the per-record hot path.
+func benchMapInvocation(b *testing.B, newExec func(p *lang.Program) (*interp.Executor, error)) {
 	prog, err := manimal.ParseProgram("bench", `
 func Map(k, v *Record, ctx *Ctx) {
 	if v.Int("rank") > ctx.ConfInt("threshold") {
@@ -112,7 +118,7 @@ func Map(k, v *Record, ctx *Ctx) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	ex, err := interp.New(prog.Parsed())
+	ex, err := newExec(prog.Parsed())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -134,6 +140,14 @@ func Map(k, v *Record, ctx *Ctx) {
 	if emitted != b.N {
 		b.Fatalf("emitted %d of %d", emitted, b.N)
 	}
+}
+
+func BenchmarkInterpreterMapInvocation(b *testing.B) {
+	benchMapInvocation(b, interp.New)
+}
+
+func BenchmarkInterpreterMapInvocationTreeWalk(b *testing.B) {
+	benchMapInvocation(b, interp.NewTreeWalker)
 }
 
 func BenchmarkShuffleSortSpillMerge(b *testing.B) {

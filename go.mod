@@ -1,0 +1,3 @@
+module manimal
+
+go 1.21

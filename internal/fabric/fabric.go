@@ -25,7 +25,9 @@ func (m *interpMapper) Map(k serde.Datum, rec *serde.Record, ctx *interp.Context
 
 // MapperFactory builds per-task interpreted mappers for the program. Each
 // task gets its own executor, so package-level variables behave like
-// per-task Java member variables.
+// per-task Java member variables — and each executor compiles the program
+// to closures once (interp.New), so the per-record map path never walks
+// the AST.
 func MapperFactory(p *lang.Program) mapreduce.MapperFactory {
 	return func() (mapreduce.Mapper, error) {
 		ex, err := interp.New(p)

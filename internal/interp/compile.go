@@ -1,0 +1,594 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/token"
+
+	"manimal/internal/lang"
+	"manimal/internal/predicate"
+	"manimal/internal/serde"
+)
+
+// This file and compile_expr.go lower mapper-language function bodies into
+// chains of Go closures, once per Executor, so that per-record execution
+// never re-walks the go/ast tree. The lowering mirrors the tree-walker in
+// exec.go/eval.go statement for statement: identifier references are
+// resolved at compile time to integer frame slots (or to the executor's
+// global cells), and accessor/builtin/ctx dispatch is resolved to function
+// values instead of per-call string switches. Any construct the compiler
+// does not cover aborts compilation of that function (errUncompilable) and
+// the executor falls back to the tree-walker, so behavior — including error
+// messages — is identical on both paths; the differential test in
+// differential_test.go holds the two to the same output.
+
+// stmtFn is one compiled statement; it returns the control-flow outcome.
+type stmtFn func(*frame) (ctrl, error)
+
+// exprFn is one compiled expression.
+type exprFn func(*frame) (Value, error)
+
+// storeFn writes one value to a compiled assignment target.
+type storeFn func(*frame, Value) error
+
+// compiledFunc is one function body lowered to closures.
+type compiledFunc struct {
+	body stmtFn
+}
+
+// errUncompilable aborts compilation of a function; the executor then runs
+// that function through the tree-walker instead.
+var errUncompilable = errors.New("interp: construct not covered by the closure compiler")
+
+// compileProgram lowers every invokable function of the executor's program.
+// Functions that fail to compile are simply absent from the result map.
+func compileProgram(ex *Executor) map[string]*compiledFunc {
+	out := make(map[string]*compiledFunc)
+	for name, fn := range ex.prog.Funcs {
+		switch name {
+		case lang.MapFuncName, lang.ReduceFuncName, lang.CombineFuncName:
+		default:
+			continue // never invoked; no point compiling
+		}
+		if len(fn.Params) != 3 {
+			continue // invocation errors out before executing the body
+		}
+		c := &compiler{ex: ex, fn: fn, ctxName: fn.Params[2].Name}
+		if name != lang.MapFuncName {
+			c.iterName = fn.Params[1].Name
+		}
+		body, err := c.block(fn.Body)
+		if err != nil {
+			continue
+		}
+		out[name] = &compiledFunc{body: body}
+	}
+	return out
+}
+
+// compiler lowers one function. ctxName/iterName mirror the frame fields the
+// tree-walker consults at runtime; here they are fixed at compile time.
+type compiler struct {
+	ex       *Executor
+	fn       *lang.Function
+	ctxName  string
+	iterName string // "" for Map
+}
+
+func (c *compiler) block(b *ast.BlockStmt) (stmtFn, error) {
+	fns := make([]stmtFn, len(b.List))
+	for i, s := range b.List {
+		f, err := c.stmt(s)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = f
+	}
+	return func(fr *frame) (ctrl, error) {
+		for _, f := range fns {
+			ct, err := f(fr)
+			if err != nil || ct != ctrlNone {
+				return ct, err
+			}
+		}
+		return ctrlNone, nil
+	}, nil
+}
+
+func (c *compiler) stmt(s ast.Stmt) (stmtFn, error) {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		return c.assign(st)
+	case *ast.DeclStmt:
+		return c.decl(st)
+	case *ast.ExprStmt:
+		f, err := c.expr(st.X)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) (ctrl, error) {
+			_, err := f(fr)
+			return ctrlNone, err
+		}, nil
+	case *ast.IncDecStmt:
+		return c.incDec(st)
+	case *ast.IfStmt:
+		return c.ifStmt(st)
+	case *ast.ForStmt:
+		return c.forStmt(st)
+	case *ast.RangeStmt:
+		return c.rangeStmt(st)
+	case *ast.ReturnStmt:
+		return func(*frame) (ctrl, error) { return ctrlReturn, nil }, nil
+	case *ast.BranchStmt:
+		if st.Tok == token.BREAK {
+			return func(*frame) (ctrl, error) { return ctrlBreak, nil }, nil
+		}
+		return func(*frame) (ctrl, error) { return ctrlContinue, nil }, nil
+	case *ast.BlockStmt:
+		return c.block(st)
+	default:
+		return nil, errUncompilable
+	}
+}
+
+func (c *compiler) assign(st *ast.AssignStmt) (stmtFn, error) {
+	// Two-value form: x, ok := m[k].
+	if len(st.Lhs) == 2 {
+		ix, ok := st.Rhs[0].(*ast.IndexExpr)
+		if !ok {
+			return nil, errUncompilable
+		}
+		mapFn, err := c.expr(ix.X)
+		if err != nil {
+			return nil, err
+		}
+		keyFn, err := c.expr(ix.Index)
+		if err != nil {
+			return nil, err
+		}
+		store0, err := c.store(st.Lhs[0], st.Tok)
+		if err != nil {
+			return nil, err
+		}
+		store1, err := c.store(st.Lhs[1], st.Tok)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) (ctrl, error) {
+			mv, err := mapFn(fr)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if mv.Kind != ValMap {
+				return ctrlNone, fmt.Errorf("interp: two-value index on %v", mv.Kind)
+			}
+			kv, err := keyFn(fr)
+			if err != nil {
+				return ctrlNone, err
+			}
+			kd, err := kv.scalar()
+			if err != nil {
+				return ctrlNone, err
+			}
+			d, found := mv.M[mapKey(kd)]
+			if !found {
+				d = serde.Bool(false) // zero value; language maps default to bool
+			}
+			if err := store0(fr, Scalar(d)); err != nil {
+				return ctrlNone, err
+			}
+			return ctrlNone, store1(fr, BoolVal(found))
+		}, nil
+	}
+
+	rhsFn, err := c.expr(st.Rhs[0])
+	if err != nil {
+		return nil, err
+	}
+	if st.Tok == token.ASSIGN || st.Tok == token.DEFINE {
+		store, err := c.store(st.Lhs[0], st.Tok)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) (ctrl, error) {
+			v, err := rhsFn(fr)
+			if err != nil {
+				return ctrlNone, err
+			}
+			return ctrlNone, store(fr, v)
+		}, nil
+	}
+
+	// Op-assign: read, combine, write.
+	curFn, err := c.expr(st.Lhs[0])
+	if err != nil {
+		return nil, err
+	}
+	store, err := c.store(st.Lhs[0], token.ASSIGN)
+	if err != nil {
+		return nil, err
+	}
+	var op token.Token
+	switch st.Tok {
+	case token.ADD_ASSIGN:
+		op = token.ADD
+	case token.SUB_ASSIGN:
+		op = token.SUB
+	case token.MUL_ASSIGN:
+		op = token.MUL
+	case token.QUO_ASSIGN:
+		op = token.QUO
+	case token.REM_ASSIGN:
+		op = token.REM
+	default:
+		return nil, errUncompilable
+	}
+	return func(fr *frame) (ctrl, error) {
+		rhs, err := rhsFn(fr)
+		if err != nil {
+			return ctrlNone, err
+		}
+		cur, err := curFn(fr)
+		if err != nil {
+			return ctrlNone, err
+		}
+		curD, err := cur.scalar()
+		if err != nil {
+			return ctrlNone, err
+		}
+		rhsD, err := rhs.scalar()
+		if err != nil {
+			return ctrlNone, err
+		}
+		out, err := predicate.EvalBinary(op, curD, rhsD)
+		if err != nil {
+			return ctrlNone, err
+		}
+		return ctrlNone, store(fr, Scalar(out))
+	}, nil
+}
+
+// store resolves an assignment target at compile time. Identifier targets
+// become slot or global-cell writes; index targets become map stores.
+func (c *compiler) store(lhs ast.Expr, tok token.Token) (storeFn, error) {
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return func(*frame, Value) error { return nil }, nil
+		}
+		if i, ok := c.fn.SlotIndex(l.Name); ok {
+			// Slot writes cover both := (define) and = (assign-or-define):
+			// the no-shadowing rule makes the two identical on slot names.
+			return func(fr *frame, v Value) error {
+				fr.slots[i] = v
+				fr.defined[i] = true
+				return nil
+			}, nil
+		}
+		if g, ok := c.ex.globals[l.Name]; ok {
+			if tok == token.DEFINE {
+				return nil, errUncompilable // validator rejects; stay exact via walker
+			}
+			return func(_ *frame, v Value) error {
+				*g = v
+				return nil
+			}, nil
+		}
+		return nil, errUncompilable
+	case *ast.IndexExpr:
+		if tok == token.DEFINE {
+			return nil, errUncompilable
+		}
+		mapFn, err := c.expr(l.X)
+		if err != nil {
+			return nil, err
+		}
+		keyFn, err := c.expr(l.Index)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame, v Value) error {
+			mv, err := mapFn(fr)
+			if err != nil {
+				return err
+			}
+			if mv.Kind != ValMap {
+				return fmt.Errorf("interp: index assignment on %v", mv.Kind)
+			}
+			kv, err := keyFn(fr)
+			if err != nil {
+				return err
+			}
+			kd, err := kv.scalar()
+			if err != nil {
+				return err
+			}
+			d, err := v.scalar()
+			if err != nil {
+				return err
+			}
+			mv.M[mapKey(kd)] = d
+			return nil
+		}, nil
+	default:
+		return nil, errUncompilable
+	}
+}
+
+func (c *compiler) decl(st *ast.DeclStmt) (stmtFn, error) {
+	gd, ok := st.Decl.(*ast.GenDecl)
+	if !ok {
+		return nil, errUncompilable
+	}
+	var fns []stmtFn
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			return nil, errUncompilable
+		}
+		for i, n := range vs.Names {
+			var valFn exprFn
+			if i < len(vs.Values) {
+				var err error
+				valFn, err = c.expr(vs.Values[i])
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				var err error
+				valFn, err = c.zeroFn(vs.Type)
+				if err != nil {
+					return nil, err
+				}
+			}
+			store, err := c.store(n, token.DEFINE)
+			if err != nil {
+				return nil, err
+			}
+			fns = append(fns, func(fr *frame) (ctrl, error) {
+				v, err := valFn(fr)
+				if err != nil {
+					return ctrlNone, err
+				}
+				return ctrlNone, store(fr, v)
+			})
+		}
+	}
+	return func(fr *frame) (ctrl, error) {
+		for _, f := range fns {
+			if _, err := f(fr); err != nil {
+				return ctrlNone, err
+			}
+		}
+		return ctrlNone, nil
+	}, nil
+}
+
+// zeroFn compiles the zero value of a declared type. Scalar zeros are
+// computed once; map zeros must allocate a fresh map per execution.
+func (c *compiler) zeroFn(t ast.Expr) (exprFn, error) {
+	if _, ok := t.(*ast.MapType); ok {
+		return func(*frame) (Value, error) { return NewMapVal(), nil }, nil
+	}
+	z, err := zeroValue(t)
+	if err != nil {
+		return nil, errUncompilable // walker reproduces the runtime error
+	}
+	return func(*frame) (Value, error) { return z, nil }, nil
+}
+
+func (c *compiler) incDec(st *ast.IncDecStmt) (stmtFn, error) {
+	id, ok := st.X.(*ast.Ident)
+	if !ok {
+		return nil, errUncompilable
+	}
+	ref, err := c.ref(id.Name)
+	if err != nil {
+		return nil, err
+	}
+	delta := int64(1)
+	if st.Tok == token.DEC {
+		delta = -1
+	}
+	return func(fr *frame) (ctrl, error) {
+		v, err := ref(fr)
+		if err != nil {
+			return ctrlNone, err
+		}
+		d, err := v.scalar()
+		if err != nil {
+			return ctrlNone, err
+		}
+		switch d.Kind {
+		case serde.KindInt64:
+			v.D = serde.Int(d.I + delta)
+		case serde.KindFloat64:
+			v.D = serde.Float(d.F + float64(delta))
+		default:
+			return ctrlNone, fmt.Errorf("interp: ++/-- on %v", d.Kind)
+		}
+		return ctrlNone, nil
+	}, nil
+}
+
+// ref resolves a mutable variable reference at compile time, mirroring
+// frame.lookup: the frame slot if the name has one, else the executor's
+// global cell, else the runtime undefined-variable error.
+func (c *compiler) ref(name string) (func(*frame) (*Value, error), error) {
+	if i, ok := c.fn.SlotIndex(name); ok {
+		return func(fr *frame) (*Value, error) {
+			if !fr.defined[i] {
+				return nil, fmt.Errorf("interp: undefined variable %q", name)
+			}
+			return &fr.slots[i], nil
+		}, nil
+	}
+	if g, ok := c.ex.globals[name]; ok {
+		return func(*frame) (*Value, error) { return g, nil }, nil
+	}
+	return func(*frame) (*Value, error) {
+		return nil, fmt.Errorf("interp: undefined variable %q", name)
+	}, nil
+}
+
+func (c *compiler) ifStmt(st *ast.IfStmt) (stmtFn, error) {
+	condFn, err := c.boolExpr(st.Cond)
+	if err != nil {
+		return nil, err
+	}
+	bodyFn, err := c.block(st.Body)
+	if err != nil {
+		return nil, err
+	}
+	var elseFn stmtFn
+	switch e := st.Else.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		elseFn, err = c.block(e)
+	case *ast.IfStmt:
+		elseFn, err = c.stmt(e)
+	default:
+		return nil, errUncompilable
+	}
+	if err != nil {
+		return nil, err
+	}
+	return func(fr *frame) (ctrl, error) {
+		cond, err := condFn(fr)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if cond {
+			return bodyFn(fr)
+		}
+		if elseFn != nil {
+			return elseFn(fr)
+		}
+		return ctrlNone, nil
+	}, nil
+}
+
+func (c *compiler) forStmt(st *ast.ForStmt) (stmtFn, error) {
+	var initFn, postFn stmtFn
+	var condFn func(*frame) (bool, error)
+	var err error
+	if st.Init != nil {
+		if initFn, err = c.stmt(st.Init); err != nil {
+			return nil, err
+		}
+	}
+	if st.Cond != nil {
+		if condFn, err = c.boolExpr(st.Cond); err != nil {
+			return nil, err
+		}
+	}
+	if st.Post != nil {
+		if postFn, err = c.stmt(st.Post); err != nil {
+			return nil, err
+		}
+	}
+	bodyFn, err := c.block(st.Body)
+	if err != nil {
+		return nil, err
+	}
+	return func(fr *frame) (ctrl, error) {
+		if initFn != nil {
+			if _, err := initFn(fr); err != nil {
+				return ctrlNone, err
+			}
+		}
+		for iter := 0; ; iter++ {
+			if iter >= maxLoopIterations {
+				return ctrlNone, fmt.Errorf("interp: loop exceeded %d iterations", maxLoopIterations)
+			}
+			if condFn != nil {
+				cond, err := condFn(fr)
+				if err != nil {
+					return ctrlNone, err
+				}
+				if !cond {
+					break
+				}
+			}
+			ct, err := bodyFn(fr)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if ct == ctrlBreak {
+				break
+			}
+			if ct == ctrlReturn {
+				return ctrlReturn, nil
+			}
+			if postFn != nil {
+				if _, err := postFn(fr); err != nil {
+					return ctrlNone, err
+				}
+			}
+		}
+		return ctrlNone, nil
+	}, nil
+}
+
+func (c *compiler) rangeStmt(st *ast.RangeStmt) (stmtFn, error) {
+	xFn, err := c.expr(st.X)
+	if err != nil {
+		return nil, err
+	}
+	slotOf := func(e ast.Expr) (int, error) {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return -1, nil // the walker silently ignores these targets too
+		}
+		if i, ok := c.fn.SlotIndex(id.Name); ok {
+			return i, nil
+		}
+		// A global (or otherwise slotless) range variable: the walker's
+		// define-time shadowing semantics apply; leave it to the walker.
+		return -1, errUncompilable
+	}
+	keySlot, err := slotOf(st.Key)
+	if err != nil {
+		return nil, err
+	}
+	valSlot, err := slotOf(st.Value)
+	if err != nil {
+		return nil, err
+	}
+	bodyFn, err := c.block(st.Body)
+	if err != nil {
+		return nil, err
+	}
+	return func(fr *frame) (ctrl, error) {
+		xv, err := xFn(fr)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if xv.Kind != ValList {
+			return ctrlNone, fmt.Errorf("interp: range requires a list, got %v", xv.Kind)
+		}
+		for i, d := range xv.List {
+			if keySlot >= 0 {
+				fr.slots[keySlot] = IntVal(int64(i))
+				fr.defined[keySlot] = true
+			}
+			if valSlot >= 0 {
+				fr.slots[valSlot] = Scalar(d)
+				fr.defined[valSlot] = true
+			}
+			ct, err := bodyFn(fr)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if ct == ctrlBreak {
+				break
+			}
+			if ct == ctrlReturn {
+				return ctrlReturn, nil
+			}
+		}
+		return ctrlNone, nil
+	}, nil
+}

@@ -1,0 +1,596 @@
+package interp
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+
+	"manimal/internal/lang"
+	"manimal/internal/predicate"
+	"manimal/internal/serde"
+)
+
+// Expression lowering. Each case mirrors the tree-walker in eval.go; the
+// difference is that all name resolution (frame slot vs. global cell) and
+// all call dispatch (record accessor vs. ctx method vs. iterator method vs.
+// builtin) happens once here instead of per evaluation.
+
+func (c *compiler) expr(e ast.Expr) (exprFn, error) {
+	switch ex := e.(type) {
+	case *ast.BasicLit:
+		v, err := litValue(ex)
+		if err != nil {
+			return nil, errUncompilable // walker reproduces the runtime error
+		}
+		return func(*frame) (Value, error) { return v, nil }, nil
+	case *ast.Ident:
+		return c.identExpr(ex.Name)
+	case *ast.ParenExpr:
+		return c.expr(ex.X)
+	case *ast.UnaryExpr:
+		return c.unary(ex)
+	case *ast.BinaryExpr:
+		return c.binary(ex)
+	case *ast.IndexExpr:
+		return c.index(ex)
+	case *ast.CallExpr:
+		return c.call(ex)
+	default:
+		return nil, errUncompilable
+	}
+}
+
+func (c *compiler) identExpr(name string) (exprFn, error) {
+	switch name {
+	case "true":
+		v := BoolVal(true)
+		return func(*frame) (Value, error) { return v, nil }, nil
+	case "false":
+		v := BoolVal(false)
+		return func(*frame) (Value, error) { return v, nil }, nil
+	}
+	ref, err := c.ref(name)
+	if err != nil {
+		return nil, err
+	}
+	return func(fr *frame) (Value, error) {
+		p, err := ref(fr)
+		if err != nil {
+			return Value{}, err
+		}
+		return *p, nil
+	}, nil
+}
+
+// boolExpr compiles a condition with evalBool semantics (must be a bool
+// scalar).
+func (c *compiler) boolExpr(e ast.Expr) (func(*frame) (bool, error), error) {
+	f, err := c.expr(e)
+	if err != nil {
+		return nil, err
+	}
+	return func(fr *frame) (bool, error) {
+		v, err := f(fr)
+		if err != nil {
+			return false, err
+		}
+		return v.truth()
+	}, nil
+}
+
+func (c *compiler) unary(ex *ast.UnaryExpr) (exprFn, error) {
+	xFn, err := c.expr(ex.X)
+	if err != nil {
+		return nil, err
+	}
+	op := ex.Op
+	switch op {
+	case token.NOT, token.SUB, token.ADD:
+	default:
+		return nil, errUncompilable
+	}
+	return func(fr *frame) (Value, error) {
+		x, err := xFn(fr)
+		if err != nil {
+			return Value{}, err
+		}
+		d, err := x.scalar()
+		if err != nil {
+			return Value{}, err
+		}
+		switch op {
+		case token.NOT:
+			if d.Kind != serde.KindBool {
+				return Value{}, fmt.Errorf("interp: ! of %v", d.Kind)
+			}
+			return BoolVal(!d.Bool), nil
+		case token.SUB:
+			switch d.Kind {
+			case serde.KindInt64:
+				return IntVal(-d.I), nil
+			case serde.KindFloat64:
+				return FloatVal(-d.F), nil
+			}
+			return Value{}, fmt.Errorf("interp: - of %v", d.Kind)
+		default: // token.ADD
+			return x, nil
+		}
+	}, nil
+}
+
+func (c *compiler) binary(ex *ast.BinaryExpr) (exprFn, error) {
+	// Short-circuit logical operators.
+	if ex.Op == token.LAND || ex.Op == token.LOR {
+		lFn, err := c.boolExpr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		rFn, err := c.boolExpr(ex.Y)
+		if err != nil {
+			return nil, err
+		}
+		if ex.Op == token.LAND {
+			return func(fr *frame) (Value, error) {
+				l, err := lFn(fr)
+				if err != nil {
+					return Value{}, err
+				}
+				if !l {
+					return BoolVal(false), nil
+				}
+				r, err := rFn(fr)
+				if err != nil {
+					return Value{}, err
+				}
+				return BoolVal(r), nil
+			}, nil
+		}
+		return func(fr *frame) (Value, error) {
+			l, err := lFn(fr)
+			if err != nil {
+				return Value{}, err
+			}
+			if l {
+				return BoolVal(true), nil
+			}
+			r, err := rFn(fr)
+			if err != nil {
+				return Value{}, err
+			}
+			return BoolVal(r), nil
+		}, nil
+	}
+
+	lFn, err := c.expr(ex.X)
+	if err != nil {
+		return nil, err
+	}
+	rFn, err := c.expr(ex.Y)
+	if err != nil {
+		return nil, err
+	}
+	op := ex.Op
+	return func(fr *frame) (Value, error) {
+		l, err := lFn(fr)
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := rFn(fr)
+		if err != nil {
+			return Value{}, err
+		}
+		ld, err := l.scalar()
+		if err != nil {
+			return Value{}, err
+		}
+		rd, err := r.scalar()
+		if err != nil {
+			return Value{}, err
+		}
+		out, err := predicate.EvalBinary(op, ld, rd)
+		if err != nil {
+			return Value{}, err
+		}
+		return Scalar(out), nil
+	}, nil
+}
+
+func (c *compiler) index(ex *ast.IndexExpr) (exprFn, error) {
+	xFn, err := c.expr(ex.X)
+	if err != nil {
+		return nil, err
+	}
+	iFn, err := c.expr(ex.Index)
+	if err != nil {
+		return nil, err
+	}
+	return func(fr *frame) (Value, error) {
+		x, err := xFn(fr)
+		if err != nil {
+			return Value{}, err
+		}
+		i, err := iFn(fr)
+		if err != nil {
+			return Value{}, err
+		}
+		switch x.Kind {
+		case ValList:
+			idx, err := i.integer()
+			if err != nil {
+				return Value{}, err
+			}
+			if idx < 0 || idx >= int64(len(x.List)) {
+				return Value{}, fmt.Errorf("interp: list index %d out of range [0,%d)", idx, len(x.List))
+			}
+			return Scalar(x.List[idx]), nil
+		case ValMap:
+			kd, err := i.scalar()
+			if err != nil {
+				return Value{}, err
+			}
+			if d, ok := x.M[mapKey(kd)]; ok {
+				return Scalar(d), nil
+			}
+			return BoolVal(false), nil // zero value for absent keys
+		default:
+			return Value{}, fmt.Errorf("interp: cannot index a %v", x.Kind)
+		}
+	}, nil
+}
+
+// call resolves the dispatch target at compile time, in the same order the
+// tree-walker resolves it at runtime: stdlib package, ctx parameter,
+// iterator parameter, record receiver, then plain builtin.
+func (c *compiler) call(call *ast.CallExpr) (exprFn, error) {
+	if recv, method, ok := lang.MethodOn(call); ok {
+		switch {
+		case recv == "strings" || recv == "strconv" || recv == "math":
+			return c.builtin(recv+"."+method, call)
+		case recv == c.ctxName:
+			return c.ctxCall(method, call.Args)
+		case recv == c.iterName:
+			return c.iterCall(method, call.Args)
+		default:
+			return c.accessor(recv, method, call.Args)
+		}
+	}
+	name, ok := lang.CallName(call)
+	if !ok {
+		return nil, errUncompilable
+	}
+	return c.builtin(name, call)
+}
+
+func (c *compiler) builtin(name string, call *ast.CallExpr) (exprFn, error) {
+	// make(map[K]V) is special: its argument is a type, not a value.
+	if name == "make" {
+		if len(call.Args) != 1 {
+			return nil, errUncompilable // walker reproduces the runtime error
+		}
+		if _, ok := call.Args[0].(*ast.MapType); !ok {
+			return nil, errUncompilable
+		}
+		return func(*frame) (Value, error) { return NewMapVal(), nil }, nil
+	}
+	impl, ok := builtins[name]
+	if !ok {
+		return nil, errUncompilable // walker reports the unknown function
+	}
+	argFns, err := c.exprs(call.Args)
+	if err != nil {
+		return nil, err
+	}
+	return func(fr *frame) (Value, error) {
+		args := make([]Value, len(argFns))
+		for i, f := range argFns {
+			v, err := f(fr)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = v
+		}
+		return impl(args)
+	}, nil
+}
+
+func (c *compiler) exprs(es []ast.Expr) ([]exprFn, error) {
+	out := make([]exprFn, len(es))
+	for i, e := range es {
+		f, err := c.expr(e)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// constString returns the compile-time value of a string literal argument,
+// if e is one. Constant field/parameter names are the overwhelmingly common
+// case and let call sites skip per-record argument evaluation.
+func constString(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	v, err := litValue(lit)
+	if err != nil || v.D.Kind != serde.KindString {
+		return "", false
+	}
+	return v.D.S, true
+}
+
+// fieldMemo caches one (schema, field)→index resolution per call site.
+// Records of one input stream share a schema and most call sites pass a
+// constant field name, so after the first record the lookup is a pointer
+// comparison plus an (almost always pointer-equal) string comparison. The
+// field must be part of the key: accessor field names may be computed per
+// record. Executors are single-threaded by contract, which makes the
+// per-closure cache safe.
+type fieldMemo struct {
+	schema *serde.Schema
+	field  string
+	idx    int
+}
+
+func (m *fieldMemo) index(rec *serde.Record, field string) int {
+	s := rec.Schema()
+	if s != m.schema || field != m.field {
+		m.schema = s
+		m.field = field
+		m.idx = s.IndexOf(field)
+	}
+	return m.idx
+}
+
+// accessor compiles recv.Method(field) where recv must hold a record at
+// runtime. Known accessors with a constant field name get the fast path:
+// precomputed kind expectation plus memoized field index.
+func (c *compiler) accessor(recv, method string, args []ast.Expr) (exprFn, error) {
+	recvFn, err := c.identExpr(recv)
+	if err != nil {
+		return nil, err
+	}
+	readRec := func(fr *frame) (*serde.Record, error) {
+		v, err := recvFn(fr)
+		if err != nil || v.Kind != ValRecord {
+			return nil, fmt.Errorf("interp: %q is not a record, ctx, or iterator", recv)
+		}
+		return v.Rec, nil
+	}
+
+	if _, typed := accessorKind(method); (typed || method == "Has") && len(args) == 1 {
+		return c.compileFieldRead(readRec, method, args[0])
+	}
+
+	// Slow path: wrong arity or a method name that is not a record accessor
+	// (the validator admits ctx/iter method names here; the walker reports
+	// them at runtime). Defer entirely to the shared kernel, in walker
+	// order: receiver check, arity check, argument evaluation, kernel.
+	var fieldFn exprFn
+	if len(args) == 1 {
+		if fieldFn, err = c.expr(args[0]); err != nil {
+			return nil, err
+		}
+	}
+	return func(fr *frame) (Value, error) {
+		rec, err := readRec(fr)
+		if err != nil {
+			return Value{}, err
+		}
+		if fieldFn == nil {
+			return Value{}, fmt.Errorf("interp: %s takes exactly one field name", method)
+		}
+		fv, err := fieldFn(fr)
+		if err != nil {
+			return Value{}, err
+		}
+		field, err := fv.str()
+		if err != nil {
+			return Value{}, err
+		}
+		return recordAccess(rec, method, field)
+	}, nil
+}
+
+// compileFieldRead lowers the field-argument handling shared by record
+// accessors and iterator Field* methods: a constant field name is captured
+// at compile time, a dynamic one is evaluated per call, and both resolve
+// through one memoized schema index. getRec supplies the record (receiver
+// variable or current iterator value) and carries that path's own checks.
+func (c *compiler) compileFieldRead(getRec func(*frame) (*serde.Record, error), acc string, arg ast.Expr) (exprFn, error) {
+	want, _ := accessorKind(acc)
+	isHas := acc == "Has"
+	memo := &fieldMemo{}
+	if field, ok := constString(arg); ok {
+		return func(fr *frame) (Value, error) {
+			rec, err := getRec(fr)
+			if err != nil {
+				return Value{}, err
+			}
+			return accessField(rec, memo, acc, field, want, isHas)
+		}, nil
+	}
+	fieldFn, err := c.expr(arg)
+	if err != nil {
+		return nil, err
+	}
+	return func(fr *frame) (Value, error) {
+		rec, err := getRec(fr)
+		if err != nil {
+			return Value{}, err
+		}
+		fv, err := fieldFn(fr)
+		if err != nil {
+			return Value{}, err
+		}
+		field, err := fv.str()
+		if err != nil {
+			return Value{}, err
+		}
+		return accessField(rec, memo, acc, field, want, isHas)
+	}, nil
+}
+
+// accessField is the fast-path record field read shared by record-accessor
+// and iterator Field* call sites.
+func accessField(rec *serde.Record, memo *fieldMemo, method, field string, want serde.Kind, isHas bool) (Value, error) {
+	idx := memo.index(rec, field)
+	if isHas {
+		return BoolVal(idx >= 0), nil
+	}
+	if idx < 0 {
+		return Value{}, fmt.Errorf("interp: record has no field %q (schema %s)", field, rec.Schema())
+	}
+	d := rec.At(idx)
+	if d.Kind != want {
+		return Value{}, fmt.Errorf("interp: field %q is %v, accessor %s wants %v", field, d.Kind, method, want)
+	}
+	return Scalar(d), nil
+}
+
+func (c *compiler) ctxCall(method string, args []ast.Expr) (exprFn, error) {
+	switch method {
+	case "Emit":
+		if len(args) != 2 {
+			return errExpr(fmt.Errorf("interp: Emit takes (key, value)")), nil
+		}
+		kFn, err := c.expr(args[0])
+		if err != nil {
+			return nil, err
+		}
+		vFn, err := c.expr(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) (Value, error) {
+			kv, err := kFn(fr)
+			if err != nil {
+				return Value{}, err
+			}
+			kd, err := kv.scalar()
+			if err != nil {
+				return Value{}, fmt.Errorf("interp: emit key: %w", err)
+			}
+			vv, err := vFn(fr)
+			if err != nil {
+				return Value{}, err
+			}
+			ev, err := FromValue(vv)
+			if err != nil {
+				return Value{}, err
+			}
+			if fr.ctx.Emit == nil {
+				return Value{}, fmt.Errorf("interp: context has no emitter")
+			}
+			return Value{}, fr.ctx.Emit(kd, ev)
+		}, nil
+	case "ConfInt", "ConfFloat", "ConfStr":
+		if len(args) != 1 {
+			return errExpr(fmt.Errorf("interp: %s takes one parameter name", method)), nil
+		}
+		want := confKind(method)
+		if name, ok := constString(args[0]); ok {
+			return func(fr *frame) (Value, error) {
+				return confLookup(fr.ctx, name, method, want)
+			}, nil
+		}
+		nameFn, err := c.expr(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) (Value, error) {
+			nv, err := nameFn(fr)
+			if err != nil {
+				return Value{}, err
+			}
+			name, err := nv.str()
+			if err != nil {
+				return Value{}, err
+			}
+			return confLookup(fr.ctx, name, method, want)
+		}, nil
+	case "Log":
+		if len(args) != 1 {
+			return errExpr(fmt.Errorf("interp: Log takes one message")), nil
+		}
+		msgFn, err := c.expr(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) (Value, error) {
+			mv, err := msgFn(fr)
+			if err != nil {
+				return Value{}, err
+			}
+			if fr.ctx.Log != nil {
+				fr.ctx.Log(mv.D.String())
+			}
+			return Value{}, nil
+		}, nil
+	case "Counter":
+		if len(args) != 1 {
+			return errExpr(fmt.Errorf("interp: Counter takes one name")), nil
+		}
+		if name, ok := constString(args[0]); ok {
+			return func(fr *frame) (Value, error) {
+				if fr.ctx.Counter != nil {
+					fr.ctx.Counter(name, 1)
+				}
+				return Value{}, nil
+			}, nil
+		}
+		nameFn, err := c.expr(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) (Value, error) {
+			nv, err := nameFn(fr)
+			if err != nil {
+				return Value{}, err
+			}
+			name, err := nv.str()
+			if err != nil {
+				return Value{}, err
+			}
+			if fr.ctx.Counter != nil {
+				fr.ctx.Counter(name, 1)
+			}
+			return Value{}, nil
+		}, nil
+	default:
+		return errExpr(fmt.Errorf("interp: unknown ctx method %q", method)), nil
+	}
+}
+
+func (c *compiler) iterCall(method string, args []ast.Expr) (exprFn, error) {
+	switch method {
+	case "Next":
+		return func(fr *frame) (Value, error) { return fr.iterNext(), nil }, nil
+	case "Int", "Float", "Str":
+		want := scalarKind(method)
+		return func(fr *frame) (Value, error) {
+			return fr.iterScalar(method, want)
+		}, nil
+	case "FieldInt", "FieldFloat", "FieldStr", "HasField":
+		acc := iterFieldAccessor(method)
+		if len(args) == 1 {
+			getRec := func(fr *frame) (*serde.Record, error) { return fr.iterRecord(method) }
+			return c.compileFieldRead(getRec, acc, args[0])
+		}
+		return func(fr *frame) (Value, error) {
+			if _, err := fr.iterRecord(method); err != nil {
+				return Value{}, err
+			}
+			return Value{}, fmt.Errorf("interp: %s takes exactly one field name", acc)
+		}, nil
+	default:
+		return errExpr(fmt.Errorf("interp: unknown iterator method %q", method)), nil
+	}
+}
+
+// errExpr compiles an expression whose evaluation always fails with err
+// (used where the walker reports a shape error at runtime).
+func errExpr(err error) exprFn {
+	return func(*frame) (Value, error) { return Value{}, err }
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"os"
 	"strconv"
 
 	"manimal/internal/lang"
@@ -18,15 +19,34 @@ import (
 //
 // An Executor is not safe for concurrent use; the engine creates one per
 // task, which also gives each task its own member-variable state, matching
-// per-JVM task state in Hadoop.
+// per-JVM task state in Hadoop. That contract is also what lets the
+// executor reuse one frame (and its slot array) across invocations.
 type Executor struct {
-	prog    *lang.Program
-	globals map[string]*Value
+	prog     *lang.Program
+	globals  map[string]*Value
+	compiled map[string]*compiledFunc
+	fr       frame // reused invocation frame; see newFrame
 }
 
 // New creates an executor for the program with freshly-initialized
-// package-level variables.
+// package-level variables. Each function body is lowered once into a chain
+// of Go closures (see compile.go); any construct the compiler does not
+// cover falls back to the AST tree-walker with identical behavior. Setting
+// MANIMAL_TREEWALK=1 in the environment disables compilation globally, for
+// debugging.
 func New(p *lang.Program) (*Executor, error) {
+	v := os.Getenv("MANIMAL_TREEWALK")
+	return newExecutor(p, v == "" || v == "0")
+}
+
+// NewTreeWalker creates an executor that always evaluates by walking the
+// AST, never through compiled closures. It exists for debugging and for
+// differential testing of the compiler against the reference walker.
+func NewTreeWalker(p *lang.Program) (*Executor, error) {
+	return newExecutor(p, false)
+}
+
+func newExecutor(p *lang.Program, compile bool) (*Executor, error) {
 	ex := &Executor{prog: p, globals: make(map[string]*Value)}
 	for name, g := range p.Globals {
 		v, err := globalInit(g)
@@ -35,7 +55,16 @@ func New(p *lang.Program) (*Executor, error) {
 		}
 		ex.globals[name] = &v
 	}
+	if compile {
+		ex.compiled = compileProgram(ex)
+	}
 	return ex, nil
+}
+
+// Compiled reports whether the named function runs through the compiled
+// closure path (as opposed to the tree-walking fallback).
+func (ex *Executor) Compiled(fn string) bool {
+	return ex.compiled[fn] != nil
 }
 
 func globalInit(g *lang.Global) (Value, error) {
@@ -66,12 +95,15 @@ func (ex *Executor) InvokeMap(k serde.Datum, v *serde.Record, ctx *Context) erro
 	if len(fn.Params) != 3 {
 		return fmt.Errorf("interp: Map must take (k, v, ctx), has %d params", len(fn.Params))
 	}
-	fr := ex.newFrame(ctx)
+	fr := ex.newFrame(ctx, fn)
 	fr.define(fn.Params[0].Name, Scalar(k))
 	fr.define(fn.Params[1].Name, RecordVal(v))
 	fr.define(fn.Params[2].Name, Value{}) // ctx: accessed only via method calls
 	fr.ctxParam = fn.Params[2].Name
-	fr.recParams[fn.Params[1].Name] = true
+	if cf := ex.compiled[lang.MapFuncName]; cf != nil {
+		_, err := cf.body(fr)
+		return err
+	}
 	_, err := fr.execBlock(fn.Body)
 	return err
 }
@@ -94,50 +126,99 @@ func (ex *Executor) invokeReduceLike(name string, key serde.Datum, values ValueI
 	if len(fn.Params) != 3 {
 		return fmt.Errorf("interp: %s must take (key, values, ctx), has %d params", name, len(fn.Params))
 	}
-	fr := ex.newFrame(ctx)
+	fr := ex.newFrame(ctx, fn)
 	fr.define(fn.Params[0].Name, Scalar(key))
 	fr.define(fn.Params[1].Name, Value{})
 	fr.define(fn.Params[2].Name, Value{})
 	fr.ctxParam = fn.Params[2].Name
 	fr.iterParam = fn.Params[1].Name
 	fr.iter = values
+	if cf := ex.compiled[name]; cf != nil {
+		_, err := cf.body(fr)
+		return err
+	}
 	_, err := fr.execBlock(fn.Body)
 	return err
 }
 
 // frame is the per-invocation execution state. The mapper language forbids
-// shadowing, so a single flat scope per invocation is exact.
+// shadowing, so a single flat scope per invocation is exact — and because
+// validation assigns every bindable name a dense slot (lang.Function.Slots),
+// that scope is a flat array rather than a map. Both the compiled closures
+// and the tree-walker address variables through the same slots; the walker
+// resolves name→slot per access, the compiler resolves it once.
 type frame struct {
-	ex        *Executor
-	ctx       *Context
-	vars      map[string]*Value
+	ex      *Executor
+	ctx     *Context
+	fn      *lang.Function
+	slots   []Value
+	defined []bool
+	// extra catches the rare define of a name with no slot (e.g. a range
+	// statement assigning into an expression the validator does not model).
+	// It is nil on every normal invocation.
+	extra     map[string]*Value
 	ctxParam  string
 	iterParam string
-	recParams map[string]bool
 	iter      ValueIter
 	iterCur   EmitValue
 	iterOK    bool
 }
 
-func (ex *Executor) newFrame(ctx *Context) *frame {
-	return &frame{
-		ex:        ex,
-		ctx:       ctx,
-		vars:      make(map[string]*Value),
-		recParams: make(map[string]bool),
+// newFrame resets and returns the executor's reused invocation frame. The
+// Executor's single-threaded contract makes the reuse safe; it keeps the
+// per-record hot path allocation-free.
+func (ex *Executor) newFrame(ctx *Context, fn *lang.Function) *frame {
+	fr := &ex.fr
+	n := fn.NumSlots()
+	if cap(fr.slots) < n {
+		fr.slots = make([]Value, n)
+		fr.defined = make([]bool, n)
 	}
+	fr.slots = fr.slots[:n]
+	fr.defined = fr.defined[:n]
+	for i := range fr.slots {
+		fr.slots[i] = Value{}
+		fr.defined[i] = false
+	}
+	fr.ex = ex
+	fr.ctx = ctx
+	fr.fn = fn
+	fr.extra = nil
+	fr.ctxParam = ""
+	fr.iterParam = ""
+	fr.iter = nil
+	fr.iterCur = EmitValue{}
+	fr.iterOK = false
+	return fr
 }
 
 func (fr *frame) define(name string, v Value) {
 	if name == "_" {
 		return
 	}
-	fr.vars[name] = &v
+	if i, ok := fr.fn.SlotIndex(name); ok {
+		fr.slots[i] = v
+		fr.defined[i] = true
+		return
+	}
+	fr.defineExtra(name, v)
+}
+
+// defineExtra is kept out of define so that taking v's address here does
+// not force every slot-path define to heap-allocate its value.
+func (fr *frame) defineExtra(name string, v Value) {
+	if fr.extra == nil {
+		fr.extra = make(map[string]*Value)
+	}
+	fr.extra[name] = &v
 }
 
 // lookup resolves a variable: locals/params first, then program globals.
 func (fr *frame) lookup(name string) (*Value, error) {
-	if v, ok := fr.vars[name]; ok {
+	if i, ok := fr.fn.SlotIndex(name); ok && fr.defined[i] {
+		return &fr.slots[i], nil
+	}
+	if v, ok := fr.extra[name]; ok {
 		return v, nil
 	}
 	if v, ok := fr.ex.globals[name]; ok {

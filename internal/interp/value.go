@@ -1,10 +1,28 @@
-// Package interp executes mapper-language programs by walking the same AST
-// the analyzer inspects. The paper runs compiled JVM bytecode; here,
-// interpreting the analyzed representation directly guarantees that the
-// program Manimal reasoned about is byte-for-byte the program that runs
-// (DESIGN.md, substitutions). The interpreter implements exactly the
-// whitelisted function set the analyzer has purity knowledge of
-// (lang.PureFuncs); a test asserts the two stay in sync.
+// Package interp executes mapper-language programs from the same AST the
+// analyzer inspects. The paper runs compiled JVM bytecode; here, executing
+// the analyzed representation directly guarantees that the program Manimal
+// reasoned about is byte-for-byte the program that runs (DESIGN.md,
+// substitutions). The interpreter implements exactly the whitelisted
+// function set the analyzer has purity knowledge of (lang.PureFuncs); a
+// test asserts the two stay in sync.
+//
+// # Execution strategy
+//
+// New lowers each function body once per Executor into a chain of Go
+// closures (compile.go, compile_expr.go): identifiers are resolved at
+// compile time to integer frame slots (lang.Function.Slots), and record
+// accessor / ctx method / builtin calls are dispatched through precomputed
+// function values with memoized schema field indexes. Per-record execution
+// therefore never re-walks the go/ast tree and allocates nothing on the
+// happy path.
+//
+// Every program construct the closure compiler does not cover falls back —
+// whole function at a time — to the reference AST tree-walker (exec.go,
+// eval.go), which shares the same slot-addressed frame and runtime kernels,
+// so observable behavior (emissions, counters, logs, and error text) is
+// identical on both paths; differential_test.go holds them to that. To
+// force the tree-walker for debugging, set MANIMAL_TREEWALK=1 in the
+// environment or construct the executor with NewTreeWalker.
 package interp
 
 import (

@@ -129,6 +129,38 @@ var ImpureFuncs = map[string]bool{
 	"make": true,
 }
 
+// FuncArity maps each whitelisted function to the [min, max] argument
+// counts it accepts (max -1 = unbounded). Real Go rejects wrong-arity
+// calls at compile time, so the validator enforces the same bound; the
+// interpreter's builtin implementations may then index their argument
+// slices without re-checking. strconv.ParseFloat admits the optional
+// bit-size argument (which the language spec ignores).
+var FuncArity = map[string][2]int{
+	"strings.Contains":   {2, 2},
+	"strings.HasPrefix":  {2, 2},
+	"strings.HasSuffix":  {2, 2},
+	"strings.ToLower":    {1, 1},
+	"strings.ToUpper":    {1, 1},
+	"strings.TrimSpace":  {1, 1},
+	"strings.Index":      {2, 2},
+	"strings.Split":      {2, 2},
+	"strings.Fields":     {1, 1},
+	"strings.Join":       {2, 2},
+	"strings.Replace":    {4, 4},
+	"strconv.Atoi":       {1, 1},
+	"strconv.Itoa":       {1, 1},
+	"strconv.ParseFloat": {1, 2},
+	"math.Abs":           {1, 1},
+	"math.Max":           {2, 2},
+	"math.Min":           {2, 2},
+	"math.Floor":         {1, 1},
+	"math.Sqrt":          {1, 1},
+	"len":                {1, 1},
+	"min":                {2, -1},
+	"max":                {2, -1},
+	"make":               {1, 1},
+}
+
 // Param is one function parameter.
 type Param struct {
 	Name string
@@ -141,6 +173,38 @@ type Function struct {
 	Params []Param
 	Body   *ast.BlockStmt
 	Decl   *ast.FuncDecl
+
+	// Slots lists every name the function can bind — parameters first, then
+	// locals in first-binding order. Because the language forbids shadowing,
+	// each name denotes exactly one storage location for the whole function,
+	// so the interpreter can address variables by dense integer slot instead
+	// of by per-invocation map lookup. Populated during validation.
+	Slots  []string
+	slotOf map[string]int
+}
+
+// SlotIndex returns the frame slot assigned to a bound name.
+func (f *Function) SlotIndex(name string) (int, bool) {
+	i, ok := f.slotOf[name]
+	return i, ok
+}
+
+// NumSlots returns how many variable slots an invocation frame needs.
+func (f *Function) NumSlots() int { return len(f.Slots) }
+
+// addSlot assigns name a slot if it does not have one yet.
+func (f *Function) addSlot(name string) {
+	if name == "_" {
+		return
+	}
+	if f.slotOf == nil {
+		f.slotOf = make(map[string]int)
+	}
+	if _, ok := f.slotOf[name]; ok {
+		return
+	}
+	f.slotOf[name] = len(f.Slots)
+	f.Slots = append(f.Slots, name)
 }
 
 // Param returns the parameter with the given index, or a zero Param.

@@ -57,6 +57,94 @@ func Combine(key Datum, values *Iter, ctx *Ctx) {
 	}
 }
 
+// TestArityRejected checks that wrong-arity calls to whitelisted functions
+// fail validation, as they would fail Go compilation; the interpreter's
+// builtin implementations index their argument slices on that guarantee.
+func TestArityRejected(t *testing.T) {
+	cases := []string{
+		`func Map(k, v *Record, ctx *Ctx) { ctx.Emit(k, strings.Contains(v.Str("url"))) }`,
+		`func Map(k, v *Record, ctx *Ctx) { ctx.Emit(k, strings.Replace("a", "b")) }`,
+		`func Map(k, v *Record, ctx *Ctx) { ctx.Emit(k, len("a", "b")) }`,
+		`func Map(k, v *Record, ctx *Ctx) { ctx.Emit(k, min(1)) }`,
+		`func Map(k, v *Record, ctx *Ctx) { x := make(map[string]bool, 4)
+			ctx.Emit(k, len(x)) }`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("wrong-arity program accepted:\n%s", src)
+		} else if !strings.Contains(err.Error(), "arguments, wants") {
+			t.Errorf("unexpected error %q for:\n%s", err, src)
+		}
+	}
+	// Variadic min/max and ParseFloat's optional bit size stay legal.
+	ok := `func Map(k, v *Record, ctx *Ctx) {
+		ctx.Emit(min(1, 2, 3), strconv.ParseFloat("1.5", 64))
+	}`
+	if _, err := Parse(ok); err != nil {
+		t.Errorf("legal arities rejected: %v", err)
+	}
+}
+
+// TestArityCoverage asserts every whitelisted function has an arity bound:
+// the interpreter's builtin implementations index their argument slices on
+// the strength of checkArity, so a PureFuncs/ImpureFuncs entry without a
+// FuncArity entry would reopen the wrong-arity panic hole.
+func TestArityCoverage(t *testing.T) {
+	for _, set := range []map[string]bool{PureFuncs, ImpureFuncs} {
+		for f := range set {
+			if _, ok := FuncArity[f]; !ok {
+				t.Errorf("whitelisted function %s has no FuncArity entry", f)
+			}
+		}
+	}
+	for f := range FuncArity {
+		if !PureFuncs[f] && !ImpureFuncs[f] {
+			t.Errorf("FuncArity entry %s is not a whitelisted function", f)
+		}
+	}
+}
+
+// TestSlotAssignment checks the frame-slot metadata validation attaches to
+// each function: parameters come first, every bindable local gets exactly
+// one slot, and globals never get one (assignments to them must reach the
+// executor's global cells, not a frame slot).
+func TestSlotAssignment(t *testing.T) {
+	p, err := Parse(`
+var total int
+
+func Map(k, v *Record, ctx *Ctx) {
+	sum := 0
+	for i, w := range strings.Fields(v.Str("text")) {
+		sum = sum + i + len(w)
+	}
+	total = total + sum
+	var avg float64
+	avg = 1.0
+	ctx.Emit(k, avg)
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := p.Map()
+	want := []string{"k", "v", "ctx", "sum", "i", "w", "avg"}
+	if fn.NumSlots() != len(want) {
+		t.Fatalf("NumSlots = %d (%v), want %d", fn.NumSlots(), fn.Slots, len(want))
+	}
+	for i, name := range want {
+		got, ok := fn.SlotIndex(name)
+		if !ok || got != i {
+			t.Fatalf("SlotIndex(%q) = %d,%v, want %d", name, got, ok, i)
+		}
+	}
+	if _, ok := fn.SlotIndex("total"); ok {
+		t.Fatal("global was assigned a frame slot")
+	}
+	if _, ok := fn.SlotIndex("missing"); ok {
+		t.Fatal("unknown name was assigned a frame slot")
+	}
+}
+
 // TestValidatorRejects enumerates constructs outside the subset; each must
 // produce an error mentioning a relevant phrase.
 func TestValidatorRejects(t *testing.T) {

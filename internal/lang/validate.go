@@ -20,6 +20,7 @@ func (p *Program) validateFunc(fn *Function) error {
 			return fmt.Errorf("lang: duplicate parameter %q in %s", prm.Name, fn.Name)
 		}
 		v.declared[prm.Name] = true
+		fn.addSlot(prm.Name)
 	}
 	return v.block(fn.Body)
 }
@@ -54,6 +55,7 @@ func (v *validator) declare(pos token.Pos, name string) error {
 		return v.errf(pos, "local %q shadows a package-level variable", name)
 	}
 	v.declared[name] = true
+	v.fn.addSlot(name)
 	return nil
 }
 
@@ -137,6 +139,12 @@ func (v *validator) stmt(s ast.Stmt) error {
 					return err
 				}
 			}
+		} else {
+			for _, e := range []ast.Expr{st.Key, st.Value} {
+				if id, ok := e.(*ast.Ident); ok && !v.p.IsGlobal(id.Name) {
+					v.fn.addSlot(id.Name)
+				}
+			}
 		}
 		if err := v.expr(st.X); err != nil {
 			return err
@@ -191,6 +199,10 @@ func (v *validator) assign(st *ast.AssignStmt) error {
 				if err := v.declare(lhs.Pos(), lhs.Name); err != nil {
 					return err
 				}
+			} else if !v.p.IsGlobal(lhs.Name) {
+				// Plain assignment may bind a fresh local (define-on-assign);
+				// give the name a slot so the frame can address it.
+				v.fn.addSlot(lhs.Name)
 			}
 		case *ast.IndexExpr:
 			if st.Tok == token.DEFINE {
@@ -263,6 +275,9 @@ func (v *validator) call(c *ast.CallExpr) error {
 		if !PureFuncs[name] && !ImpureFuncs[name] {
 			return v.errf(c.Pos(), "call to unknown function %q", name)
 		}
+		if err := v.checkArity(c, name); err != nil {
+			return err
+		}
 	case *ast.SelectorExpr:
 		base, ok := fn.X.(*ast.Ident)
 		if !ok {
@@ -283,6 +298,9 @@ func (v *validator) call(c *ast.CallExpr) error {
 			if !PureFuncs[full] {
 				return v.errf(c.Pos(), "%s is not in the supported function whitelist", full)
 			}
+			if err := v.checkArity(c, full); err != nil {
+				return err
+			}
 		default:
 			return v.errf(c.Pos(), "unsupported call base %q", base.Name)
 		}
@@ -295,6 +313,32 @@ func (v *validator) call(c *ast.CallExpr) error {
 		}
 	}
 	return nil
+}
+
+// checkArity enforces the argument-count bounds of a whitelisted function,
+// as the Go compiler would; the interpreter's builtin implementations rely
+// on this to index their argument slices safely.
+func (v *validator) checkArity(c *ast.CallExpr, name string) error {
+	ar, ok := FuncArity[name]
+	if !ok {
+		return nil
+	}
+	n := len(c.Args)
+	if n < ar[0] || (ar[1] >= 0 && n > ar[1]) {
+		return v.errf(c.Pos(), "%s called with %d arguments, wants %s", name, n, arityText(ar))
+	}
+	return nil
+}
+
+func arityText(ar [2]int) string {
+	switch {
+	case ar[1] < 0:
+		return fmt.Sprintf("at least %d", ar[0])
+	case ar[0] == ar[1]:
+		return fmt.Sprintf("%d", ar[0])
+	default:
+		return fmt.Sprintf("%d to %d", ar[0], ar[1])
+	}
 }
 
 // CallName returns the canonical name of a call expression's target

@@ -10,8 +10,12 @@
 //
 //   - the analyzer:   System.Analyze (package internal/analyzer)
 //   - the optimizer:  plan selection inside System.Submit
-//     (package internal/optimizer + the catalog)
-//   - execution fabric: the MapReduce engine (package internal/mapreduce)
+//     (package internal/optimizer, reading the index catalog kept by
+//     package internal/catalog)
+//   - execution fabric: package internal/fabric, which adapts programs to
+//     the MapReduce engine (package internal/mapreduce) and opens the
+//     physical input the chosen plan calls for; programs themselves run in
+//     the interpreter (package internal/interp)
 //
 // Programs are written in a Go-syntax mapper language (see ParseProgram);
 // the analyzed representation is exactly the executed representation.
