@@ -7,6 +7,8 @@ import (
 
 	"manimal"
 	"manimal/internal/bench"
+	"manimal/internal/catalog"
+	"manimal/internal/indexgen"
 	"manimal/internal/interp"
 	"manimal/internal/lang"
 	"manimal/internal/serde"
@@ -191,6 +193,29 @@ func Reduce(key Datum, values *Iter, ctx *Ctx) {
 		}
 	}
 }
+
+// benchBTreeBuild measures one full B+Tree index build per op at the given
+// shard count. Comparing the Serial and Sharded variants quantifies what
+// range-partitioned parallel bulk loading buys on multi-core hosts.
+func benchBTreeBuild(b *testing.B, shards int) {
+	dir := b.TempDir()
+	data := filepath.Join(dir, "webpages.rec")
+	if err := workload.NewGen(6).WriteWebPages(data, 30000, 128); err != nil {
+		b.Fatal(err)
+	}
+	spec := indexgen.Spec{Kind: catalog.KindBTree, KeyExpr: `v.Int("rank")`, Fields: []string{"url", "rank"}}
+	cfg := indexgen.BuildConfig{NumShards: shards}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := filepath.Join(b.TempDir(), "w.idx")
+		if _, err := indexgen.BuildWith(spec, data, out, dir, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreeBuildSerial(b *testing.B)  { benchBTreeBuild(b, 1) }
+func BenchmarkBTreeBuildSharded(b *testing.B) { benchBTreeBuild(b, 4) }
 
 func BenchmarkBTreeRangeScan(b *testing.B) {
 	dir := b.TempDir()

@@ -192,6 +192,8 @@ func cmdIndex(args []string) error {
 	sysDir := fs.String("sys", "manimal-sys", "system/catalog directory")
 	progPath := fs.String("prog", "", "mapper-language program file")
 	inputPath := fs.String("input", "", "input record file")
+	shards := fs.Int("shards", 0, "B+Tree shard count (0 = auto, 1 = single file)")
+	sample := fs.Int("sample", 0, "records sampled for shard boundaries (0 = default)")
 	fs.Parse(args)
 
 	sys, err := manimal.NewSystem(*sysDir)
@@ -202,7 +204,8 @@ func cmdIndex(args []string) error {
 	if err != nil {
 		return err
 	}
-	entries, err := sys.BuildBestIndexes(prog, *inputPath)
+	entries, err := sys.BuildBestIndexesWith(prog, *inputPath,
+		manimal.BuildConfig{NumShards: *shards, SampleSize: *sample})
 	if err != nil {
 		return err
 	}
@@ -211,7 +214,11 @@ func cmdIndex(args []string) error {
 		return nil
 	}
 	for _, e := range entries {
-		fmt.Printf("built %-10s %s (%d bytes, %.2fs)\n", e.Kind, e.IndexPath, e.SizeBytes, e.BuildDuration.Seconds())
+		fmt.Printf("built %-12s %s", e.Kind, e.IndexPath)
+		if e.Shards > 0 {
+			fmt.Printf(" (%d shards)", e.Shards)
+		}
+		fmt.Printf(" (%d bytes, %.2fs)\n", e.SizeBytes, e.BuildDuration.Seconds())
 	}
 	return nil
 }
@@ -224,6 +231,7 @@ func cmdRun(args []string) error {
 	outPath := fs.String("out", "out.kv", "output KV file")
 	noopt := fs.Bool("noopt", false, "disable optimization (conventional MapReduce)")
 	mapOnly := fs.Bool("maponly", false, "skip the reduce phase")
+	explain := fs.Bool("explain", false, "print the optimizer's plan notes (index choices and skips)")
 	show := fs.Int("show", 10, "print up to N output pairs")
 	var conf confFlag
 	fs.Var(&conf, "conf", "job parameter key=value (repeatable)")
@@ -254,6 +262,11 @@ func cmdRun(args []string) error {
 			fmt.Printf(" %v", ir.Plan.Applied)
 		}
 		fmt.Println()
+		if *explain {
+			for _, note := range ir.Plan.Notes {
+				fmt.Printf("  note: %s\n", note)
+			}
+		}
 		for _, spec := range ir.IndexPrograms {
 			fmt.Printf("index program available: %s\n", spec.Describe())
 		}
@@ -294,14 +307,25 @@ func cmdCatalog(args []string) error {
 		return nil
 	}
 	for _, e := range entries {
-		fmt.Printf("%-10s %s -> %s fields=%v", e.Kind, e.InputPath, e.IndexPath, e.Fields)
+		fmt.Printf("%-12s %s -> %s fields=%v", e.Kind, e.InputPath, e.IndexPath, e.Fields)
 		if e.KeyExpr != "" {
 			fmt.Printf(" key=%s", e.KeyExpr)
+		}
+		if e.Shards > 0 {
+			fmt.Printf(" shards=%d", e.Shards)
 		}
 		if len(e.Encodings) > 0 {
 			fmt.Printf(" enc=%v", e.Encodings)
 		}
-		fmt.Printf(" (%d bytes)\n", e.SizeBytes)
+		fmt.Printf(" (%d bytes)", e.SizeBytes)
+		// Surface staleness the way the optimizer will judge it: only
+		// fingerprinted entries can go stale.
+		if e.InputSizeBytes != 0 || e.InputModTimeNanos != 0 {
+			if st, err := os.Stat(e.InputPath); err != nil || !e.MatchesInput(st.Size(), st.ModTime().UnixNano()) {
+				fmt.Print(" STALE (input rewritten since build)")
+			}
+		}
+		fmt.Println()
 	}
 	return nil
 }

@@ -128,3 +128,209 @@ func TestEmptyTree(t *testing.T) {
 		t.Fatalf("empty tree returned %d entries", len(got))
 	}
 }
+
+// TestRangeDuplicatesSpanLeafBoundary: a run of duplicate key values that
+// crosses leaf pages must be returned in full, for inclusive and exclusive
+// bounds alike. A 64-byte page fits one or two entries, so every ten-entry
+// duplicate run spans several leaves.
+func TestRangeDuplicatesSpanLeafBoundary(t *testing.T) {
+	tree := buildTree(t, 40, 10, 64) // keys 0..3, 10 entries each
+	if tree.Height() < 2 {
+		t.Fatalf("height = %d; tiny pages should force internal levels", tree.Height())
+	}
+	for _, tc := range []struct {
+		lo, hi []byte
+		want   []int64 // expected record ids
+	}{
+		{LowerBound(serde.Int(1), true), UpperBound(serde.Int(1), true), ids(10, 20)},
+		{LowerBound(serde.Int(0), false), UpperBound(serde.Int(2), false), ids(10, 20)},
+		{LowerBound(serde.Int(1), true), UpperBound(serde.Int(2), true), ids(10, 30)},
+		{nil, UpperBound(serde.Int(0), true), ids(0, 10)},
+		{LowerBound(serde.Int(3), true), nil, ids(30, 40)},
+	} {
+		got := collect(t, tree, tc.lo, tc.hi)
+		if len(got) != len(tc.want) {
+			t.Errorf("range: got %d entries %v, want %d", len(got), got, len(tc.want))
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("entry %d = id %d, want %d", i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func ids(lo, hi int64) []int64 {
+	out := make([]int64, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// TestRangeCutsPartitionRange: cuts must split a range into subranges whose
+// concatenated scans equal the single scan exactly.
+func TestRangeCutsPartitionRange(t *testing.T) {
+	tree := buildTree(t, 2000, 1, 256)
+	lo := LowerBound(serde.Int(100), true)
+	hi := UpperBound(serde.Int(1700), false) // [100, 1700)
+
+	cuts, err := tree.RangeCuts(lo, hi, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) == 0 {
+		t.Fatal("no cuts for a 1600-entry range over tiny pages")
+	}
+	if len(cuts) > 7 {
+		t.Fatalf("%d cuts exceed max-1", len(cuts))
+	}
+	prev := lo
+	for i, c := range cuts {
+		if compareBytes(prev, c) >= 0 {
+			t.Fatalf("cut %d not increasing", i)
+		}
+		if compareBytes(c, hi) >= 0 {
+			t.Fatalf("cut %d beyond hi", i)
+		}
+		prev = c
+	}
+
+	var got []int64
+	sub := append(append([][]byte{lo}, cuts...), hi)
+	for i := 0; i+1 < len(sub); i++ {
+		got = append(got, collect(t, tree, sub[i], sub[i+1])...)
+	}
+	want := collect(t, tree, lo, hi)
+	if len(got) != len(want) {
+		t.Fatalf("subranges yielded %d entries, single scan %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: %d != %d", i, got[i], want[i])
+		}
+	}
+
+	// max < 2 asks for no parallelism.
+	if cuts, _ := tree.RangeCuts(lo, hi, 1); cuts != nil {
+		t.Fatalf("max=1 returned cuts: %v", cuts)
+	}
+}
+
+// buildShard bulk-loads one shard holding keys [lo, hi).
+func buildShard(t *testing.T, path string, lo, hi int64) {
+	t.Helper()
+	b, err := NewBuilder(path, kvSchema, `v.Int("id")`, BuilderOptions{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := lo; i < hi; i++ {
+		rec := serde.NewRecord(kvSchema)
+		rec.MustSet("id", serde.Int(i))
+		rec.MustSet("payload", serde.String(fmt.Sprintf("row-%06d", i)))
+		if err := b.Add(serde.Int(i), rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardSetAsLogicalTree: a manifest over three shards must behave as
+// one tree for scans, ranges, and cuts.
+func TestShardSetAsLogicalTree(t *testing.T) {
+	dir := t.TempDir()
+	paths := []string{
+		filepath.Join(dir, "s0"),
+		filepath.Join(dir, "s1"),
+		filepath.Join(dir, "s2"),
+	}
+	buildShard(t, paths[0], 0, 100)
+	buildShard(t, paths[1], 100, 200)
+	buildShard(t, paths[2], 200, 300)
+	bounds := [][]byte{serde.Int(100).SortKey(), serde.Int(200).SortKey()}
+	manifest := filepath.Join(dir, "idx")
+	if err := WriteManifest(manifest, `v.Int("id")`, paths, bounds); err != nil {
+		t.Fatal(err)
+	}
+
+	idx, err := OpenIndex(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	set, ok := idx.(*ShardSet)
+	if !ok {
+		t.Fatalf("manifest opened as %T", idx)
+	}
+	if set.NumShards() != 3 || idx.NumEntries() != 300 {
+		t.Fatalf("shards=%d entries=%d", set.NumShards(), idx.NumEntries())
+	}
+	if idx.KeyExpr() != `v.Int("id")` {
+		t.Fatalf("key expr = %q", idx.KeyExpr())
+	}
+
+	scan := func(lo, hi []byte) []int64 {
+		c, err := idx.Scan(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []int64
+		for c.Next() {
+			out = append(out, c.Record().Int("id"))
+		}
+		if c.Err() != nil {
+			t.Fatal(c.Err())
+		}
+		return out
+	}
+
+	full := scan(nil, nil)
+	if len(full) != 300 {
+		t.Fatalf("full scan = %d entries", len(full))
+	}
+	for i, id := range full {
+		if id != int64(i) {
+			t.Fatalf("entry %d has id %d; shard chaining out of order", i, id)
+		}
+	}
+	// A range spanning the shard 1 → 2 boundary.
+	cross := scan(LowerBound(serde.Int(150), true), UpperBound(serde.Int(250), false))
+	if len(cross) != 100 || cross[0] != 150 || cross[99] != 249 {
+		t.Fatalf("cross-shard scan: %d entries [%d..%d]", len(cross), cross[0], cross[len(cross)-1])
+	}
+
+	cuts, err := idx.RangeCuts(nil, nil, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) == 0 || len(cuts) > 5 {
+		t.Fatalf("cuts = %d", len(cuts))
+	}
+	var got []int64
+	prev := []byte(nil)
+	for _, c := range append(cuts, nil) {
+		got = append(got, scan(prev, c)...)
+		prev = c
+	}
+	if len(got) != 300 {
+		t.Fatalf("cut subranges yielded %d entries", len(got))
+	}
+	for i, id := range got {
+		if id != int64(i) {
+			t.Fatalf("cut subranges reordered entry %d (id %d)", i, id)
+		}
+	}
+
+	// A lone tree file opens as *Tree through the same entry point.
+	lone, err := OpenIndex(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lone.Close()
+	if _, ok := lone.(*Tree); !ok {
+		t.Fatalf("tree file opened as %T", lone)
+	}
+}

@@ -9,6 +9,22 @@
 // Keys are order-preserving sort-key encodings (serde.AppendSortKey) of an
 // arbitrary pure expression over the record, suffixed with an 8-byte
 // sequence number so duplicate key values remain distinct entries.
+//
+// # Sharded indexes
+//
+// An index may be sharded: N independent trees tiling the key space in
+// order, plus a manifest file recording the ordered shard list and the
+// interior key boundaries between them (see WriteManifest / OpenShards).
+// Index-generation jobs produce shards by running with N reducers under a
+// sampling-based range partitioner — reduce partition i receives exactly
+// the keys in [bounds[i-1], bounds[i]), its key-ordered merge stream
+// bulk-loads shard i, and the partitioner's bounds are written into the
+// manifest — so the build parallelizes across all reducers instead of
+// funneling through one. A ShardSet opens the manifest and serves the
+// shards as one logical tree; OpenIndex sniffs whether a path is a lone
+// tree or a manifest, and the Index interface lets readers treat both
+// identically, including page/shard-aligned range splitting (RangeCuts)
+// for parallel scans.
 package btree
 
 import (
@@ -40,6 +56,7 @@ type BuilderOptions struct {
 // Builder bulk-loads a B+Tree. Keys must be added in non-decreasing order.
 type Builder struct {
 	f        *os.File
+	path     string
 	schema   *serde.Schema
 	keyExpr  string
 	pageSize int
@@ -60,7 +77,8 @@ type Builder struct {
 	// First-key + offset of every written page at the current level.
 	level []levelEntry
 
-	closed bool
+	closed   bool
+	finished bool // Close completed; Abort must not remove the file
 }
 
 type levelEntry struct {
@@ -87,7 +105,7 @@ func NewBuilder(path string, schema *serde.Schema, keyExpr string, opts BuilderO
 		f.Close()
 		return nil, fmt.Errorf("btree: write header: %w", err)
 	}
-	return &Builder{f: f, schema: schema, keyExpr: keyExpr, pageSize: ps, offset: int64(len(magicFooter))}, nil
+	return &Builder{f: f, path: path, schema: schema, keyExpr: keyExpr, pageSize: ps, offset: int64(len(magicFooter))}, nil
 }
 
 // Add appends one (key, record) entry. Keys must arrive in non-decreasing
@@ -252,7 +270,23 @@ func (b *Builder) Close() error {
 		b.f.Close()
 		return fmt.Errorf("btree: sync: %w", err)
 	}
-	return b.f.Close()
+	if err := b.f.Close(); err != nil {
+		return err
+	}
+	b.finished = true
+	return nil
+}
+
+// Abort closes the builder and removes the partial index file; used when
+// the producing job — or a Close that failed midway, leaving a truncated
+// file — must be discarded. A no-op after a successful Close.
+func (b *Builder) Abort() error {
+	if b.finished {
+		return nil
+	}
+	b.closed = true
+	b.f.Close()
+	return os.Remove(b.path)
 }
 
 func compareBytes(a, b []byte) int {

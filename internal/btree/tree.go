@@ -176,6 +176,135 @@ func (t *Tree) leafPos(lo []byte) (int64, error) {
 	}
 }
 
+// Scan implements Index (Range under the shared Cursor interface).
+func (t *Tree) Scan(lo, hi []byte) (Cursor, error) { return t.Range(lo, hi) }
+
+// decodeInternal parses an internal page into its child offsets and the
+// n-1 separator keys (the first key of every child except the first).
+func decodeInternal(page []byte) (offsets []int64, seps [][]byte, err error) {
+	n, used := binary.Uvarint(page[1:])
+	if used <= 0 {
+		return nil, nil, fmt.Errorf("btree: corrupt internal page")
+	}
+	pos := 1 + used
+	offsets = make([]int64, n)
+	for i := range offsets {
+		v, used := binary.Uvarint(page[pos:])
+		if used <= 0 {
+			return nil, nil, fmt.Errorf("btree: corrupt child offsets")
+		}
+		offsets[i] = int64(v)
+		pos += used
+	}
+	seps = make([][]byte, 0, n-1)
+	for i := 1; i < int(n); i++ {
+		kl, used := binary.Uvarint(page[pos:])
+		if used <= 0 {
+			return nil, nil, fmt.Errorf("btree: corrupt separator")
+		}
+		pos += used
+		seps = append(seps, page[pos:pos+int(kl)])
+		pos += int(kl)
+	}
+	return offsets, seps, nil
+}
+
+// RangeCuts implements Index: it returns up to max-1 interior cut keys
+// dividing [lo, hi) into consecutive page-aligned subranges, so a single
+// plan range can fan out across map tasks. Cuts are first-of-page keys,
+// hence the subranges [lo,c1), [c1,c2), …, [ck,hi) partition the range
+// exactly. Only internal pages are read: the walk descends level by level,
+// pruning subtrees outside the range, until it has enough boundaries.
+func (t *Tree) RangeCuts(lo, hi []byte, max int) ([][]byte, error) {
+	if max < 2 {
+		return nil, nil
+	}
+	type nodeRef struct {
+		off   int64
+		first []byte // nil = unbounded below
+	}
+	level := []nodeRef{{off: t.root}}
+	for len(level) > 0 && len(level) < max {
+		page, err := t.readPage(level[0].off)
+		if err != nil {
+			return nil, err
+		}
+		if page[0] == pageLeaf {
+			break
+		}
+		var next []nodeRef
+		for i, nd := range level {
+			pg := page
+			if i > 0 {
+				if pg, err = t.readPage(nd.off); err != nil {
+					return nil, err
+				}
+			}
+			offsets, seps, err := decodeInternal(pg)
+			if err != nil {
+				return nil, err
+			}
+			for c := range offsets {
+				first := nd.first
+				if c > 0 {
+					first = seps[c-1]
+				}
+				// Child c spans [first, upper); prune subtrees entirely
+				// outside [lo, hi).
+				var upper []byte
+				if c < len(seps) {
+					upper = seps[c]
+				} else if i+1 < len(level) {
+					upper = level[i+1].first
+				}
+				if hi != nil && first != nil && bytes.Compare(first, hi) >= 0 {
+					continue
+				}
+				if lo != nil && upper != nil && bytes.Compare(upper, lo) <= 0 {
+					continue
+				}
+				next = append(next, nodeRef{off: offsets[c], first: first})
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		level = next
+	}
+	var cuts [][]byte
+	for _, nd := range level {
+		if nd.first == nil {
+			continue
+		}
+		if lo != nil && bytes.Compare(nd.first, lo) <= 0 {
+			continue
+		}
+		if hi != nil && bytes.Compare(nd.first, hi) >= 0 {
+			continue
+		}
+		cuts = append(cuts, append([]byte(nil), nd.first...))
+	}
+	return thinCuts(cuts, max), nil
+}
+
+// thinCuts evenly samples sorted cut keys down to at most max-1 entries.
+func thinCuts(cuts [][]byte, max int) [][]byte {
+	if len(cuts) <= max-1 {
+		return cuts
+	}
+	thin := make([][]byte, 0, max-1)
+	prev := -1
+	for i := 1; i < max; i++ {
+		idx := i * len(cuts) / max
+		if idx == prev || idx >= len(cuts) {
+			continue
+		}
+		prev = idx
+		thin = append(thin, cuts[idx])
+	}
+	return thin
+}
+
 // Iterator streams (key, record) entries over a key range.
 type Iterator struct {
 	t       *Tree

@@ -17,20 +17,26 @@ import (
 
 // Index kinds.
 const (
-	KindBTree      = "btree"      // clustered B+Tree selection index
+	KindBTree      = "btree"      // clustered B+Tree selection index (single file)
 	KindRecordFile = "recordfile" // re-encoded record file (projection/compression)
+	// KindBTreeSharded is a sharded B+Tree selection index: IndexPath is a
+	// shard manifest (ordered shard files plus key boundaries) that package
+	// btree opens as one logical tree.
+	KindBTreeSharded = "btree-shards"
 )
 
 // Entry describes one index built over an input file.
 type Entry struct {
 	// InputPath is the original data file the index derives from.
 	InputPath string `json:"input"`
-	// IndexPath is the index file.
+	// IndexPath is the index file (or shard manifest for KindBTreeSharded).
 	IndexPath string `json:"index"`
-	// Kind is KindBTree or KindRecordFile.
+	// Kind is KindBTree, KindBTreeSharded, or KindRecordFile.
 	Kind string `json:"kind"`
-	// KeyExpr is the canonical key expression (KindBTree only).
+	// KeyExpr is the canonical key expression (B+Tree kinds only).
 	KeyExpr string `json:"keyExpr,omitempty"`
+	// Shards is the shard count (KindBTreeSharded only).
+	Shards int `json:"shards,omitempty"`
 	// Fields are the stored field names (projection subset, or the full
 	// schema when no projection was applied).
 	Fields []string `json:"fields"`
@@ -42,6 +48,22 @@ type Entry struct {
 	BuildDuration time.Duration `json:"buildNanos"`
 	// CreatedAt is the build timestamp.
 	CreatedAt time.Time `json:"createdAt"`
+	// InputSizeBytes and InputModTimeNanos fingerprint the input file at
+	// build time. The optimizer refuses entries whose fingerprint no longer
+	// matches the input: a rewritten input would otherwise silently serve
+	// results from the stale index. Zero values mean "not recorded".
+	InputSizeBytes    int64 `json:"inputSizeBytes,omitempty"`
+	InputModTimeNanos int64 `json:"inputModTimeNanos,omitempty"`
+}
+
+// MatchesInput reports whether the entry's recorded input fingerprint
+// still matches the given file stats; entries without a fingerprint match
+// anything (older catalogs).
+func (e *Entry) MatchesInput(sizeBytes, modTimeNanos int64) bool {
+	if e.InputSizeBytes == 0 && e.InputModTimeNanos == 0 {
+		return true
+	}
+	return e.InputSizeBytes == sizeBytes && e.InputModTimeNanos == modTimeNanos
 }
 
 // HasField reports whether the entry stores the named field.

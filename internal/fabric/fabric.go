@@ -81,8 +81,10 @@ func CombinerFactory(p *lang.Program) mapreduce.ReducerFactory {
 }
 
 // IdentityReducer forwards every value of every group unchanged; it is the
-// reduce stage of B+Tree index-generation jobs (a single reducer gives the
-// globally key-sorted stream the bulk loader requires).
+// reduce stage of B+Tree index-generation jobs. Each reduce task's merge
+// stream is key-sorted, so under a range partitioner every reducer feeds
+// one shard's bulk loader in order (a single-reducer build feeds a
+// lone-file tree the same way).
 type IdentityReducer struct{}
 
 // Reduce implements mapreduce.Reducer.

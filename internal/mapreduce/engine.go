@@ -1,7 +1,9 @@
 package mapreduce
 
 import (
+	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -9,7 +11,22 @@ import (
 	"manimal/internal/serde"
 )
 
+// cancelCheckEvery throttles how often long task loops poll the pool's
+// cancellation channel: cheap enough to keep error latency low without
+// taxing the per-record hot path.
+const cancelCheckEvery = 64
+
+// errPoolCanceled is returned by tasks that stopped early because a sibling
+// task failed; runPool reports the sibling's error, not this sentinel.
+var errPoolCanceled = errors.New("mapreduce: task canceled")
+
 // Run executes a job to completion and returns its counters and duration.
+//
+// Run owns the job's resources on every exit path: inputs are closed, the
+// final output is closed (or aborted — partial file removed — on error),
+// and shuffle spill segments are deleted as soon as the reduce phase has
+// consumed them, so a long-lived WorkDir does not accumulate garbage.
+// Callers may safely Close inputs again.
 func Run(job *Job) (*Result, error) {
 	if err := job.Validate(); err != nil {
 		return nil, err
@@ -18,6 +35,35 @@ func Run(job *Job) (*Result, error) {
 	start := time.Now()
 	if job.Config.StartupDelay > 0 {
 		time.Sleep(job.Config.StartupDelay)
+	}
+
+	mapOnly := job.Reducer == nil
+	numReducers := 0
+	if !mapOnly {
+		numReducers = job.Config.numReducers()
+	}
+	var sink *syncOutput
+	if job.Output != nil {
+		sink = &syncOutput{out: job.Output, counters: counters}
+	}
+
+	// Per-task segment lists, gathered after the map phase.
+	segments := make([][]string, numReducers)
+	var segMu sync.Mutex
+
+	// fail releases everything on an error exit: the partial final output
+	// is aborted, inputs are closed, and any spill segments are removed.
+	fail := func(phase string, err error) (*Result, error) {
+		if job.Output != nil {
+			abortOutput(job.Output)
+		}
+		for _, in := range job.Inputs {
+			in.Input.Close()
+		}
+		for _, segs := range segments {
+			removeFiles(segs)
+		}
+		return nil, fmt.Errorf("mapreduce: %q: %s: %w", job.Name, phase, err)
 	}
 
 	// Plan map tasks: splits from every input, each bound to its mapper.
@@ -30,7 +76,7 @@ func Run(job *Job) (*Result, error) {
 	for _, in := range job.Inputs {
 		splits, err := in.Input.Splits(parallel * 2)
 		if err != nil {
-			return nil, fmt.Errorf("mapreduce: %q: splits: %w", job.Name, err)
+			return fail("splits", err)
 		}
 		for _, s := range splits {
 			tasks = append(tasks, taskSpec{split: s, factory: in.Mapper})
@@ -38,30 +84,52 @@ func Run(job *Job) (*Result, error) {
 	}
 	counters.Add(CtrMapTasks, int64(len(tasks)))
 
-	mapOnly := job.Reducer == nil
-	numReducers := 0
-	if !mapOnly {
-		numReducers = job.Config.numReducers()
-	}
-	sink := &syncOutput{out: job.Output, counters: counters}
-
-	// Per-task segment lists, gathered after the map phase.
-	segments := make([][]string, numReducers)
-	var segMu sync.Mutex
-
-	runTask := func(taskID int, spec taskSpec) error {
+	runTask := func(taskID int, spec taskSpec, cancel <-chan struct{}) (err error) {
+		var se *shuffleEmitter
+		var taskOut Output
+		defer func() {
+			// Partial spills from a failed task still occupy WorkDir: merge
+			// them into the global lists unconditionally so the phase-level
+			// cleanup sees them.
+			if se != nil {
+				segMu.Lock()
+				for p, segs := range se.segments {
+					segments[p] = append(segments[p], segs...)
+				}
+				segMu.Unlock()
+			}
+			if taskOut != nil {
+				if err != nil {
+					abortOutput(taskOut)
+				} else if cerr := taskOut.Close(); cerr != nil {
+					abortOutput(taskOut) // discard the truncated result
+					err = cerr
+				}
+			}
+		}()
 		mapper, err := spec.factory()
 		if err != nil {
 			return err
 		}
 		var emit func(serde.Datum, interp.EmitValue) error
-		var se *shuffleEmitter
-		if mapOnly {
-			emit = sink.Write
-		} else {
+		switch {
+		case !mapOnly:
 			se = newShuffleEmitter(taskID, numReducers, job.Config.WorkDir,
-				job.Config.spillBuffer(), job.Combiner, counters, job.Config.Conf)
+				job.Config.spillBuffer(), job.Combiner, counters, job.Config.Conf,
+				job.Config.partitioner())
 			emit = se.emit
+		case job.OutputFor != nil:
+			taskOut, err = job.OutputFor(taskID)
+			if err != nil {
+				return err
+			}
+			out := taskOut
+			emit = func(k serde.Datum, v interp.EmitValue) error {
+				counters.Add(CtrOutputRecords, 1)
+				return out.Write(k, v)
+			}
+		default:
+			emit = sink.Write
 		}
 		ctx := &interp.Context{
 			Conf: job.Config.Conf,
@@ -75,7 +143,12 @@ func Run(job *Job) (*Result, error) {
 			return err
 		}
 		defer it.Close()
+		n := 0
 		for it.Next() {
+			if n%cancelCheckEvery == 0 && canceled(cancel) {
+				return errPoolCanceled
+			}
+			n++
 			counters.Add(CtrMapInputRecords, 1)
 			if err := mapper.Map(it.Key(), it.Record(), ctx); err != nil {
 				return err
@@ -85,30 +158,50 @@ func Run(job *Job) (*Result, error) {
 			return err
 		}
 		if se != nil {
-			if err := se.spill(); err != nil {
-				return err
-			}
-			segMu.Lock()
-			for p, segs := range se.segments {
-				segments[p] = append(segments[p], segs...)
-			}
-			segMu.Unlock()
+			return se.spill()
 		}
 		return nil
 	}
 
-	if err := runPool(parallel, len(tasks), func(i int) error {
-		return runTask(i, tasks[i])
+	if err := runPool(parallel, len(tasks), func(i int, cancel <-chan struct{}) error {
+		return runTask(i, tasks[i], cancel)
 	}); err != nil {
-		return nil, fmt.Errorf("mapreduce: %q: map phase: %w", job.Name, err)
+		return fail("map phase", err)
 	}
 
 	if !mapOnly {
 		counters.Add(CtrReduceTasks, int64(numReducers))
-		reduceTask := func(p int) error {
+		reduceTask := func(p int, cancel <-chan struct{}) (err error) {
+			// This partition's spill segments are consumed here; remove them
+			// whether the task succeeds or not (on failure the job is dead
+			// anyway and fail() re-removes what is left elsewhere).
+			defer removeFiles(segments[p])
+			var taskOut Output
+			defer func() {
+				if taskOut != nil {
+					if err != nil {
+						abortOutput(taskOut)
+					} else if cerr := taskOut.Close(); cerr != nil {
+						abortOutput(taskOut) // discard the truncated result
+						err = cerr
+					}
+				}
+			}()
 			reducer, err := job.Reducer()
 			if err != nil {
 				return err
+			}
+			emit := sink.Write
+			if job.OutputFor != nil {
+				taskOut, err = job.OutputFor(p)
+				if err != nil {
+					return err
+				}
+				out := taskOut
+				emit = func(k serde.Datum, v interp.EmitValue) error {
+					counters.Add(CtrOutputRecords, 1)
+					return out.Write(k, v)
+				}
 			}
 			m, err := newMergeIter(segments[p])
 			if err != nil {
@@ -117,12 +210,15 @@ func Run(job *Job) (*Result, error) {
 			defer m.closeAll()
 			ctx := &interp.Context{
 				Conf: job.Config.Conf,
-				Emit: sink.Write,
+				Emit: emit,
 				Counter: func(name string, delta int64) {
 					counters.Add("user."+name, delta)
 				},
 			}
 			for m.nextGroup() {
+				if canceled(cancel) {
+					return errPoolCanceled
+				}
 				counters.Add(CtrReduceInputGroups, 1)
 				key, _, err := serde.DecodeSortKey(m.groupKey)
 				if err != nil {
@@ -141,22 +237,30 @@ func Run(job *Job) (*Result, error) {
 			return m.err
 		}
 		if err := runPool(parallel, numReducers, reduceTask); err != nil {
-			return nil, fmt.Errorf("mapreduce: %q: reduce phase: %w", job.Name, err)
+			return fail("reduce phase", err)
 		}
 	}
 
 	for _, in := range job.Inputs {
 		counters.Add(CtrInputBytesRead, in.Input.BytesRead())
+		in.Input.Close()
 	}
-	if err := job.Output.Close(); err != nil {
-		return nil, fmt.Errorf("mapreduce: %q: close output: %w", job.Name, err)
+	if job.Output != nil {
+		if err := job.Output.Close(); err != nil {
+			// A failed close (e.g. flush on a full disk) leaves a truncated
+			// file that looks valid; discard it like every other error path.
+			abortOutput(job.Output)
+			return nil, fmt.Errorf("mapreduce: %q: close output: %w", job.Name, err)
+		}
 	}
 	return &Result{Counters: counters, Duration: time.Since(start)}, nil
 }
 
-// runPool executes n indexed tasks with at most parallel workers, stopping
-// at the first error.
-func runPool(parallel, n int, task func(i int) error) error {
+// runPool executes n indexed tasks with at most parallel workers. The first
+// task error cancels the pool: queued tasks never start, and running tasks
+// observe the cancellation through the channel passed to them (returning
+// errPoolCanceled) instead of running to completion.
+func runPool(parallel, n int, task func(i int, cancel <-chan struct{}) error) error {
 	if parallel > n {
 		parallel = n
 	}
@@ -169,6 +273,7 @@ func runPool(parallel, n int, task func(i int) error) error {
 		firstErr error
 		next     int
 	)
+	cancel := make(chan struct{})
 	for w := 0; w < parallel; w++ {
 		wg.Add(1)
 		go func() {
@@ -182,10 +287,11 @@ func runPool(parallel, n int, task func(i int) error) error {
 				i := next
 				next++
 				mu.Unlock()
-				if err := task(i); err != nil {
+				if err := task(i, cancel); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
+						close(cancel)
 					}
 					mu.Unlock()
 					return
@@ -195,6 +301,23 @@ func runPool(parallel, n int, task func(i int) error) error {
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// canceled polls a cancellation channel without blocking.
+func canceled(cancel <-chan struct{}) bool {
+	select {
+	case <-cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// removeFiles best-effort deletes a list of files (cleanup paths).
+func removeFiles(paths []string) {
+	for _, p := range paths {
+		os.Remove(p)
+	}
 }
 
 // syncOutput serializes writes to the job output and counts records.

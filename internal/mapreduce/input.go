@@ -127,9 +127,9 @@ func (it *fileIter) Close() error          { return nil }
 
 // IndexedInput scans only the relevant key ranges of a B+Tree selection
 // index (paper Section 2.1: "use the index to skip map invocations that do
-// not yield output data").
+// not yield output data"). The index may be a lone tree or a shard set.
 type IndexedInput struct {
-	t      *btree.Tree
+	t      btree.Index
 	ranges []ByteRange
 }
 
@@ -138,17 +138,18 @@ type ByteRange struct {
 	Lo, Hi []byte
 }
 
-// OpenIndexed opens a B+Tree index restricted to the given ranges.
+// OpenIndexed opens a B+Tree index (single file or shard manifest)
+// restricted to the given ranges.
 func OpenIndexed(path string, ranges []ByteRange) (*IndexedInput, error) {
-	t, err := btree.Open(path)
+	t, err := btree.OpenIndex(path)
 	if err != nil {
 		return nil, err
 	}
 	return &IndexedInput{t: t, ranges: ranges}, nil
 }
 
-// Tree exposes the underlying index (for statistics).
-func (ix *IndexedInput) Tree() *btree.Tree { return ix.t }
+// Index exposes the underlying logical index (for statistics).
+func (ix *IndexedInput) Index() btree.Index { return ix.t }
 
 // Schema implements Input.
 func (ix *IndexedInput) Schema() *serde.Schema { return ix.t.Schema() }
@@ -159,23 +160,48 @@ func (ix *IndexedInput) BytesRead() int64 { return ix.t.BytesRead() }
 // Close implements Input.
 func (ix *IndexedInput) Close() error { return ix.t.Close() }
 
-// Splits implements Input: one split per scan range. Ranges produced by
-// interval merging are disjoint, so splits never overlap.
-func (ix *IndexedInput) Splits(int) ([]Split, error) {
-	out := make([]Split, len(ix.ranges))
-	for i, r := range ix.ranges {
-		out[i] = &indexSplit{t: ix.t, r: r}
+// Splits implements Input: the plan's scan ranges fan out across about
+// target map tasks. When there are fewer ranges than target, each range is
+// sub-split at shard and leaf-page boundaries (Index.RangeCuts), so even a
+// single-range selection parallelizes instead of running as one map task.
+// Ranges produced by interval merging are disjoint, and cut keys partition
+// a range exactly, so splits never overlap.
+func (ix *IndexedInput) Splits(target int) ([]Split, error) {
+	if target < 1 {
+		target = 1
+	}
+	if len(ix.ranges) == 0 {
+		return nil, nil
+	}
+	per := 1
+	if len(ix.ranges) < target {
+		per = (target + len(ix.ranges) - 1) / len(ix.ranges)
+	}
+	var out []Split
+	for _, r := range ix.ranges {
+		lo := r.Lo
+		if per > 1 {
+			cuts, err := ix.t.RangeCuts(r.Lo, r.Hi, per)
+			if err != nil {
+				return nil, err
+			}
+			for _, c := range cuts {
+				out = append(out, &indexSplit{t: ix.t, r: ByteRange{Lo: lo, Hi: c}})
+				lo = c
+			}
+		}
+		out = append(out, &indexSplit{t: ix.t, r: ByteRange{Lo: lo, Hi: r.Hi}})
 	}
 	return out, nil
 }
 
 type indexSplit struct {
-	t *btree.Tree
+	t btree.Index
 	r ByteRange
 }
 
 func (s *indexSplit) Open() (RecordIter, error) {
-	it, err := s.t.Range(s.r.Lo, s.r.Hi)
+	it, err := s.t.Scan(s.r.Lo, s.r.Hi)
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +209,7 @@ func (s *indexSplit) Open() (RecordIter, error) {
 }
 
 type indexIter struct {
-	it  *btree.Iterator
+	it  btree.Cursor
 	key serde.Datum
 	err error
 }

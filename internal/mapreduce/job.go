@@ -71,6 +71,10 @@ type Config struct {
 	// key-sorted order. The optimizer refuses direct-operation compression
 	// of map output keys in that case (paper footnote 1).
 	SortedOutput bool
+	// Partitioner routes intermediate keys to reduce partitions; nil means
+	// HashPartitioner. Sharded index builds install a RangePartitioner so
+	// each reduce task receives one contiguous slice of the key space.
+	Partitioner Partitioner
 	// Conf carries the job parameters programs read via ctx.Conf*.
 	Conf map[string]serde.Datum
 }
@@ -103,6 +107,13 @@ func (c *Config) spillBuffer() int {
 	return DefaultSpillBufferBytes
 }
 
+func (c *Config) partitioner() Partitioner {
+	if c.Partitioner != nil {
+		return c.Partitioner
+	}
+	return HashPartitioner{}
+}
+
 // Job describes one MapReduce execution.
 type Job struct {
 	Name     string
@@ -110,7 +121,16 @@ type Job struct {
 	Reducer  ReducerFactory // nil = map-only job
 	Combiner ReducerFactory // optional map-side pre-aggregation
 	Output   Output
-	Config   Config
+	// OutputFor, when set, replaces Output with one private output per
+	// task: reduce jobs open one output per reduce partition (how sharded
+	// index builds give every reducer its own shard file), map-only jobs
+	// one per map task in split order (how parallel record-file builds
+	// write ordered segments). The engine opens each output lazily when
+	// its task starts, closes it when the task succeeds, and aborts it
+	// when the task fails; per-task outputs need no write serialization.
+	// Exactly one of Output and OutputFor must be set.
+	OutputFor func(task int) (Output, error)
+	Config    Config
 }
 
 // Validate checks the job is runnable.
@@ -123,8 +143,8 @@ func (j *Job) Validate() error {
 			return fmt.Errorf("mapreduce: job %q input %d incomplete", j.Name, i)
 		}
 	}
-	if j.Output == nil {
-		return fmt.Errorf("mapreduce: job %q has no output", j.Name)
+	if (j.Output == nil) == (j.OutputFor == nil) {
+		return fmt.Errorf("mapreduce: job %q needs exactly one of Output and OutputFor", j.Name)
 	}
 	if j.Reducer != nil && j.Config.WorkDir == "" {
 		return fmt.Errorf("mapreduce: job %q needs Config.WorkDir for its shuffle", j.Name)

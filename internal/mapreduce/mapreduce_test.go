@@ -2,9 +2,13 @@ package mapreduce
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
+	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"manimal/internal/interp"
 	"manimal/internal/serde"
@@ -257,8 +261,8 @@ func TestPartitionStability(t *testing.T) {
 	used := make(map[int]bool)
 	for i := 0; i < 1000; i++ {
 		k := serde.String(fmt.Sprintf("key-%d", i)).SortKey()
-		p1 := partition(k, 8)
-		p2 := partition(k, 8)
+		p1 := HashPartitioner{}.Partition(k, 8)
+		p2 := HashPartitioner{}.Partition(k, 8)
 		if p1 != p2 {
 			t.Fatal("partition not deterministic")
 		}
@@ -269,6 +273,208 @@ func TestPartitionStability(t *testing.T) {
 	}
 	if len(used) < 8 {
 		t.Errorf("only %d of 8 partitions used", len(used))
+	}
+}
+
+// TestHashPartitionerMatchesFNV: the inlined FNV-1a must agree with
+// hash/fnv bit for bit, so catalogs and spill layouts stay stable.
+func TestHashPartitionerMatchesFNV(t *testing.T) {
+	for i := 0; i < 500; i++ {
+		k := serde.String(fmt.Sprintf("key-%d", i)).SortKey()
+		h := fnv.New32a()
+		h.Write(k)
+		want := int(h.Sum32() % 8)
+		if got := (HashPartitioner{}).Partition(k, 8); got != want {
+			t.Fatalf("key %d: inlined FNV gives %d, hash/fnv gives %d", i, got, want)
+		}
+	}
+}
+
+func TestRangePartitioner(t *testing.T) {
+	rp := &RangePartitioner{Bounds: [][]byte{
+		serde.Int(10).SortKey(),
+		serde.Int(20).SortKey(),
+	}}
+	for _, tc := range []struct {
+		k    int64
+		want int
+	}{
+		{-5, 0}, {9, 0}, {10, 1}, {15, 1}, {19, 1}, {20, 2}, {1000, 2},
+	} {
+		if got := rp.Partition(serde.Int(tc.k).SortKey(), 3); got != tc.want {
+			t.Errorf("Partition(%d) = %d, want %d", tc.k, got, tc.want)
+		}
+	}
+}
+
+// TestShuffleMultiSpillWithCombiner forces many per-task spills through a
+// tiny buffer and checks the combiner path still yields exact counts.
+func TestShuffleMultiSpillWithCombiner(t *testing.T) {
+	var lines []string
+	for i := 0; i < 200; i++ {
+		lines = append(lines, "alpha beta gamma delta epsilon")
+	}
+	in, err := NewMemInput(wordSchema, textRecords(lines...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "out.kv")
+	kv, err := NewKVFileOutput(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := &Job{
+		Name:     "multispill",
+		Inputs:   []MapInput{{Input: in, Mapper: func() (Mapper, error) { return wordCountMapper{}, nil }}},
+		Reducer:  func() (Reducer, error) { return sumReducer{}, nil },
+		Combiner: func() (Reducer, error) { return sumReducer{}, nil },
+		Output:   kv,
+		Config:   Config{WorkDir: t.TempDir(), NumReducers: 3, MaxParallelTasks: 2, SpillBufferBytes: 256},
+	}
+	res, err := Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := res.Counters.Get(CtrMapTasks)
+	if spills := res.Counters.Get(CtrSpills); spills < 2*tasks {
+		t.Fatalf("spills = %d for %d tasks; buffer did not force multiple spills per task", spills, tasks)
+	}
+	pairs, err := ReadKVFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 5 {
+		t.Fatalf("got %d words, want 5", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.Value.D.I != 200 {
+			t.Errorf("%s = %d, want 200", p.Key.S, p.Value.D.I)
+		}
+	}
+}
+
+// TestWorkDirCleanedAfterRun: spill segments must be deleted once the
+// reduce phase consumed them, so a long-lived WorkDir does not grow.
+func TestWorkDirCleanedAfterRun(t *testing.T) {
+	in, err := NewMemInput(wordSchema, textRecords("a b c", "a b", "c c c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := t.TempDir()
+	out := filepath.Join(t.TempDir(), "out.kv")
+	kv, err := NewKVFileOutput(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := &Job{
+		Name:    "cleanup",
+		Inputs:  []MapInput{{Input: in, Mapper: func() (Mapper, error) { return wordCountMapper{}, nil }}},
+		Reducer: func() (Reducer, error) { return sumReducer{}, nil },
+		Output:  kv,
+		Config:  Config{WorkDir: work, NumReducers: 3, SpillBufferBytes: 16},
+	}
+	if _, err := Run(job); err != nil {
+		t.Fatal(err)
+	}
+	left, err := os.ReadDir(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("WorkDir still holds %d files after a successful run", len(left))
+	}
+}
+
+// emitThenFailMapper spills some shuffle data, then fails, exercising the
+// error-path cleanup.
+type emitThenFailMapper struct{}
+
+func (emitThenFailMapper) Map(_ serde.Datum, _ *serde.Record, ctx *interp.Context) error {
+	for i := 0; i < 64; i++ {
+		if err := ctx.Emit(serde.String(fmt.Sprintf("w%03d", i)), interp.EmitValue{D: serde.Int(1)}); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("synthetic failure after emitting")
+}
+
+// TestFailedJobCleansUp: a failing map phase must remove the partial
+// output file and every spill segment.
+func TestFailedJobCleansUp(t *testing.T) {
+	in, err := NewMemInput(wordSchema, textRecords("x", "y", "z"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := t.TempDir()
+	out := filepath.Join(t.TempDir(), "out.kv")
+	kv, err := NewKVFileOutput(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := &Job{
+		Name:    "failing",
+		Inputs:  []MapInput{{Input: in, Mapper: func() (Mapper, error) { return emitThenFailMapper{}, nil }}},
+		Reducer: func() (Reducer, error) { return sumReducer{}, nil },
+		Output:  kv,
+		Config:  Config{WorkDir: work, NumReducers: 2, SpillBufferBytes: 16},
+	}
+	if _, err := Run(job); err == nil {
+		t.Fatal("failing job reported success")
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Errorf("partial output file survived the failure (stat err = %v)", err)
+	}
+	left, err := os.ReadDir(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Errorf("WorkDir still holds %d spill files after failure", len(left))
+	}
+}
+
+// slowCountingMapper sleeps per record and counts invocations across tasks.
+type slowCountingMapper struct{ n *atomic.Int64 }
+
+func (m slowCountingMapper) Map(serde.Datum, *serde.Record, *interp.Context) error {
+	m.n.Add(1)
+	time.Sleep(50 * time.Microsecond)
+	return nil
+}
+
+// TestCancellationStopsSiblings: a failed task must stop sibling tasks
+// promptly instead of letting them run to completion.
+func TestCancellationStopsSiblings(t *testing.T) {
+	failIn, err := NewMemInput(wordSchema, textRecords("boom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := make([]string, 10000)
+	for i := range lines {
+		lines[i] = "x"
+	}
+	slowIn, err := NewMemInput(wordSchema, textRecords(lines...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var invoked atomic.Int64
+	job := &Job{
+		Name: "cancel",
+		Inputs: []MapInput{
+			{Input: failIn, Mapper: func() (Mapper, error) { return failMapper{}, nil }},
+			{Input: slowIn, Mapper: func() (Mapper, error) { return slowCountingMapper{n: &invoked}, nil }},
+		},
+		Output: &DiscardOutput{},
+		Config: Config{MaxParallelTasks: 2},
+	}
+	if _, err := Run(job); err == nil {
+		t.Fatal("failing job reported success")
+	}
+	// Without cancellation every slow record runs (10000); with it, the
+	// in-flight task stops within a cancel-check window and queued splits
+	// never start.
+	if n := invoked.Load(); n > 5000 {
+		t.Fatalf("siblings processed %d records after the failure; cancellation not effective", n)
 	}
 }
 

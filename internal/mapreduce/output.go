@@ -16,10 +16,28 @@ import (
 
 const kvMagic = "MANIMALK"
 
+// Abortable lets an output discard a partially-written result — close any
+// handles and remove the file, leaving nothing on disk. The engine aborts
+// outputs (instead of closing them) when their producing task or job fails.
+type Abortable interface {
+	Abort() error
+}
+
+// abortOutput discards an output's partial result, falling back to Close
+// for outputs that cannot remove what they wrote.
+func abortOutput(o Output) {
+	if a, ok := o.(Abortable); ok {
+		a.Abort()
+		return
+	}
+	o.Close()
+}
+
 // KVFileOutput writes the job's (key, value) pairs to a simple streaming
 // container: the default final-output format.
 type KVFileOutput struct {
 	f     *os.File
+	path  string
 	w     *bufio.Writer
 	count uint64
 }
@@ -35,7 +53,7 @@ func NewKVFileOutput(path string) (*KVFileOutput, error) {
 		f.Close()
 		return nil, err
 	}
-	return &KVFileOutput{f: f, w: w}, nil
+	return &KVFileOutput{f: f, path: path, w: w}, nil
 }
 
 // Write implements Output.
@@ -72,6 +90,12 @@ func (o *KVFileOutput) Close() error {
 		return err
 	}
 	return o.f.Close()
+}
+
+// Abort implements Abortable: the partial output file is removed.
+func (o *KVFileOutput) Abort() error {
+	o.f.Close()
+	return os.Remove(o.path)
 }
 
 // KVPair is one read-back output pair.
@@ -164,10 +188,15 @@ func (o *RecordFileOutput) Write(_ serde.Datum, v interp.EmitValue) error {
 // Close implements Output.
 func (o *RecordFileOutput) Close() error { return o.w.Close() }
 
-// BTreeOutput bulk-loads emitted (key, record) pairs into a B+Tree index.
-// Keys must arrive in non-decreasing order, which the engine guarantees for
-// single-reducer jobs (the shuffle merge is key-ordered); selection
-// index-generation jobs therefore run with NumReducers=1.
+// Abort implements Abortable: the partial record file is removed.
+func (o *RecordFileOutput) Abort() error { return o.w.Abort() }
+
+// BTreeOutput bulk-loads emitted (key, record) pairs into a B+Tree index
+// (or one shard of a sharded index). Keys must arrive in non-decreasing
+// order, which the engine guarantees per reduce task (each partition's
+// shuffle merge is key-ordered); selection index-generation jobs run with
+// N reducers under a RangePartitioner, giving each reduce task its own
+// BTreeOutput (via Job.OutputFor) so every shard bulk-loads in parallel.
 type BTreeOutput struct {
 	b *btree.Builder
 }
@@ -196,6 +225,9 @@ func (o *BTreeOutput) Write(k serde.Datum, v interp.EmitValue) error {
 
 // Close implements Output.
 func (o *BTreeOutput) Close() error { return o.b.Close() }
+
+// Abort implements Abortable: the partial index file is removed.
+func (o *BTreeOutput) Abort() error { return o.b.Abort() }
 
 // conformRecord projects a record down to the target schema when needed.
 func conformRecord(rec *serde.Record, schema *serde.Schema) (*serde.Record, error) {

@@ -6,7 +6,6 @@ import (
 	"container/heap"
 	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"os"
 	"path/filepath"
@@ -83,13 +82,6 @@ type entry struct {
 	v []byte
 }
 
-// partition assigns a key to one of n reducers by hashing its sort key.
-func partition(k []byte, n int) int {
-	h := fnv.New32a()
-	h.Write(k)
-	return int(h.Sum32() % uint32(n))
-}
-
 // shuffleEmitter buffers one map task's output per partition, sorting and
 // spilling segments to disk (with optional combiner) when the buffer
 // exceeds the threshold and at task end.
@@ -102,11 +94,12 @@ type shuffleEmitter struct {
 	combiner  ReducerFactory
 	counters  *Counters
 	conf      map[string]serde.Datum
+	part      Partitioner
 	segments  [][]string // per partition, appended at each spill
 	spills    int
 }
 
-func newShuffleEmitter(taskID, numParts int, workDir string, threshold int, combiner ReducerFactory, counters *Counters, conf map[string]serde.Datum) *shuffleEmitter {
+func newShuffleEmitter(taskID, numParts int, workDir string, threshold int, combiner ReducerFactory, counters *Counters, conf map[string]serde.Datum, part Partitioner) *shuffleEmitter {
 	return &shuffleEmitter{
 		taskID:    taskID,
 		workDir:   workDir,
@@ -115,13 +108,14 @@ func newShuffleEmitter(taskID, numParts int, workDir string, threshold int, comb
 		combiner:  combiner,
 		counters:  counters,
 		conf:      conf,
+		part:      part,
 		segments:  make([][]string, numParts),
 	}
 }
 
 func (se *shuffleEmitter) emit(key serde.Datum, value interp.EmitValue) error {
 	e := entry{k: key.AppendSortKey(nil), v: encodeValue(value, nil)}
-	p := partition(e.k, len(se.parts))
+	p := se.part.Partition(e.k, len(se.parts))
 	se.parts[p] = append(se.parts[p], e)
 	se.bytes += len(e.k) + len(e.v)
 	se.counters.Add(CtrMapOutputRecords, 1)

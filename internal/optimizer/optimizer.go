@@ -8,6 +8,7 @@ package optimizer
 
 import (
 	"fmt"
+	"os"
 
 	"manimal/internal/analyzer"
 	"manimal/internal/catalog"
@@ -91,6 +92,8 @@ func Choose(desc *analyzer.Descriptor, inputPath string, schema *serde.Schema, e
 		return plan
 	}
 
+	entries = freshEntries(inputPath, entries, plan)
+
 	// Fields the program may touch: the projection analysis' used set, or —
 	// when projection analysis could not distinguish fields — all of them.
 	required := schema.FieldNames()
@@ -126,16 +129,51 @@ func Choose(desc *analyzer.Descriptor, inputPath string, schema *serde.Schema, e
 	return plan
 }
 
-// chooseBTree picks a B+Tree entry whose key expression the formula bounds
-// in every disjunct and whose stored fields cover the program's needs.
-// Among candidates it prefers the most-projected (fewest stored fields).
+// freshEntries drops catalog entries whose recorded input fingerprint no
+// longer matches the input file: the input was rewritten after the index
+// was built, and using the index would silently serve stale results.
+// Entries without a fingerprint (older catalogs) are kept.
+func freshEntries(inputPath string, entries []catalog.Entry, plan *Plan) []catalog.Entry {
+	var (
+		statted bool
+		size    int64
+		mtime   int64
+		statErr error
+	)
+	kept := entries[:0:0]
+	for _, e := range entries {
+		if e.InputSizeBytes == 0 && e.InputModTimeNanos == 0 {
+			kept = append(kept, e)
+			continue
+		}
+		if !statted {
+			statted = true
+			if st, err := os.Stat(inputPath); err != nil {
+				statErr = err
+			} else {
+				size, mtime = st.Size(), st.ModTime().UnixNano()
+			}
+		}
+		if statErr != nil || !e.MatchesInput(size, mtime) {
+			plan.notef("%s %s: stale — input rewritten since index build; skipping", e.Kind, e.IndexPath)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	return kept
+}
+
+// chooseBTree picks a B+Tree entry (single-file or sharded) whose key
+// expression the formula bounds in every disjunct and whose stored fields
+// cover the program's needs. Among candidates it prefers the
+// most-projected (fewest stored fields).
 func chooseBTree(desc *analyzer.Descriptor, entries []catalog.Entry, required []string, conf predicate.Config, base *Plan) *Plan {
 	var (
 		best       *Plan
 		bestFields = int(^uint(0) >> 1)
 	)
 	for _, e := range entries {
-		if e.Kind != catalog.KindBTree {
+		if e.Kind != catalog.KindBTree && e.Kind != catalog.KindBTreeSharded {
 			continue
 		}
 		if !containsString(desc.Select.IndexKeys, e.KeyExpr) {
@@ -164,7 +202,9 @@ func chooseBTree(desc *analyzer.Descriptor, entries []catalog.Entry, required []
 				KeyExpr:   e.KeyExpr,
 				Ranges:    ranges,
 				Applied:   []string{"selection"},
-				Notes:     base.Notes,
+				// Copy: appending to an aliased base.Notes later would
+				// clobber this plan's own notes via the shared array.
+				Notes: append([]string(nil), base.Notes...),
 			}
 			if desc.Project != nil && len(e.Fields) < len(desc.Project.UsedFields)+len(desc.Project.DroppedFields) {
 				p.Applied = append(p.Applied, "projection")
@@ -233,7 +273,7 @@ func chooseRecordFile(desc *analyzer.Descriptor, schema *serde.Schema, entries [
 				IndexPath:   e.IndexPath,
 				DirectCodes: directCodes,
 				Applied:     applied,
-				Notes:       base.Notes,
+				Notes:       append([]string(nil), base.Notes...),
 			}
 			best.notef("record file %s: %v", e.IndexPath, applied)
 		}

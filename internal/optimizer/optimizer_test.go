@@ -1,7 +1,11 @@
 package optimizer
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"manimal/internal/analyzer"
 	"manimal/internal/catalog"
@@ -102,6 +106,79 @@ func TestPreferMostProjectedBTree(t *testing.T) {
 	}
 	if len(plan.Applied) != 2 {
 		t.Fatalf("applied = %v, want selection+projection", plan.Applied)
+	}
+}
+
+// TestStaleIndexSkipped: an entry whose input fingerprint no longer
+// matches must never be chosen, with a plan note explaining the skip —
+// otherwise a rewritten input silently serves results from the old index.
+func TestStaleIndexSkipped(t *testing.T) {
+	d := describe(t, selProg)
+	dir := t.TempDir()
+	input := filepath.Join(dir, "uv.rec")
+	if err := os.WriteFile(input, []byte("original contents"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := []catalog.Entry{{
+		InputPath: input, IndexPath: "uv.idx", Kind: catalog.KindBTree,
+		KeyExpr:           `v.Int("visitDate")`,
+		Fields:            uvSchema.FieldNames(),
+		InputSizeBytes:    st.Size(),
+		InputModTimeNanos: st.ModTime().UnixNano(),
+	}}
+	conf := predicate.Config{"since": serde.Int(5)}
+
+	fresh := Choose(d, input, uvSchema, entries, conf, Options{})
+	if fresh.Kind != PlanBTree {
+		t.Fatalf("fresh index not chosen: %+v", fresh)
+	}
+
+	// Rewrite the input: size and mtime both change.
+	if err := os.WriteFile(input, []byte("rewritten, different length"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(input, time.Now(), st.ModTime().Add(3*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	stale := Choose(d, input, uvSchema, entries, conf, Options{})
+	if stale.Kind != PlanOriginal {
+		t.Fatalf("stale index chosen: %+v", stale)
+	}
+	found := false
+	for _, n := range stale.Notes {
+		if strings.Contains(n, "stale") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no stale note in plan notes: %v", stale.Notes)
+	}
+
+	// Entries without a fingerprint (older catalogs) are still usable.
+	entries[0].InputSizeBytes, entries[0].InputModTimeNanos = 0, 0
+	legacy := Choose(d, input, uvSchema, entries, conf, Options{})
+	if legacy.Kind != PlanBTree {
+		t.Fatalf("fingerprint-less entry rejected: %+v", legacy)
+	}
+}
+
+// TestShardedBTreeEntryChosen: catalog.KindBTreeSharded competes exactly
+// like a single-file tree.
+func TestShardedBTreeEntryChosen(t *testing.T) {
+	d := describe(t, selProg)
+	entries := []catalog.Entry{{
+		InputPath: "uv.rec", IndexPath: "uv.idx", Kind: catalog.KindBTreeSharded,
+		Shards:  4,
+		KeyExpr: `v.Int("visitDate")`,
+		Fields:  uvSchema.FieldNames(),
+	}}
+	plan := Choose(d, "uv.rec", uvSchema, entries, predicate.Config{"since": serde.Int(5)}, Options{})
+	if plan.Kind != PlanBTree || plan.IndexPath != "uv.idx" {
+		t.Fatalf("sharded entry not chosen: %+v", plan)
 	}
 }
 

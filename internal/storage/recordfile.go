@@ -67,6 +67,7 @@ type WriterOptions struct {
 // Writer writes a record file.
 type Writer struct {
 	f         *os.File
+	path      string
 	schema    *serde.Schema
 	encodings []FieldEncoding
 	deltas    []*compress.DeltaEncoder // per field, nil unless delta
@@ -78,6 +79,7 @@ type Writer struct {
 	blocks    []blockInfo
 	records   int64
 	closed    bool
+	finished  bool // Close completed; Abort must not remove the file
 }
 
 // NewWriter creates (truncating) a record file at path.
@@ -88,6 +90,7 @@ func NewWriter(path string, schema *serde.Schema, opts WriterOptions) (*Writer, 
 	}
 	w := &Writer{
 		f:         f,
+		path:      path,
 		schema:    schema,
 		encodings: make([]FieldEncoding, schema.NumFields()),
 		deltas:    make([]*compress.DeltaEncoder, schema.NumFields()),
@@ -247,7 +250,23 @@ func (w *Writer) Close() error {
 		w.f.Close()
 		return fmt.Errorf("storage: sync: %w", err)
 	}
-	return w.f.Close()
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.finished = true
+	return nil
+}
+
+// Abort closes the writer and removes the partial file; used when the
+// producing job — or a Close that failed midway, leaving a truncated
+// file — must be discarded. A no-op after a successful Close.
+func (w *Writer) Abort() error {
+	if w.finished {
+		return nil
+	}
+	w.closed = true
+	w.f.Close()
+	return os.Remove(w.path)
 }
 
 // Schema returns the writer's file schema.

@@ -108,6 +108,10 @@ type Plan = optimizer.Plan
 // IndexSpec re-exports the synthesized index description.
 type IndexSpec = indexgen.Spec
 
+// BuildConfig re-exports the index build tuning (shard count, task
+// parallelism, partitioner sample size).
+type BuildConfig = indexgen.BuildConfig
+
 // CatalogEntry re-exports a catalog index record.
 type CatalogEntry = catalog.Entry
 
@@ -306,14 +310,21 @@ func (s *System) Submit(spec JobSpec) (*JobReport, error) {
 
 // BuildIndex runs an index-generation program over inputPath, writes the
 // index to indexPath, and registers it in the catalog (the CREATE INDEX of
-// Manimal's world).
+// Manimal's world). Builds run with default tuning — B+Trees sharded
+// across reducers, record files scanned with full task parallelism; use
+// BuildIndexWith to tune.
 func (s *System) BuildIndex(spec IndexSpec, inputPath, indexPath string) (CatalogEntry, error) {
+	return s.BuildIndexWith(spec, inputPath, indexPath, BuildConfig{})
+}
+
+// BuildIndexWith is BuildIndex with explicit build tuning.
+func (s *System) BuildIndexWith(spec IndexSpec, inputPath, indexPath string, cfg BuildConfig) (CatalogEntry, error) {
 	jobWork, err := os.MkdirTemp(s.workDir, "idx-*")
 	if err != nil {
 		return CatalogEntry{}, fmt.Errorf("manimal: %w", err)
 	}
 	defer os.RemoveAll(jobWork)
-	entry, err := indexgen.Build(spec, inputPath, indexPath, jobWork)
+	entry, err := indexgen.BuildWith(spec, inputPath, indexPath, jobWork, cfg)
 	if err != nil {
 		return CatalogEntry{}, err
 	}
@@ -328,6 +339,11 @@ func (s *System) BuildIndex(spec IndexSpec, inputPath, indexPath string) (Catalo
 // the catalog entries. Index files are placed next to the input file with
 // a .idxN suffix.
 func (s *System) BuildBestIndexes(p *Program, inputPath string) ([]CatalogEntry, error) {
+	return s.BuildBestIndexesWith(p, inputPath, BuildConfig{})
+}
+
+// BuildBestIndexesWith is BuildBestIndexes with explicit build tuning.
+func (s *System) BuildBestIndexesWith(p *Program, inputPath string, cfg BuildConfig) ([]CatalogEntry, error) {
 	schema, err := schemaOf(inputPath)
 	if err != nil {
 		return nil, err
@@ -340,7 +356,7 @@ func (s *System) BuildBestIndexes(p *Program, inputPath string) ([]CatalogEntry,
 	var out []CatalogEntry
 	for i, ispec := range specs {
 		indexPath := fmt.Sprintf("%s.idx%d", inputPath, i)
-		e, err := s.BuildIndex(ispec, inputPath, indexPath)
+		e, err := s.BuildIndexWith(ispec, inputPath, indexPath, cfg)
 		if err != nil {
 			return out, err
 		}
