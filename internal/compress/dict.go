@@ -3,6 +3,7 @@ package compress
 import (
 	"encoding/binary"
 	"fmt"
+	"strings"
 )
 
 // Dictionary maps string field values to small integer codes for
@@ -23,10 +24,14 @@ func NewDictionary() *Dictionary {
 }
 
 // Encode returns the code for s, assigning the next code on first sight.
+// A newly seen term is cloned before it is stored: callers routinely pass
+// strings that alias a reused scan buffer (storage.Scanner's shared-decode
+// records), which would otherwise mutate under the dictionary.
 func (d *Dictionary) Encode(s string) uint64 {
 	if c, ok := d.codes[s]; ok {
 		return c
 	}
+	s = strings.Clone(s)
 	c := uint64(len(d.terms))
 	d.codes[s] = c
 	d.terms = append(d.terms, s)

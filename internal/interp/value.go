@@ -161,6 +161,11 @@ func FromValue(v Value) (EmitValue, error) {
 
 // Context is the ctx parameter of map() and reduce(): emission, job
 // configuration, and side-effect hooks (logging, counters).
+//
+// Emit implementations must fully consume (serialize or deep-copy) the key
+// and value before returning: emitted records frequently are the reused
+// record a scanning iterator handed to map(), whose contents are only
+// valid until that iterator's next advance.
 type Context struct {
 	Conf    map[string]serde.Datum
 	Emit    func(key serde.Datum, value EmitValue) error

@@ -3,7 +3,6 @@ package mapreduce
 import (
 	"errors"
 	"fmt"
-	"os"
 	"sync"
 	"time"
 
@@ -44,15 +43,23 @@ func Run(job *Job) (*Result, error) {
 	}
 	var sink *syncOutput
 	if job.Output != nil {
-		sink = &syncOutput{out: job.Output, counters: counters}
+		sink = &syncOutput{out: job.Output}
 	}
 
-	// Per-task segment lists, gathered after the map phase.
-	segments := make([][]string, numReducers)
+	// Spill files gathered after the map phase. Each holds every partition's
+	// sorted run for one spill and stays open until the reduce phase has
+	// merged it (reduce tasks read sections of the shared handles).
+	var spills []*spillFile
 	var segMu sync.Mutex
+	releaseSpills := func() {
+		for _, sf := range spills {
+			sf.release()
+		}
+		spills = nil
+	}
 
 	// fail releases everything on an error exit: the partial final output
-	// is aborted, inputs are closed, and any spill segments are removed.
+	// is aborted, inputs are closed, and any spill files are removed.
 	fail := func(phase string, err error) (*Result, error) {
 		if job.Output != nil {
 			abortOutput(job.Output)
@@ -60,9 +67,7 @@ func Run(job *Job) (*Result, error) {
 		for _, in := range job.Inputs {
 			in.Input.Close()
 		}
-		for _, segs := range segments {
-			removeFiles(segs)
-		}
+		releaseSpills()
 		return nil, fmt.Errorf("mapreduce: %q: %s: %w", job.Name, phase, err)
 	}
 
@@ -71,10 +76,17 @@ func Run(job *Job) (*Result, error) {
 		split   Split
 		factory MapperFactory
 	}
+	// The job-wide task target is parallel*2; it is divided across inputs
+	// (rounding up) so an N-input job plans about the intended task count
+	// instead of N× it.
 	var tasks []taskSpec
 	parallel := job.Config.maxParallel()
+	perInput := (parallel*2 + len(job.Inputs) - 1) / len(job.Inputs)
+	if perInput < 1 {
+		perInput = 1
+	}
 	for _, in := range job.Inputs {
-		splits, err := in.Input.Splits(parallel * 2)
+		splits, err := in.Input.Splits(perInput)
 		if err != nil {
 			return fail("splits", err)
 		}
@@ -87,16 +99,19 @@ func Run(job *Job) (*Result, error) {
 	runTask := func(taskID int, spec taskSpec, cancel <-chan struct{}) (err error) {
 		var se *shuffleEmitter
 		var taskOut Output
+		var outRecs int64
 		defer func() {
+			if outRecs > 0 {
+				counters.Add(CtrOutputRecords, outRecs)
+			}
 			// Partial spills from a failed task still occupy WorkDir: merge
-			// them into the global lists unconditionally so the phase-level
+			// them into the global list unconditionally so the phase-level
 			// cleanup sees them.
 			if se != nil {
 				segMu.Lock()
-				for p, segs := range se.segments {
-					segments[p] = append(segments[p], segs...)
-				}
+				spills = append(spills, se.files...)
 				segMu.Unlock()
+				se.release()
 			}
 			if taskOut != nil {
 				if err != nil {
@@ -125,7 +140,7 @@ func Run(job *Job) (*Result, error) {
 			}
 			out := taskOut
 			emit = func(k serde.Datum, v interp.EmitValue) error {
-				counters.Add(CtrOutputRecords, 1)
+				outRecs++
 				return out.Write(k, v)
 			}
 		default:
@@ -143,13 +158,15 @@ func Run(job *Job) (*Result, error) {
 			return err
 		}
 		defer it.Close()
+		// Input records are counted locally and flushed once: Counters.Add
+		// takes a mutex, too expensive per record on the map hot path.
 		n := 0
+		defer func() { counters.Add(CtrMapInputRecords, int64(n)) }()
 		for it.Next() {
 			if n%cancelCheckEvery == 0 && canceled(cancel) {
 				return errPoolCanceled
 			}
 			n++
-			counters.Add(CtrMapInputRecords, 1)
 			if err := mapper.Map(it.Key(), it.Record(), ctx); err != nil {
 				return err
 			}
@@ -172,12 +189,12 @@ func Run(job *Job) (*Result, error) {
 	if !mapOnly {
 		counters.Add(CtrReduceTasks, int64(numReducers))
 		reduceTask := func(p int, cancel <-chan struct{}) (err error) {
-			// This partition's spill segments are consumed here; remove them
-			// whether the task succeeds or not (on failure the job is dead
-			// anyway and fail() re-removes what is left elsewhere).
-			defer removeFiles(segments[p])
 			var taskOut Output
+			var outRecs int64
 			defer func() {
+				if outRecs > 0 {
+					counters.Add(CtrOutputRecords, outRecs)
+				}
 				if taskOut != nil {
 					if err != nil {
 						abortOutput(taskOut)
@@ -199,11 +216,11 @@ func Run(job *Job) (*Result, error) {
 				}
 				out := taskOut
 				emit = func(k serde.Datum, v interp.EmitValue) error {
-					counters.Add(CtrOutputRecords, 1)
+					outRecs++
 					return out.Write(k, v)
 				}
 			}
-			m, err := newMergeIter(segments[p])
+			m, err := newMergeIter(spills, p)
 			if err != nil {
 				return err
 			}
@@ -234,16 +251,32 @@ func Run(job *Job) (*Result, error) {
 					return m.err
 				}
 			}
-			return m.err
+			if m.err != nil {
+				return m.err
+			}
+			// This partition is fully merged: close its cursors and drop its
+			// spill-file references, so files whose every partition has been
+			// consumed are deleted while the reduce phase is still running.
+			m.closeAll()
+			for _, sf := range spills {
+				sf.consumed(p)
+			}
+			return nil
 		}
 		if err := runPool(parallel, numReducers, reduceTask); err != nil {
 			return fail("reduce phase", err)
 		}
+		// Spill files are shared across reduce partitions (each holds every
+		// partition's run), so they are released once the whole phase is done.
+		releaseSpills()
 	}
 
 	for _, in := range job.Inputs {
 		counters.Add(CtrInputBytesRead, in.Input.BytesRead())
 		in.Input.Close()
+	}
+	if sink != nil {
+		counters.Add(CtrOutputRecords, sink.flush())
 	}
 	if job.Output != nil {
 		if err := job.Output.Close(); err != nil {
@@ -313,23 +346,27 @@ func canceled(cancel <-chan struct{}) bool {
 	}
 }
 
-// removeFiles best-effort deletes a list of files (cleanup paths).
-func removeFiles(paths []string) {
-	for _, p := range paths {
-		os.Remove(p)
-	}
-}
-
-// syncOutput serializes writes to the job output and counts records.
+// syncOutput serializes writes to the job output and counts records
+// locally (the count is flushed into the job counters once, at job end —
+// a second mutexed map update per written record is measurable).
 type syncOutput struct {
-	mu       sync.Mutex
-	out      Output
-	counters *Counters
+	mu  sync.Mutex
+	out Output
+	n   int64
 }
 
 func (s *syncOutput) Write(k serde.Datum, v interp.EmitValue) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.counters.Add(CtrOutputRecords, 1)
+	s.n++
 	return s.out.Write(k, v)
+}
+
+// flush returns and resets the record count.
+func (s *syncOutput) flush() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.n
+	s.n = 0
+	return n
 }

@@ -25,7 +25,10 @@ type Split interface {
 	Open() (RecordIter, error)
 }
 
-// RecordIter iterates a split's records.
+// RecordIter iterates a split's records. Implementations may reuse the
+// record across iterations: Record() is valid only until the next call to
+// Next(), and callers that retain it must Clone() it (see the package
+// comment's buffer-ownership contract).
 type RecordIter interface {
 	Next() bool
 	Key() serde.Datum

@@ -6,6 +6,22 @@
 // and compressed record files) and outputs, exactly as the paper's
 // prototype modified Hadoop only for indexed input formats and
 // delta-compression.
+//
+// # Buffer ownership
+//
+// The per-record hot paths run without allocations by reusing buffers, so
+// record lifetimes follow an explicit contract:
+//
+//   - RecordIter.Record() is valid only until the next call to Next().
+//     Callers that retain a record (or datums extracted from its string or
+//     bytes fields) past that point must call Record().Clone().
+//   - Emit (interp.Context.Emit and Output.Write) fully serializes its key
+//     and value before returning, so mappers and reducers may emit the
+//     reused record an iterator handed them.
+//   - The shuffle buffers pairs in per-partition byte slabs, spills each
+//     sorted run into one spill file per spill, and merges through reused
+//     cursor buffers. Values decoded for reducers are freshly allocated —
+//     a reducer may buffer them across Next() calls.
 package mapreduce
 
 import (

@@ -40,6 +40,8 @@ type KVFileOutput struct {
 	path  string
 	w     *bufio.Writer
 	count uint64
+	buf   []byte // reused per-write encoding buffer
+	enc   valueEncoder
 }
 
 // NewKVFileOutput creates (truncating) a KV output file.
@@ -56,20 +58,19 @@ func NewKVFileOutput(path string) (*KVFileOutput, error) {
 	return &KVFileOutput{f: f, path: path, w: w}, nil
 }
 
-// Write implements Output.
+// Write implements Output. The key and value are fully serialized before
+// Write returns; callers may reuse the backing record afterwards.
 func (o *KVFileOutput) Write(k serde.Datum, v interp.EmitValue) error {
-	kb := k.AppendTagged(nil)
-	vb := encodeValue(v, nil)
-	var hdr []byte
-	hdr = binary.AppendUvarint(hdr, uint64(len(kb)))
-	hdr = binary.AppendUvarint(hdr, uint64(len(vb)))
-	if _, err := o.w.Write(hdr); err != nil {
+	o.buf = k.AppendTagged(o.buf[:0])
+	kl := len(o.buf)
+	o.buf = o.enc.appendValue(o.buf, v)
+	var hdr [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(kl))
+	n += binary.PutUvarint(hdr[n:], uint64(len(o.buf)-kl))
+	if _, err := o.w.Write(hdr[:n]); err != nil {
 		return err
 	}
-	if _, err := o.w.Write(kb); err != nil {
-		return err
-	}
-	if _, err := o.w.Write(vb); err != nil {
+	if _, err := o.w.Write(o.buf); err != nil {
 		return err
 	}
 	o.count++
@@ -117,6 +118,7 @@ func ReadKVFile(path string) ([]KVPair, error) {
 	count := binary.LittleEndian.Uint64(raw[len(raw)-len(kvMagic)-8 : len(raw)-len(kvMagic)])
 	body := raw[len(kvMagic) : len(raw)-len(kvMagic)-8]
 	out := make([]KVPair, 0, count)
+	var dec valueDecoder
 	pos := 0
 	for i := uint64(0); i < count; i++ {
 		kl, n := binary.Uvarint(body[pos:])
@@ -134,7 +136,7 @@ func ReadKVFile(path string) ([]KVPair, error) {
 			return nil, err
 		}
 		pos += int(kl)
-		val, _, err := decodeValue(body[pos : pos+int(vl)])
+		val, _, err := dec.decode(body[pos : pos+int(vl)])
 		if err != nil {
 			return nil, err
 		}

@@ -9,7 +9,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"manimal/internal/interp"
 	"manimal/internal/serde"
@@ -21,149 +23,400 @@ const (
 	valTagRecord = 1
 )
 
-// encodeValue serializes an emitted value (scalar datum or whole record,
-// with embedded schema so heterogeneous record streams — e.g. a
-// repartition join's two sides — decode correctly).
-func encodeValue(v interp.EmitValue, dst []byte) []byte {
+// valueEncoder serializes emitted values into a caller-supplied destination
+// without per-value allocations: the record-payload scratch buffer is
+// reused, and the encoded schema of record values is cached by schema
+// pointer (record streams overwhelmingly emit one schema, shared per file
+// or program, so pointer identity is an effective key).
+type valueEncoder struct {
+	lastSchema  *serde.Schema
+	schemaBytes []byte
+	payload     []byte
+}
+
+// appendValue appends the wire encoding of v (scalar datum or whole record,
+// with embedded schema so heterogeneous record streams — e.g. a repartition
+// join's two sides — decode correctly).
+func (e *valueEncoder) appendValue(dst []byte, v interp.EmitValue) []byte {
 	if v.Rec == nil {
 		dst = append(dst, valTagDatum)
 		return v.D.AppendTagged(dst)
 	}
 	dst = append(dst, valTagRecord)
-	sch := v.Rec.Schema().AppendBinary(nil)
-	dst = binary.AppendUvarint(dst, uint64(len(sch)))
-	dst = append(dst, sch...)
-	payload := v.Rec.AppendBinary(nil)
-	dst = binary.AppendUvarint(dst, uint64(len(payload)))
-	return append(dst, payload...)
+	if sch := v.Rec.Schema(); sch != e.lastSchema {
+		e.schemaBytes = sch.AppendBinary(e.schemaBytes[:0])
+		e.lastSchema = sch
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(e.schemaBytes)))
+	dst = append(dst, e.schemaBytes...)
+	e.payload = v.Rec.AppendBinary(e.payload[:0])
+	dst = binary.AppendUvarint(dst, uint64(len(e.payload)))
+	return append(dst, e.payload...)
 }
 
-// decodeValue is the inverse of encodeValue.
-func decodeValue(buf []byte) (interp.EmitValue, int, error) {
+// encodeValue is the stateless form of valueEncoder.appendValue, for
+// one-off encodings (tests, tooling) that do not sit on a hot path.
+func encodeValue(v interp.EmitValue, dst []byte) []byte {
+	var e valueEncoder
+	return e.appendValue(dst, v)
+}
+
+// valueDecoder is the inverse of valueEncoder. It caches decoded schemas
+// keyed on their raw encoded bytes so record-valued streams parse each
+// distinct schema once instead of once per value.
+type valueDecoder struct {
+	schemas map[string]*serde.Schema
+}
+
+func (d *valueDecoder) schema(raw []byte) (*serde.Schema, error) {
+	// The map index expression converts without allocating; the string key
+	// is materialized only on the (rare) miss path.
+	if s, ok := d.schemas[string(raw)]; ok {
+		return s, nil
+	}
+	s, _, err := serde.DecodeSchema(raw)
+	if err != nil {
+		return nil, err
+	}
+	if d.schemas == nil {
+		d.schemas = make(map[string]*serde.Schema)
+	}
+	d.schemas[string(raw)] = s
+	return s, nil
+}
+
+// decodeInto decodes one value into *out in place (a 72-byte EmitValue
+// copy per value matters on the merge hot path). Decoded records are
+// freshly allocated — reducers may buffer them across values.
+func (d *valueDecoder) decodeInto(buf []byte, out *interp.EmitValue) (int, error) {
 	if len(buf) < 1 {
-		return interp.EmitValue{}, 0, fmt.Errorf("mapreduce: truncated value")
+		return 0, fmt.Errorf("mapreduce: truncated value")
 	}
 	switch buf[0] {
 	case valTagDatum:
-		d, n, err := serde.DecodeTagged(buf[1:])
-		return interp.EmitValue{D: d}, n + 1, err
+		out.Rec = nil
+		n, err := serde.DecodeTaggedInto(buf[1:], &out.D)
+		return n + 1, err
 	case valTagRecord:
 		pos := 1
 		sl, n := binary.Uvarint(buf[pos:])
 		if n <= 0 {
-			return interp.EmitValue{}, 0, fmt.Errorf("mapreduce: truncated value schema length")
+			return 0, fmt.Errorf("mapreduce: truncated value schema length")
 		}
 		pos += n
-		sch, _, err := serde.DecodeSchema(buf[pos : pos+int(sl)])
+		if pos+int(sl) > len(buf) {
+			return 0, fmt.Errorf("mapreduce: truncated value schema")
+		}
+		sch, err := d.schema(buf[pos : pos+int(sl)])
 		if err != nil {
-			return interp.EmitValue{}, 0, err
+			return 0, err
 		}
 		pos += int(sl)
 		pl, n := binary.Uvarint(buf[pos:])
 		if n <= 0 {
-			return interp.EmitValue{}, 0, fmt.Errorf("mapreduce: truncated value payload length")
+			return 0, fmt.Errorf("mapreduce: truncated value payload length")
 		}
 		pos += n
+		if pos+int(pl) > len(buf) {
+			return 0, fmt.Errorf("mapreduce: truncated value payload")
+		}
 		rec, _, err := serde.DecodeRecord(sch, buf[pos:pos+int(pl)])
 		if err != nil {
-			return interp.EmitValue{}, 0, err
+			return 0, err
 		}
-		return interp.EmitValue{Rec: rec}, pos + int(pl), nil
+		*out = interp.EmitValue{Rec: rec}
+		return pos + int(pl), nil
 	default:
-		return interp.EmitValue{}, 0, fmt.Errorf("mapreduce: bad value tag %d", buf[0])
+		return 0, fmt.Errorf("mapreduce: bad value tag %d", buf[0])
 	}
 }
 
-// entry is one buffered intermediate pair: key as its order-preserving
-// sort-key bytes (cheap byte comparison during sort and merge), value
-// opaque.
-type entry struct {
-	k []byte
-	v []byte
+func (d *valueDecoder) decode(buf []byte) (interp.EmitValue, int, error) {
+	var v interp.EmitValue
+	n, err := d.decodeInto(buf, &v)
+	return v, n, err
 }
 
+// decodeValue is the stateless (uncached) form of valueDecoder.decode.
+func decodeValue(buf []byte) (interp.EmitValue, int, error) {
+	var d valueDecoder
+	return d.decode(buf)
+}
+
+// slabEntry locates one buffered intermediate pair inside a partition slab:
+// klen bytes of order-preserving sort-key encoding at off, immediately
+// followed by vlen bytes of encoded value. Sorting and spilling move these
+// 16-byte entries, never the pair bytes themselves.
+type slabEntry struct {
+	off  int64
+	klen uint32
+	vlen uint32
+}
+
+// partBuf buffers one partition's pairs: a byte slab holding the
+// concatenated key/value encodings plus the index locating each pair. Both
+// backing arrays are truncated (not freed) between spills, so a long map
+// task settles into zero allocations per emitted record.
+type partBuf struct {
+	slab []byte
+	idx  []slabEntry
+}
+
+func (pb *partBuf) key(e slabEntry) []byte {
+	return pb.slab[e.off : e.off+int64(e.klen)]
+}
+
+func (pb *partBuf) value(e slabEntry) []byte {
+	return pb.slab[e.off+int64(e.klen) : e.off+int64(e.klen)+int64(e.vlen)]
+}
+
+// append adds one pair whose key bytes are kb and whose value is encoded
+// directly into the slab by enc.
+func (pb *partBuf) append(kb []byte, v interp.EmitValue, enc *valueEncoder) int {
+	off := len(pb.slab)
+	pb.slab = append(pb.slab, kb...)
+	pb.slab = enc.appendValue(pb.slab, v)
+	n := len(pb.slab) - off
+	pb.idx = append(pb.idx, slabEntry{off: int64(off), klen: uint32(len(kb)), vlen: uint32(n - len(kb))})
+	return n
+}
+
+func (pb *partBuf) reset() {
+	pb.slab = pb.slab[:0]
+	pb.idx = pb.idx[:0]
+}
+
+// sort orders the index entries by key bytes. The comparison indexes
+// straight into the slab — no closure over per-entry slice headers, no
+// reflection-based swapping as with sort.Slice over a struct of slices.
+func (pb *partBuf) sort() {
+	slab := pb.slab
+	slices.SortFunc(pb.idx, func(a, b slabEntry) int {
+		return bytes.Compare(slab[a.off:a.off+int64(a.klen)], slab[b.off:b.off+int64(b.klen)])
+	})
+}
+
+// spillFile is one map-task spill on disk: every partition's sorted run
+// concatenated into a single file, located by per-partition byte spans.
+// The map task keeps the file open after writing (up to a per-task budget;
+// see spillKeepOpenPerTask), so reduce tasks usually read their partition's
+// span through positioned reads on the shared handle — one file create per
+// spill and zero reopens. refs counts the partitions holding data in this
+// file; each reduce task drops its reference once it has merged its span,
+// and the last reference deletes the file, so WorkDir shrinks while the
+// reduce phase is still running.
+type spillFile struct {
+	f     *os.File // nil once closed under the fd budget; cursors then reopen path
+	path  string
+	parts []span
+	refs  atomic.Int32
+	done  sync.Once
+}
+
+// span locates one partition's section inside a spill file; n == 0 means
+// the partition was empty in this spill.
+type span struct {
+	off int64
+	n   int64
+}
+
+// spillKeepOpenPerTask bounds how many spill-file handles one map task
+// keeps open: a task that spills more than this closes the extra handles
+// right after writing (reduce-side cursors transparently reopen them), so
+// job-wide fd usage cannot grow with shuffle volume.
+const spillKeepOpenPerTask = 16
+
+// release closes the spill file (if still open) and deletes it from
+// WorkDir. Safe to call more than once: the reduce phase releases files as
+// their last partition is consumed and the engine sweeps whatever is left
+// on job exit.
+func (sf *spillFile) release() {
+	sf.done.Do(func() {
+		if sf.f != nil {
+			sf.f.Close()
+		}
+		os.Remove(sf.path)
+	})
+}
+
+// consumed drops partition p's reference; the last consumer releases the
+// file. Callers must have closed their cursors into the file first.
+func (sf *spillFile) consumed(p int) {
+	if sf.parts[p].n == 0 {
+		return
+	}
+	if sf.refs.Add(-1) == 0 {
+		sf.release()
+	}
+}
+
+// emitterBufs is a shuffle emitter's reusable backing memory — partition
+// slabs, the combiner buffer, scratches — pooled across map tasks so every
+// task after the first starts with warmed, right-sized buffers instead of
+// growing fresh ones.
+type emitterBufs struct {
+	parts  []partBuf
+	comb   partBuf
+	keyBuf []byte
+	segBuf []byte
+}
+
+var emitterBufsPool = sync.Pool{New: func() any { return new(emitterBufs) }}
+
 // shuffleEmitter buffers one map task's output per partition, sorting and
-// spilling segments to disk (with optional combiner) when the buffer
-// exceeds the threshold and at task end.
+// spilling to disk (with optional combiner) when the buffer exceeds the
+// threshold and at task end. All per-record state — slabs, index arrays,
+// the key scratch, the value encoder's schema cache — is reused across
+// records and spills (and pooled across tasks; see release); values handed
+// to emit are fully serialized before emit returns, so callers may reuse
+// the backing record.
 type shuffleEmitter struct {
 	taskID    int
 	workDir   string
-	parts     [][]entry
+	parts     []partBuf
+	comb      partBuf // combiner output buffer, reused across groups
+	keyBuf    []byte  // sort-key scratch (partitioning needs the key before placement)
+	enc       valueEncoder
+	dec       valueDecoder
 	bytes     int
 	threshold int
 	combiner  ReducerFactory
 	counters  *Counters
 	conf      map[string]serde.Datum
 	part      Partitioner
-	segments  [][]string // per partition, appended at each spill
-	spills    int
+	files     []*spillFile // one per spill
+	segBuf    []byte       // reused spill-file image buffer (one write per spill)
+	bufs      *emitterBufs // pool ticket; nil after release
+
+	// Counter deltas batch locally and flush at each spill: Counters.Add
+	// takes a mutex, far too expensive twice per emitted record.
+	pendRecords int64
+	pendBytes   int64
 }
 
 func newShuffleEmitter(taskID, numParts int, workDir string, threshold int, combiner ReducerFactory, counters *Counters, conf map[string]serde.Datum, part Partitioner) *shuffleEmitter {
+	bufs := emitterBufsPool.Get().(*emitterBufs)
+	if cap(bufs.parts) < numParts {
+		bufs.parts = make([]partBuf, numParts)
+	}
+	bufs.parts = bufs.parts[:numParts]
+	for i := range bufs.parts {
+		bufs.parts[i].reset()
+	}
+	bufs.comb.reset()
 	return &shuffleEmitter{
 		taskID:    taskID,
 		workDir:   workDir,
-		parts:     make([][]entry, numParts),
+		parts:     bufs.parts,
+		comb:      bufs.comb,
+		keyBuf:    bufs.keyBuf,
+		segBuf:    bufs.segBuf,
+		bufs:      bufs,
 		threshold: threshold,
 		combiner:  combiner,
 		counters:  counters,
 		conf:      conf,
 		part:      part,
-		segments:  make([][]string, numParts),
 	}
 }
 
+// release returns the emitter's backing buffers to the pool. Called once,
+// after the task's final spill; the emitter must not be used afterwards.
+func (se *shuffleEmitter) release() {
+	if se.bufs == nil {
+		return
+	}
+	se.bufs.parts = se.parts
+	se.bufs.comb = se.comb
+	se.bufs.keyBuf = se.keyBuf
+	se.bufs.segBuf = se.segBuf
+	emitterBufsPool.Put(se.bufs)
+	se.bufs = nil
+}
+
 func (se *shuffleEmitter) emit(key serde.Datum, value interp.EmitValue) error {
-	e := entry{k: key.AppendSortKey(nil), v: encodeValue(value, nil)}
-	p := se.part.Partition(e.k, len(se.parts))
-	se.parts[p] = append(se.parts[p], e)
-	se.bytes += len(e.k) + len(e.v)
-	se.counters.Add(CtrMapOutputRecords, 1)
-	se.counters.Add(CtrMapOutputBytes, int64(len(e.k)+len(e.v)))
+	se.keyBuf = key.AppendSortKey(se.keyBuf[:0])
+	p := se.part.Partition(se.keyBuf, len(se.parts))
+	n := se.parts[p].append(se.keyBuf, value, &se.enc)
+	se.bytes += n
+	se.pendRecords++
+	se.pendBytes += int64(n)
 	if se.bytes >= se.threshold {
 		return se.spill()
 	}
 	return nil
 }
 
-// spill sorts and writes every non-empty partition buffer to segment files.
+// spill sorts every non-empty partition buffer and writes one spill file
+// holding all partitions' sorted runs.
 func (se *shuffleEmitter) spill() error {
+	if se.pendRecords > 0 {
+		se.counters.Add(CtrMapOutputRecords, se.pendRecords)
+		se.counters.Add(CtrMapOutputBytes, se.pendBytes)
+		se.pendRecords, se.pendBytes = 0, 0
+	}
+	// Serialize all partitions into one file image in the reused scratch:
+	// each pair is a klen/vlen header plus its contiguous slab bytes.
+	buf := se.segBuf[:0]
+	spans := make([]span, len(se.parts))
+	var hdr [2 * binary.MaxVarintLen64]byte
 	for p := range se.parts {
-		if len(se.parts[p]) == 0 {
+		pb := &se.parts[p]
+		if len(pb.idx) == 0 {
 			continue
 		}
-		ents := se.parts[p]
-		sort.Slice(ents, func(i, j int) bool { return bytes.Compare(ents[i].k, ents[j].k) < 0 })
+		pb.sort()
+		out := pb
 		if se.combiner != nil {
 			var err error
-			ents, err = se.combine(ents)
+			out, err = se.combine(pb)
 			if err != nil {
+				se.segBuf = buf
 				return err
 			}
 		}
-		path := filepath.Join(se.workDir, fmt.Sprintf("map%06d_p%03d_s%03d.seg", se.taskID, p, se.spills))
-		if err := writeSegment(path, ents); err != nil {
-			return err
+		off := len(buf)
+		for _, e := range out.idx {
+			n := binary.PutUvarint(hdr[:], uint64(e.klen))
+			n += binary.PutUvarint(hdr[n:], uint64(e.vlen))
+			buf = append(buf, hdr[:n]...)
+			buf = append(buf, out.slab[e.off:e.off+int64(e.klen)+int64(e.vlen)]...)
 		}
-		se.segments[p] = append(se.segments[p], path)
-		se.parts[p] = nil
+		spans[p] = span{off: int64(off), n: int64(len(buf) - off)}
+		pb.reset()
 	}
+	se.segBuf = buf
 	se.bytes = 0
-	se.spills++
+	if len(buf) == 0 {
+		return nil
+	}
+	path := filepath.Join(se.workDir, fmt.Sprintf("map%06d_s%03d.spill", se.taskID, len(se.files)))
+	sf, err := writeSpillFile(path, buf, spans)
+	if err != nil {
+		return err
+	}
+	if len(se.files) >= spillKeepOpenPerTask {
+		sf.f.Close()
+		sf.f = nil
+	}
+	se.files = append(se.files, sf)
 	se.counters.Add(CtrSpills, 1)
 	return nil
 }
 
-// combine runs the combiner over each key group of a sorted buffer,
-// re-sorting its output (Hadoop-style map-side pre-aggregation).
-func (se *shuffleEmitter) combine(ents []entry) ([]entry, error) {
+// combine runs the combiner over each key group of a sorted partition
+// buffer, collecting its output into the reused combiner buffer and
+// re-sorting it (Hadoop-style map-side pre-aggregation).
+func (se *shuffleEmitter) combine(pb *partBuf) (*partBuf, error) {
 	c, err := se.combiner()
 	if err != nil {
 		return nil, err
 	}
-	var out []entry
+	out := &se.comb
+	out.reset()
 	emit := func(key serde.Datum, value interp.EmitValue) error {
-		out = append(out, entry{k: key.AppendSortKey(nil), v: encodeValue(value, nil)})
+		se.keyBuf = key.AppendSortKey(se.keyBuf[:0])
+		out.append(se.keyBuf, value, &se.enc)
 		return nil
 	}
 	ctx := &interp.Context{
@@ -173,16 +426,16 @@ func (se *shuffleEmitter) combine(ents []entry) ([]entry, error) {
 			se.counters.Add("user."+name, delta)
 		},
 	}
-	for lo := 0; lo < len(ents); {
+	for lo := 0; lo < len(pb.idx); {
 		hi := lo + 1
-		for hi < len(ents) && bytes.Equal(ents[hi].k, ents[lo].k) {
+		for hi < len(pb.idx) && bytes.Equal(pb.key(pb.idx[hi]), pb.key(pb.idx[lo])) {
 			hi++
 		}
-		key, _, err := serde.DecodeSortKey(ents[lo].k)
+		key, _, err := serde.DecodeSortKey(pb.key(pb.idx[lo]))
 		if err != nil {
 			return nil, err
 		}
-		it := &sliceValueIter{ents: ents[lo:hi], pos: -1}
+		it := &slabValueIter{pb: pb, idx: pb.idx[lo:hi], dec: &se.dec, pos: -1}
 		if err := c.Reduce(key, it, ctx); err != nil {
 			return nil, err
 		}
@@ -191,78 +444,97 @@ func (se *shuffleEmitter) combine(ents []entry) ([]entry, error) {
 		}
 		lo = hi
 	}
-	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i].k, out[j].k) < 0 })
+	out.sort()
 	return out, nil
 }
 
-// sliceValueIter iterates the values of one in-memory key group.
-type sliceValueIter struct {
-	ents []entry
-	pos  int
-	cur  interp.EmitValue
-	err  error
+// slabValueIter iterates the values of one in-memory key group.
+type slabValueIter struct {
+	pb  *partBuf
+	idx []slabEntry
+	dec *valueDecoder
+	pos int
+	cur interp.EmitValue
+	err error
 }
 
-func (it *sliceValueIter) Next() bool {
-	if it.err != nil || it.pos+1 >= len(it.ents) {
+func (it *slabValueIter) Next() bool {
+	if it.err != nil || it.pos+1 >= len(it.idx) {
 		return false
 	}
 	it.pos++
-	v, _, err := decodeValue(it.ents[it.pos].v)
-	if err != nil {
+	if _, err := it.dec.decodeInto(it.pb.value(it.idx[it.pos]), &it.cur); err != nil {
 		it.err = err
 		return false
 	}
-	it.cur = v
 	return true
 }
 
-func (it *sliceValueIter) Value() interp.EmitValue { return it.cur }
+func (it *slabValueIter) Value() interp.EmitValue { return it.cur }
 
-// writeSegment streams sorted entries to a spill file.
-func writeSegment(path string, ents []entry) error {
+// writeSpillFile writes a serialized spill image with a single syscall and
+// returns the open handle for the reduce phase to read through (os.Create
+// opens read-write, so no reopen is needed). On any error the partial file
+// is closed and removed so a failed task never leaks spill files into
+// WorkDir.
+func writeSpillFile(path string, image []byte, spans []span) (*spillFile, error) {
 	f, err := os.Create(path)
 	if err != nil {
-		return fmt.Errorf("mapreduce: create segment: %w", err)
+		return nil, fmt.Errorf("mapreduce: create spill file: %w", err)
 	}
-	w := bufio.NewWriterSize(f, 256<<10)
-	var hdr []byte
-	for _, e := range ents {
-		hdr = hdr[:0]
-		hdr = binary.AppendUvarint(hdr, uint64(len(e.k)))
-		hdr = binary.AppendUvarint(hdr, uint64(len(e.v)))
-		if _, err := w.Write(hdr); err != nil {
-			return err
-		}
-		if _, err := w.Write(e.k); err != nil {
-			return err
-		}
-		if _, err := w.Write(e.v); err != nil {
-			return err
-		}
-	}
-	if err := w.Flush(); err != nil {
-		return err
-	}
-	return f.Close()
-}
-
-// segCursor streams one segment during the merge.
-type segCursor struct {
-	f   *os.File
-	r   *bufio.Reader
-	k   []byte
-	v   []byte
-	err error
-	eof bool
-}
-
-func openSegment(path string) (*segCursor, error) {
-	f, err := os.Open(path)
-	if err != nil {
+	if _, err := f.Write(image); err != nil {
+		f.Close()
+		os.Remove(path)
 		return nil, err
 	}
-	return &segCursor{f: f, r: bufio.NewReaderSize(f, 256<<10)}, nil
+	sf := &spillFile{f: f, path: path, parts: spans}
+	for _, sp := range spans {
+		if sp.n > 0 {
+			sf.refs.Add(1)
+		}
+	}
+	return sf, nil
+}
+
+// segReaders pools the merge-side read buffers: a k-way merge opens one
+// buffered reader per segment, and allocating (and zeroing) a fresh 256 KiB
+// buffer per segment per reduce task dwarfs the cost of the merge itself.
+var segReaders = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, 256<<10) },
+}
+
+// segCursor streams one partition's sorted run out of one spill file during
+// the merge, through a positioned section reader on the spill's shared
+// handle (reduce tasks never reopen spill files). Keys and values are read
+// into cursor-owned buffers, double-buffered: the k/v slices exposed before
+// an advance stay intact through the advance (and the heap re-sift it
+// triggers), so no caller can observe a half-overwritten pair.
+type segCursor struct {
+	r     *bufio.Reader
+	owned *os.File // non-nil when the cursor had to reopen a budget-closed spill
+	k     []byte
+	v     []byte
+	bufs  [2][]byte // alternating backing buffers for one k+v pair
+	flip  int
+	err   error
+	eof   bool
+}
+
+func newSegCursor(sf *spillFile, sp span) (*segCursor, error) {
+	c := &segCursor{}
+	ra := io.ReaderAt(sf.f)
+	if sf.f == nil {
+		// The map task closed this handle under its fd budget; reopen it
+		// for the duration of this cursor.
+		f, err := os.Open(sf.path)
+		if err != nil {
+			return nil, err
+		}
+		c.owned, ra = f, f
+	}
+	c.r = segReaders.Get().(*bufio.Reader)
+	c.r.Reset(io.NewSectionReader(ra, sp.off, sp.n))
+	return c, nil
 }
 
 func (c *segCursor) advance() bool {
@@ -280,20 +552,34 @@ func (c *segCursor) advance() bool {
 		c.err = err
 		return false
 	}
-	c.k = make([]byte, kl)
-	if _, err := io.ReadFull(c.r, c.k); err != nil {
+	n := int(kl) + int(vl)
+	buf := c.bufs[c.flip]
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	c.bufs[c.flip] = buf
+	c.flip ^= 1
+	if _, err := io.ReadFull(c.r, buf); err != nil {
 		c.err = err
 		return false
 	}
-	c.v = make([]byte, vl)
-	if _, err := io.ReadFull(c.r, c.v); err != nil {
-		c.err = err
-		return false
-	}
+	c.k = buf[:kl:kl]
+	c.v = buf[kl:]
 	return true
 }
 
-func (c *segCursor) close() { c.f.Close() }
+func (c *segCursor) close() {
+	if c.r != nil {
+		c.r.Reset(nil)
+		segReaders.Put(c.r)
+		c.r = nil
+	}
+	if c.owned != nil {
+		c.owned.Close()
+		c.owned = nil
+	}
+}
 
 // cursorHeap is a min-heap of segment cursors ordered by current key.
 type cursorHeap []*segCursor
@@ -311,22 +597,29 @@ func (h *cursorHeap) Pop() any {
 }
 
 // mergeIter performs the k-way merge of one partition's segments and
-// exposes key groups to the reducer.
+// exposes key groups to the reducer. The group-key buffer is reused across
+// groups; decoded values are freshly allocated (reducers may buffer them).
 type mergeIter struct {
 	h       cursorHeap
 	cursors []*segCursor
+	dec     valueDecoder
 	err     error
 
 	groupKey   []byte
 	curVal     interp.EmitValue
-	valReady   bool
 	groupEnded bool
 }
 
-func newMergeIter(paths []string) (*mergeIter, error) {
+// newMergeIter opens one cursor per spill file that holds data for
+// partition p.
+func newMergeIter(files []*spillFile, p int) (*mergeIter, error) {
 	m := &mergeIter{}
-	for _, p := range paths {
-		c, err := openSegment(p)
+	for _, sf := range files {
+		sp := sf.parts[p]
+		if sp.n == 0 {
+			continue
+		}
+		c, err := newSegCursor(sf, sp)
 		if err != nil {
 			m.closeAll()
 			return nil, err
@@ -354,9 +647,8 @@ func (m *mergeIter) nextGroup() bool {
 	if m.err != nil || m.h.Len() == 0 {
 		return false
 	}
-	m.groupKey = append([]byte(nil), m.h[0].k...)
+	m.groupKey = append(m.groupKey[:0], m.h[0].k...)
 	m.groupEnded = false
-	m.valReady = false
 	return true
 }
 
@@ -370,12 +662,10 @@ func (m *mergeIter) nextValue() bool {
 		return false
 	}
 	c := m.h[0]
-	v, _, err := decodeValue(c.v)
-	if err != nil {
+	if _, err := m.dec.decodeInto(c.v, &m.curVal); err != nil {
 		m.err = err
 		return false
 	}
-	m.curVal = v
 	if c.advance() {
 		heap.Fix(&m.h, 0)
 	} else {

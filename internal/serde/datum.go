@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"strings"
+	"unsafe"
 )
 
 // Datum is a single scalar runtime value: the unit of map keys, map values
@@ -175,6 +177,106 @@ func DecodeValue(kind Kind, buf []byte) (Datum, int, error) {
 	default:
 		return Datum{}, 0, fmt.Errorf("serde: decode of invalid kind %v", kind)
 	}
+}
+
+// DecodeValueInto is DecodeValue decoding into *dst in place, sparing the
+// caller a 64-byte Datum copy per field on record-decode hot paths.
+func DecodeValueInto(kind Kind, buf []byte, dst *Datum) (int, error) {
+	switch kind {
+	case KindInt64:
+		v, n := binary.Varint(buf)
+		if n <= 0 {
+			return 0, fmt.Errorf("serde: truncated int64")
+		}
+		*dst = Datum{Kind: KindInt64, I: v}
+		return n, nil
+	case KindFloat64:
+		if len(buf) < 8 {
+			return 0, fmt.Errorf("serde: truncated float64")
+		}
+		*dst = Datum{Kind: KindFloat64, F: math.Float64frombits(binary.LittleEndian.Uint64(buf))}
+		return 8, nil
+	case KindBool:
+		if len(buf) < 1 {
+			return 0, fmt.Errorf("serde: truncated bool")
+		}
+		*dst = Datum{Kind: KindBool, Bool: buf[0] != 0}
+		return 1, nil
+	default:
+		d, n, err := DecodeValue(kind, buf)
+		if err != nil {
+			return 0, err
+		}
+		*dst = d
+		return n, nil
+	}
+}
+
+// DecodeTaggedInto is DecodeTagged decoding into *dst in place.
+func DecodeTaggedInto(buf []byte, dst *Datum) (int, error) {
+	if len(buf) < 1 {
+		return 0, fmt.Errorf("serde: truncated tagged datum")
+	}
+	n, err := DecodeValueInto(Kind(buf[0]), buf[1:], dst)
+	return n + 1, err
+}
+
+// DecodeValueShared is DecodeValue without defensive copies: string and
+// bytes datums alias buf directly instead of copying out of it. The
+// returned datum is valid only while buf's contents are intact; storing it
+// beyond that window requires CloneData. Block-buffer-reusing readers
+// (storage.Scanner) use this to decode records without per-field
+// allocations; every other caller wants DecodeValue.
+func DecodeValueShared(kind Kind, buf []byte) (Datum, int, error) {
+	var d Datum
+	n, err := DecodeValueSharedInto(kind, buf, &d)
+	return d, n, err
+}
+
+// DecodeValueSharedInto is DecodeValueShared decoding into *dst in place
+// (the form record scanners use: zero copies of both the payload and the
+// 64-byte Datum itself).
+func DecodeValueSharedInto(kind Kind, buf []byte, dst *Datum) (int, error) {
+	switch kind {
+	case KindString:
+		l, n := binary.Uvarint(buf)
+		if n <= 0 || n+int(l) > len(buf) {
+			return 0, fmt.Errorf("serde: truncated string")
+		}
+		*dst = Datum{Kind: KindString, S: unsafeString(buf[n : n+int(l)])}
+		return n + int(l), nil
+	case KindBytes:
+		l, n := binary.Uvarint(buf)
+		if n <= 0 || n+int(l) > len(buf) {
+			return 0, fmt.Errorf("serde: truncated bytes")
+		}
+		*dst = Datum{Kind: KindBytes, B: buf[n : n+int(l) : n+int(l)]}
+		return n + int(l), nil
+	default:
+		return DecodeValueInto(kind, buf, dst)
+	}
+}
+
+// unsafeString views b as a string without copying. Callers must guarantee
+// b is never mutated while the string is reachable.
+func unsafeString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// CloneData returns the datum with its variable-length payload (string or
+// bytes) copied into fresh storage, detaching it from any shared buffer a
+// DecodeValueShared produced it from.
+func (d Datum) CloneData() Datum {
+	switch d.Kind {
+	case KindString:
+		d.S = strings.Clone(d.S)
+	case KindBytes:
+		d.B = append([]byte(nil), d.B...)
+	}
+	return d
 }
 
 // AppendTagged appends a self-describing encoding: one kind tag byte

@@ -42,6 +42,12 @@ func (r *Record) Lookup(name string) (Datum, bool) {
 // At returns the datum at field position i.
 func (r *Record) At(i int) Datum { return r.vals[i] }
 
+// Slot returns a pointer to field i's storage for in-place decoding by
+// high-throughput readers (storage.Scanner), sparing a Datum copy per
+// field. The caller must store a datum of the schema's kind for the field;
+// SetAt is the checked path for everyone not on a per-record hot loop.
+func (r *Record) Slot(i int) *Datum { return &r.vals[i] }
+
 // SetAt stores d at field position i, checking the kind against the schema.
 func (r *Record) SetAt(i int, d Datum) error {
 	if want := r.schema.Field(i).Kind; d.Kind != want {
@@ -92,14 +98,15 @@ func (r *Record) get(name string, want Kind) Datum {
 	return d
 }
 
-// Clone returns a deep copy of the record (bytes fields are copied).
+// Clone returns a deep copy of the record: string and bytes payloads are
+// copied into fresh storage. This is how a caller retains a record obtained
+// from a reusing iterator (storage.Scanner, mapreduce.RecordIter) past the
+// iterator's next advance — reused records may alias a scan buffer that the
+// producer overwrites.
 func (r *Record) Clone() *Record {
 	c := &Record{schema: r.schema, vals: make([]Datum, len(r.vals))}
-	copy(c.vals, r.vals)
-	for i, d := range c.vals {
-		if d.Kind == KindBytes {
-			c.vals[i].B = append([]byte(nil), d.B...)
-		}
+	for i, d := range r.vals {
+		c.vals[i] = d.CloneData()
 	}
 	return c
 }
@@ -184,11 +191,10 @@ func DecodeRecord(schema *Schema, buf []byte) (*Record, int, error) {
 	r := NewRecord(schema)
 	pos := 0
 	for i := 0; i < schema.NumFields(); i++ {
-		d, n, err := DecodeValue(schema.Field(i).Kind, buf[pos:])
+		n, err := DecodeValueInto(schema.fields[i].Kind, buf[pos:], &r.vals[i])
 		if err != nil {
-			return nil, 0, fmt.Errorf("serde: field %q: %w", schema.Field(i).Name, err)
+			return nil, 0, fmt.Errorf("serde: field %q: %w", schema.fields[i].Name, err)
 		}
-		r.vals[i] = d
 		pos += n
 	}
 	return r, pos, nil

@@ -186,15 +186,23 @@ func (r *Reader) Close() error { return r.f.Close() }
 
 // Scanner iterates over the records of a contiguous block range. It is not
 // safe for concurrent use; create one scanner per map task.
+//
+// Buffer ownership: the scanner decodes every row into one reused record
+// whose string and bytes fields alias a reused block buffer, so a full scan
+// performs no per-record allocations. The record returned by Record is
+// therefore valid only until the next call to Next; callers that retain
+// records across iterations must call Record().Clone().
 type Scanner struct {
 	r        *Reader
-	blockLo  int // next block to load
-	blockHi  int // one past last block
+	blockLo  int    // next block to load
+	blockHi  int    // one past last block
+	raw      []byte // reused block read buffer; buf points into it
 	buf      []byte
 	recsLeft int64
 	pos      int
 	deltas   []*compress.DeltaDecoder
-	cur      *serde.Record
+	rec      *serde.Record // reused current record; see ownership note
+	valid    bool
 	err      error
 }
 
@@ -204,7 +212,13 @@ func (r *Reader) Scan(lo, hi int) (*Scanner, error) {
 	if lo < 0 || hi > len(r.blocks) || lo > hi {
 		return nil, fmt.Errorf("storage: block range [%d,%d) out of [0,%d)", lo, hi, len(r.blocks))
 	}
-	s := &Scanner{r: r, blockLo: lo, blockHi: hi, deltas: make([]*compress.DeltaDecoder, r.schema.NumFields())}
+	s := &Scanner{
+		r:       r,
+		blockLo: lo,
+		blockHi: hi,
+		deltas:  make([]*compress.DeltaDecoder, r.schema.NumFields()),
+		rec:     serde.NewRecord(r.schema),
+	}
 	for i, e := range r.encodings {
 		if e == EncodeDelta {
 			d, err := compress.NewDeltaDecoder(r.schema.Field(i).Kind)
@@ -236,29 +250,33 @@ func (s *Scanner) Next() bool {
 		}
 		s.blockLo++
 	}
-	rec := serde.NewRecord(s.r.schema)
 	for i := 0; i < s.r.schema.NumFields(); i++ {
 		var (
-			d   serde.Datum
 			n   int
 			err error
 		)
+		// Fields decode in place into the reused record's slots; plain
+		// fields use the shared (aliasing) decode, whose string/bytes
+		// datums point into the block buffer. Both stay intact exactly
+		// until the next Next that crosses a block boundary, which is what
+		// the "valid until the next Next" contract buys.
+		slot := s.rec.Slot(i)
 		switch s.r.encodings[i] {
 		case EncodePlain:
-			d, n, err = serde.DecodeValue(s.r.schema.Field(i).Kind, s.buf[s.pos:])
+			n, err = serde.DecodeValueSharedInto(s.r.schema.Field(i).Kind, s.buf[s.pos:], slot)
 		case EncodeDelta:
-			d, n, err = s.deltas[i].Decode(s.buf[s.pos:])
+			*slot, n, err = s.deltas[i].Decode(s.buf[s.pos:])
 		case EncodeDict:
 			var code uint64
 			code, n = binary.Uvarint(s.buf[s.pos:])
 			if n <= 0 {
 				err = fmt.Errorf("truncated dict code")
 			} else if s.r.DirectCodes {
-				d = serde.String(compress.CodeString(code))
+				*slot = serde.String(compress.CodeString(code))
 			} else {
 				var term string
 				term, err = s.r.dicts[i].Decode(code)
-				d = serde.String(term)
+				*slot = serde.String(term)
 			}
 		default:
 			err = fmt.Errorf("unknown encoding %d", s.r.encodings[i])
@@ -267,20 +285,19 @@ func (s *Scanner) Next() bool {
 			s.err = fmt.Errorf("storage: %s field %q: %w", s.r.path, s.r.schema.Field(i).Name, err)
 			return false
 		}
-		if err := rec.SetAt(i, d); err != nil {
-			s.err = err
-			return false
-		}
 		s.pos += n
 	}
 	s.recsLeft--
-	s.cur = rec
+	s.valid = true
 	return true
 }
 
 func (s *Scanner) loadBlock(i int) error {
 	b := s.r.blocks[i]
-	raw := make([]byte, b.length)
+	if int64(cap(s.raw)) < b.length {
+		s.raw = make([]byte, b.length)
+	}
+	raw := s.raw[:b.length]
 	if _, err := s.r.f.ReadAt(raw, b.offset); err != nil {
 		return fmt.Errorf("storage: read block %d: %w", i, err)
 	}
@@ -307,8 +324,16 @@ func (s *Scanner) loadBlock(i int) error {
 	return nil
 }
 
-// Record returns the current record after a successful Next.
-func (s *Scanner) Record() *serde.Record { return s.cur }
+// Record returns the current record after a successful Next. The returned
+// record is reused by the scanner: it is valid only until the next call to
+// Next. Callers that retain it (or datums extracted from its string/bytes
+// fields) past that point must Clone it.
+func (s *Scanner) Record() *serde.Record {
+	if !s.valid {
+		return nil
+	}
+	return s.rec
+}
 
 // Err returns the first error encountered while scanning.
 func (s *Scanner) Err() error { return s.err }
@@ -326,7 +351,8 @@ func ReadAll(path string) ([]*serde.Record, *serde.Schema, error) {
 	}
 	var out []*serde.Record
 	for sc.Next() {
-		out = append(out, sc.Record())
+		// The scanner reuses its record; retaining requires a deep copy.
+		out = append(out, sc.Record().Clone())
 	}
 	if sc.Err() != nil {
 		return nil, nil, sc.Err()

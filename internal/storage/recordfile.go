@@ -4,6 +4,16 @@
 // files and every index variant the optimizer produces (projected files,
 // compressed files) are record files; the B+Tree (package btree) is the one
 // other on-disk structure.
+//
+// # Buffer ownership
+//
+// Scanner runs allocation-free by decoding every row into one reused
+// record whose string/bytes fields alias a reused block buffer: the record
+// returned by Scanner.Record (and any datum read out of it) is valid only
+// until the next call to Next. Callers that retain records across
+// iterations — collecting into a slice, building a MemInput, buffering on
+// the reduce side — must call Record().Clone(), which deep-copies the
+// variable-length payloads. ReadAll already returns cloned records.
 package storage
 
 import (
