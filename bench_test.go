@@ -1,9 +1,11 @@
 package manimal_test
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"manimal"
 	"manimal/internal/bench"
@@ -11,6 +13,7 @@ import (
 	"manimal/internal/indexgen"
 	"manimal/internal/interp"
 	"manimal/internal/lang"
+	"manimal/internal/mapreduce"
 	"manimal/internal/serde"
 	"manimal/internal/storage"
 	"manimal/internal/workload"
@@ -208,7 +211,7 @@ func benchBTreeBuild(b *testing.B, shards int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		out := filepath.Join(b.TempDir(), "w.idx")
-		if _, err := indexgen.BuildWith(spec, data, out, dir, cfg); err != nil {
+		if _, err := indexgen.BuildWith(context.Background(), mapreduce.DefaultScheduler(), spec, data, out, dir, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -216,6 +219,74 @@ func benchBTreeBuild(b *testing.B, shards int) {
 
 func BenchmarkBTreeBuildSerial(b *testing.B)  { benchBTreeBuild(b, 1) }
 func BenchmarkBTreeBuildSharded(b *testing.B) { benchBTreeBuild(b, 4) }
+
+// BenchmarkConcurrentJobs measures the scheduler as a job service: many
+// small jobs through one System, submitted one-at-a-time (serialized) vs
+// all at once onto the shared 4-slot pool. The delay variants model
+// cluster job-launch latency (Config.StartupDelay, paper Appendix D):
+// admission waits hold no slot, so the shared pool overlaps them across
+// jobs while serialized submission pays them end to end.
+func BenchmarkConcurrentJobs(b *testing.B) {
+	for _, delay := range []time.Duration{0, 25 * time.Millisecond} {
+		for _, mode := range []string{"serialized", "shared-pool"} {
+			b.Run(fmt.Sprintf("delay=%s/%s", delay, mode), func(b *testing.B) {
+				benchConcurrentJobs(b, mode == "shared-pool", delay)
+			})
+		}
+	}
+}
+
+func benchConcurrentJobs(b *testing.B, concurrent bool, delay time.Duration) {
+	dir := b.TempDir()
+	data := filepath.Join(dir, "webpages.rec")
+	if err := workload.NewGen(9).WriteWebPages(data, 8000, 64); err != nil {
+		b.Fatal(err)
+	}
+	sys, err := manimal.NewSystemWith(filepath.Join(dir, "sys"), manimal.Options{SchedulerSlots: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := manimal.ParseProgram("count", countProgram)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const jobs = 6
+	spec := func(j int) manimal.JobSpec {
+		return manimal.JobSpec{
+			Name:             fmt.Sprintf("job%d", j),
+			Inputs:           []manimal.InputSpec{{Path: data, Program: prog}},
+			OutputPath:       filepath.Join(dir, fmt.Sprintf("out-%d.kv", j)),
+			Conf:             manimal.Conf{"threshold": manimal.Int(5000)},
+			NumReducers:      2,
+			MaxParallelTasks: 2,
+			StartupDelay:     delay,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if concurrent {
+			handles := make([]*manimal.JobHandle, jobs)
+			for j := 0; j < jobs; j++ {
+				h, err := sys.SubmitAsync(context.Background(), spec(j))
+				if err != nil {
+					b.Fatal(err)
+				}
+				handles[j] = h
+			}
+			for _, h := range handles {
+				if _, err := h.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		} else {
+			for j := 0; j < jobs; j++ {
+				if _, err := sys.Submit(spec(j)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
 
 func BenchmarkBTreeRangeScan(b *testing.B) {
 	dir := b.TempDir()

@@ -1,7 +1,8 @@
 // Command manimal is the CLI front end of the Manimal system: analyze a
 // mapper-language program, explain its CFG and use-def chains, build the
 // synthesized indexes, inspect the catalog, and run jobs with or without
-// optimization.
+// optimization — either in-process (`run`) or against a long-lived job
+// service (`serve` plus the submit/jobs/status/cancel client commands).
 //
 // Usage:
 //
@@ -9,20 +10,32 @@
 //	manimal explain -prog prog.go [-cfg] [-usedef]
 //	manimal index   -sys DIR -prog prog.go -input data.rec
 //	manimal run     -sys DIR -prog prog.go -input data.rec -out out.kv \
-//	                [-conf threshold=10] [-noopt] [-maponly]
+//	                [-conf threshold=10] [-noopt] [-maponly] [-progress]
 //	manimal catalog -sys DIR
+//	manimal serve   -sys DIR -addr 127.0.0.1:7070 [-slots N]
+//	manimal submit  -addr URL -prog prog.go -input data.rec -out out.kv \
+//	                [-conf k=v] [-noopt] [-maponly] [-wait]
+//	manimal jobs    -addr URL
+//	manimal status  -addr URL -id j0001
+//	manimal cancel  -addr URL -id j0001
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"manimal"
 	"manimal/internal/cfg"
 	"manimal/internal/dataflow"
+	"manimal/internal/service"
 	"manimal/internal/storage"
 )
 
@@ -42,6 +55,16 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "catalog":
 		err = cmdCatalog(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "submit":
+		err = cmdSubmit(os.Args[2:])
+	case "jobs":
+		err = cmdJobs(os.Args[2:])
+	case "status":
+		err = cmdStatus(os.Args[2:])
+	case "cancel":
+		err = cmdCancel(os.Args[2:])
 	default:
 		usage()
 	}
@@ -52,7 +75,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: manimal {analyze|explain|index|run|catalog} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: manimal {analyze|explain|index|run|catalog|serve|submit|jobs|status|cancel} [flags]")
 	os.Exit(2)
 }
 
@@ -232,6 +255,7 @@ func cmdRun(args []string) error {
 	noopt := fs.Bool("noopt", false, "disable optimization (conventional MapReduce)")
 	mapOnly := fs.Bool("maponly", false, "skip the reduce phase")
 	explain := fs.Bool("explain", false, "print the optimizer's plan notes (index choices and skips)")
+	progress := fs.Bool("progress", false, "print live phase/task/counter updates while the job runs")
 	show := fs.Int("show", 10, "print up to N output pairs")
 	var conf confFlag
 	fs.Var(&conf, "conf", "job parameter key=value (repeatable)")
@@ -245,7 +269,7 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	report, err := sys.Submit(manimal.JobSpec{
+	handle, err := sys.SubmitAsync(context.Background(), manimal.JobSpec{
 		Name:                "cli",
 		Inputs:              []manimal.InputSpec{{Path: *inputPath, Program: prog}},
 		OutputPath:          *outPath,
@@ -253,6 +277,13 @@ func cmdRun(args []string) error {
 		MapOnly:             *mapOnly,
 		DisableOptimization: *noopt,
 	})
+	if err != nil {
+		return err
+	}
+	if *progress {
+		watchProgress(handle)
+	}
+	report, err := handle.Wait()
 	if err != nil {
 		return err
 	}
@@ -291,6 +322,179 @@ func cmdRun(args []string) error {
 		}
 	}
 	return nil
+}
+
+// watchProgress prints a status line whenever the job's phase, task
+// progress, or headline counters move, until the job is terminal.
+func watchProgress(h *manimal.JobHandle) {
+	t := time.NewTicker(100 * time.Millisecond)
+	defer t.Stop()
+	last := ""
+	emit := func(st manimal.JobStatus) {
+		line := progressLine(st)
+		if line != last {
+			fmt.Printf("[%7.3fs] %s\n", st.Duration.Seconds(), line)
+			last = line
+		}
+	}
+	for {
+		st := h.Status()
+		emit(st)
+		if st.Phase.Terminal() {
+			return
+		}
+		select {
+		case <-h.Done():
+			emit(h.Status())
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func progressLine(st manimal.JobStatus) string {
+	line := fmt.Sprintf("%-8s tasks %d/%d", st.Phase, st.TasksDone, st.TasksTotal)
+	for _, c := range []string{"map.input.records", "reduce.input.groups", "output.records"} {
+		if v, ok := st.Counters[c]; ok {
+			line += fmt.Sprintf("  %s=%d", c, v)
+		}
+	}
+	return line
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	sysDir := fs.String("sys", "manimal-sys", "system/catalog directory")
+	// Loopback by default: the API reads and writes server-side file paths
+	// and has no authentication, so exposing it beyond the host is an
+	// explicit operator decision.
+	addr := fs.String("addr", "127.0.0.1:7070", "listen address (unauthenticated; bind non-loopback deliberately)")
+	slots := fs.Int("slots", 0, "scheduler task slots (0 = max(4, NumCPU))")
+	fs.Parse(args)
+	sys, err := manimal.NewSystemWith(*sysDir, manimal.Options{SchedulerSlots: *slots})
+	if err != nil {
+		return err
+	}
+	srv := service.New(sys)
+	fmt.Printf("manimal service: sys=%s slots=%d listening on %s\n",
+		*sysDir, sys.PoolStats().Slots, *addr)
+	return http.ListenAndServe(*addr, srv.Handler())
+}
+
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:7070", "service base URL")
+	progPath := fs.String("prog", "", "mapper-language program file")
+	inputPath := fs.String("input", "", "input record file (path on the server)")
+	outPath := fs.String("out", "out.kv", "output KV file (path on the server)")
+	name := fs.String("name", "", "job name (default: program file name)")
+	noopt := fs.Bool("noopt", false, "disable optimization (conventional MapReduce)")
+	mapOnly := fs.Bool("maponly", false, "skip the reduce phase")
+	wait := fs.Bool("wait", false, "poll until the job is terminal and print the outcome")
+	var conf confFlag
+	fs.Var(&conf, "conf", "job parameter key=value (repeatable)")
+	fs.Parse(args)
+
+	src, err := os.ReadFile(*progPath)
+	if err != nil {
+		return err
+	}
+	jobName := *name
+	if jobName == "" {
+		jobName = strings.TrimSuffix(filepath.Base(*progPath), ".go")
+	}
+	c := service.NewClient(*addr)
+	info, err := c.Submit(service.SubmitRequest{
+		Name:                jobName,
+		Inputs:              []service.SubmitInput{{Path: *inputPath, Program: string(src), ProgramName: *progPath}},
+		OutputPath:          *outPath,
+		Conf:                service.ConfToJSON(conf.conf),
+		MapOnly:             *mapOnly,
+		DisableOptimization: *noopt,
+	})
+	if err != nil {
+		return err
+	}
+	printJobInfo(info, false)
+	if *wait {
+		info, err = c.WaitJob(info.ID, 0, 200*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		printJobInfo(info, true)
+	}
+	return nil
+}
+
+func cmdJobs(args []string) error {
+	fs := flag.NewFlagSet("jobs", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:7070", "service base URL")
+	fs.Parse(args)
+	infos, err := service.NewClient(*addr).Jobs()
+	if err != nil {
+		return err
+	}
+	if len(infos) == 0 {
+		fmt.Println("no jobs submitted")
+		return nil
+	}
+	for _, info := range infos {
+		printJobInfo(info, false)
+	}
+	return nil
+}
+
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:7070", "service base URL")
+	id := fs.String("id", "", "job ID (from submit/jobs)")
+	fs.Parse(args)
+	info, err := service.NewClient(*addr).Job(*id)
+	if err != nil {
+		return err
+	}
+	printJobInfo(info, true)
+	return nil
+}
+
+func cmdCancel(args []string) error {
+	fs := flag.NewFlagSet("cancel", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:7070", "service base URL")
+	id := fs.String("id", "", "job ID (from submit/jobs)")
+	fs.Parse(args)
+	info, err := service.NewClient(*addr).Cancel(*id)
+	if err != nil {
+		return err
+	}
+	printJobInfo(info, false)
+	return nil
+}
+
+func printJobInfo(info service.JobInfo, verbose bool) {
+	fmt.Printf("%s  %-12s %-8s tasks %d/%d  %.3fs  out=%s",
+		info.ID, info.Name, info.Phase, info.TasksDone, info.TasksTotal,
+		float64(info.DurationMS)/1000, info.OutputPath)
+	if info.Error != "" {
+		fmt.Printf("  error=%s", info.Error)
+	}
+	fmt.Println()
+	if !verbose {
+		return
+	}
+	for _, p := range info.Plans {
+		fmt.Printf("  plan %s: %s %v\n", p.Input, p.Kind, p.Applied)
+		for _, n := range p.Notes {
+			fmt.Printf("    note: %s\n", n)
+		}
+	}
+	names := make([]string, 0, len(info.Counters))
+	for n := range info.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-28s %d\n", n, info.Counters[n])
+	}
 }
 
 func cmdCatalog(args []string) error {

@@ -2,6 +2,12 @@
 // it adapts interpreted mapper-language programs to the MapReduce engine's
 // Mapper/Reducer interfaces and opens the physical input an execution plan
 // selected (original file, B+Tree range scan, or re-encoded record file).
+//
+// The factories returned here are invoked per task by the engine's
+// scheduler, concurrently across the jobs sharing its slot pool: each task
+// gets a private executor instance, so nothing produced by this package is
+// shared between tasks or jobs, and inputs opened by InputForPlan are
+// owned (and closed) by the execution they are submitted with.
 package fabric
 
 import (

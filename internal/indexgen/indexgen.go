@@ -18,10 +18,16 @@
 // ordered segment, which Build stitches — in split order, preserving the
 // original record order delta-compression relies on — into the final
 // encoded file.
+//
+// Builds are ordinary MapReduce jobs: BuildWith submits them to a
+// mapreduce.Scheduler, so index generation shares the process-wide slot
+// pool with (and runs concurrently against) user job submissions, and a
+// canceled context aborts the build with its partial files removed.
 package indexgen
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -195,17 +201,20 @@ func (c BuildConfig) sampleSize() int {
 }
 
 // Build runs the index-generation MapReduce job for the spec over
-// inputPath with default tuning (sharded, parallel). See BuildWith.
+// inputPath with default tuning (sharded, parallel) on the process-wide
+// scheduler. See BuildWith.
 func Build(spec Spec, inputPath, indexPath, workDir string) (catalog.Entry, error) {
-	return BuildWith(spec, inputPath, indexPath, workDir, BuildConfig{})
+	return BuildWith(context.Background(), mapreduce.DefaultScheduler(), spec, inputPath, indexPath, workDir, BuildConfig{})
 }
 
 // BuildWith runs the index-generation MapReduce job for the spec over
 // inputPath, writing the index to indexPath, and returns the catalog entry
-// to register. workDir hosts the shuffle of B+Tree builds. The entry
-// records the input's size+mtime fingerprint, letting the optimizer refuse
-// the index once the input is rewritten.
-func BuildWith(spec Spec, inputPath, indexPath, workDir string, cfg BuildConfig) (catalog.Entry, error) {
+// to register. workDir hosts the shuffle of B+Tree builds. The build's
+// MapReduce jobs run on sched, sharing its slot pool with any concurrently
+// running jobs; ctx cancels the build (partial index files are removed).
+// The entry records the input's size+mtime fingerprint, letting the
+// optimizer refuse the index once the input is rewritten.
+func BuildWith(ctx context.Context, sched *mapreduce.Scheduler, spec Spec, inputPath, indexPath, workDir string, cfg BuildConfig) (catalog.Entry, error) {
 	start := time.Now()
 	// Fingerprint before reading: a concurrent rewrite mid-build then
 	// invalidates the entry rather than hiding behind it.
@@ -247,9 +256,9 @@ func BuildWith(spec Spec, inputPath, indexPath, workDir string, cfg BuildConfig)
 
 	switch spec.Kind {
 	case catalog.KindBTree:
-		err = buildBTree(&entry, spec, prog, in, stored, indexPath, workDir, cfg)
+		err = buildBTree(ctx, sched, &entry, spec, prog, in, stored, indexPath, workDir, cfg)
 	case catalog.KindRecordFile:
-		err = buildRecordFile(&entry, spec, prog, in, stored, indexPath, cfg)
+		err = buildRecordFile(ctx, sched, &entry, spec, prog, in, stored, indexPath, cfg)
 	default:
 		return catalog.Entry{}, fmt.Errorf("indexgen: unknown index kind %q", spec.Kind)
 	}
@@ -261,7 +270,7 @@ func BuildWith(spec Spec, inputPath, indexPath, workDir string, cfg BuildConfig)
 }
 
 // buildBTree runs the sharded (or single-file) B+Tree build.
-func buildBTree(entry *catalog.Entry, spec Spec, prog *lang.Program, in *mapreduce.FileInput, stored *serde.Schema, indexPath, workDir string, cfg BuildConfig) error {
+func buildBTree(ctx context.Context, sched *mapreduce.Scheduler, entry *catalog.Entry, spec Spec, prog *lang.Program, in *mapreduce.FileInput, stored *serde.Schema, indexPath, workDir string, cfg BuildConfig) error {
 	// A rebuild at the same path can produce fewer (or zero) shards than
 	// its predecessor — the shard count is data- and host-dependent — so
 	// drop the old shard files up front lest the survivors orphan. The
@@ -274,7 +283,7 @@ func buildBTree(entry *catalog.Entry, spec Spec, prog *lang.Program, in *mapredu
 	var bounds [][]byte
 	if shards > 1 {
 		var err error
-		bounds, err = sampleKeyBounds(in, prog, shards, cfg.sampleSize())
+		bounds, err = sampleKeyBounds(ctx, in, prog, shards, cfg.sampleSize())
 		if err != nil {
 			return err
 		}
@@ -298,7 +307,7 @@ func buildBTree(entry *catalog.Entry, spec Spec, prog *lang.Program, in *mapredu
 		// One reducer receives the merge in global key order — exactly what
 		// bottom-up bulk loading requires of a lone-file tree.
 		job.Config = mapreduce.Config{NumReducers: 1, WorkDir: workDir, MaxParallelTasks: cfg.MaxParallelTasks}
-		if _, err := mapreduce.Run(job); err != nil {
+		if _, err := sched.Run(ctx, job); err != nil {
 			return err
 		}
 		st, err := os.Stat(indexPath)
@@ -322,7 +331,7 @@ func buildBTree(entry *catalog.Entry, spec Spec, prog *lang.Program, in *mapredu
 		MaxParallelTasks: cfg.MaxParallelTasks,
 		Partitioner:      &mapreduce.RangePartitioner{Bounds: bounds},
 	}
-	if _, err := mapreduce.Run(job); err != nil {
+	if _, err := sched.Run(ctx, job); err != nil {
 		removeAll(shardPaths)
 		return err
 	}
@@ -344,7 +353,7 @@ func buildBTree(entry *catalog.Entry, spec Spec, prog *lang.Program, in *mapredu
 // whose tasks each write one plain ordered segment (Job.OutputFor), then a
 // stitch pass streaming the segments — in split order, i.e. original
 // record order — into the final encoded file.
-func buildRecordFile(entry *catalog.Entry, spec Spec, prog *lang.Program, in *mapreduce.FileInput, stored *serde.Schema, indexPath string, cfg BuildConfig) error {
+func buildRecordFile(ctx context.Context, sched *mapreduce.Scheduler, entry *catalog.Entry, spec Spec, prog *lang.Program, in *mapreduce.FileInput, stored *serde.Schema, indexPath string, cfg BuildConfig) error {
 	var mu sync.Mutex
 	segs := make(map[int]string)
 	job := &mapreduce.Job{
@@ -365,7 +374,7 @@ func buildRecordFile(entry *catalog.Entry, spec Spec, prog *lang.Program, in *ma
 		}
 	}
 	defer cleanup()
-	if _, err := mapreduce.Run(job); err != nil {
+	if _, err := sched.Run(ctx, job); err != nil {
 		return err
 	}
 
@@ -379,7 +388,7 @@ func buildRecordFile(entry *catalog.Entry, spec Spec, prog *lang.Program, in *ma
 		return err
 	}
 	for _, task := range order {
-		if err := appendSegment(w, segs[task]); err != nil {
+		if err := appendSegment(ctx, w, segs[task]); err != nil {
 			w.Abort()
 			return err
 		}
@@ -398,8 +407,9 @@ func buildRecordFile(entry *catalog.Entry, spec Spec, prog *lang.Program, in *ma
 	return nil
 }
 
-// appendSegment streams one plain segment's records into the final writer.
-func appendSegment(w *storage.Writer, path string) error {
+// appendSegment streams one plain segment's records into the final writer,
+// polling ctx between batches so a canceled build stops stitching.
+func appendSegment(ctx context.Context, w *storage.Writer, path string) error {
 	r, err := storage.Open(path)
 	if err != nil {
 		return err
@@ -409,7 +419,12 @@ func appendSegment(w *storage.Writer, path string) error {
 	if err != nil {
 		return err
 	}
+	n := 0
 	for sc.Next() {
+		if n%stitchCancelEvery == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		n++
 		if err := w.Append(sc.Record()); err != nil {
 			return err
 		}
@@ -417,11 +432,15 @@ func appendSegment(w *storage.Writer, path string) error {
 	return sc.Err()
 }
 
+// stitchCancelEvery throttles context polls on the stitch and sample scan
+// loops (they run outside the engine's task loops, which poll themselves).
+const stitchCancelEvery = 1024
+
 // sampleKeyBounds scans a block-spread sample of the input, evaluates the
 // synthesized key expression on each record through the interpreter, and
 // returns up to shards-1 interior quantile cut keys (sort-key encoded,
 // deduplicated — heavy duplicates merge adjacent shards).
-func sampleKeyBounds(in *mapreduce.FileInput, prog *lang.Program, shards, sample int) ([][]byte, error) {
+func sampleKeyBounds(ctx context.Context, in *mapreduce.FileInput, prog *lang.Program, shards, sample int) ([][]byte, error) {
 	ex, err := interp.New(prog)
 	if err != nil {
 		return nil, err
@@ -437,7 +456,7 @@ func sampleKeyBounds(in *mapreduce.FileInput, prog *lang.Program, shards, sample
 	}
 	perBlock := (sample + blocks - 1) / blocks
 	var keys [][]byte
-	ctx := &interp.Context{
+	ictx := &interp.Context{
 		Emit: func(k serde.Datum, _ interp.EmitValue) error {
 			keys = append(keys, k.AppendSortKey(nil))
 			return nil
@@ -445,12 +464,15 @@ func sampleKeyBounds(in *mapreduce.FileInput, prog *lang.Program, shards, sample
 		Counter: func(string, int64) {},
 	}
 	for i := 0; i < blocks; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sc, err := r.Scan(i*nb/blocks, i*nb/blocks+1)
 		if err != nil {
 			return nil, err
 		}
 		for j := 0; j < perBlock && sc.Next(); j++ {
-			if err := ex.InvokeMap(serde.Int(0), sc.Record(), ctx); err != nil {
+			if err := ex.InvokeMap(serde.Int(0), sc.Record(), ictx); err != nil {
 				return nil, err
 			}
 		}

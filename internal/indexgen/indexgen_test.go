@@ -2,6 +2,7 @@ package indexgen
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -166,14 +167,14 @@ func TestShardedBuildMatchesSerial(t *testing.T) {
 	}
 	spec := Spec{Kind: catalog.KindBTree, KeyExpr: `v.Str("url")`, Fields: []string{"url", "rank"}}
 
-	serial, err := BuildWith(spec, data, filepath.Join(dir, "serial.idx"), dir, BuildConfig{NumShards: 1})
+	serial, err := BuildWith(context.Background(), mapreduce.DefaultScheduler(), spec, data, filepath.Join(dir, "serial.idx"), dir, BuildConfig{NumShards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if serial.Kind != catalog.KindBTree {
 		t.Fatalf("serial kind = %s", serial.Kind)
 	}
-	sharded, err := BuildWith(spec, data, filepath.Join(dir, "sharded.idx"), dir, BuildConfig{NumShards: 4})
+	sharded, err := BuildWith(context.Background(), mapreduce.DefaultScheduler(), spec, data, filepath.Join(dir, "sharded.idx"), dir, BuildConfig{NumShards: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestIndexedInputSplitsHonorTarget(t *testing.T) {
 		t.Fatal(err)
 	}
 	spec := Spec{Kind: catalog.KindBTree, KeyExpr: `v.Int("rank")`, Fields: []string{"url", "rank"}}
-	entry, err := BuildWith(spec, data, filepath.Join(dir, "w.idx"), dir, BuildConfig{NumShards: 4})
+	entry, err := BuildWith(context.Background(), mapreduce.DefaultScheduler(), spec, data, filepath.Join(dir, "w.idx"), dir, BuildConfig{NumShards: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,11 +291,11 @@ func TestParallelRecordFileBuildPreservesOrder(t *testing.T) {
 		Fields:    []string{"sourceIP", "adRevenue"},
 		Encodings: map[string]storage.FieldEncoding{"adRevenue": storage.EncodeDelta},
 	}
-	serial, err := BuildWith(spec, data, filepath.Join(dir, "serial.rec"), dir, BuildConfig{MaxParallelTasks: 1})
+	serial, err := BuildWith(context.Background(), mapreduce.DefaultScheduler(), spec, data, filepath.Join(dir, "serial.rec"), dir, BuildConfig{MaxParallelTasks: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := BuildWith(spec, data, filepath.Join(dir, "par.rec"), dir, BuildConfig{MaxParallelTasks: 8})
+	par, err := BuildWith(context.Background(), mapreduce.DefaultScheduler(), spec, data, filepath.Join(dir, "par.rec"), dir, BuildConfig{MaxParallelTasks: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,7 +21,13 @@ const (
 	CtrSkippedSideEffects = "manimal.skipped.map.invocations"
 )
 
-// Counters is a concurrency-safe named counter set.
+// Counters is a concurrency-safe named counter set. Every accessor copies
+// out of (or mutates under) one mutex — the map itself is never exposed —
+// so progress reporters may call Snapshot, Get, or Names at any moment
+// while tasks are still adding batched increments from other goroutines.
+// Tasks batch their hot-path counts locally and flush them in chunks (see
+// counterFlushEvery), so a mid-job snapshot is a consistent recent view,
+// not an exact instantaneous one.
 type Counters struct {
 	mu sync.Mutex
 	m  map[string]int64
@@ -56,7 +62,9 @@ func (c *Counters) Names() []string {
 	return names
 }
 
-// Snapshot copies all counters into a plain map.
+// Snapshot copies all counters into a plain map owned by the caller. It
+// is the accessor live status reads use mid-job, while tasks concurrently
+// batch increments into the set.
 func (c *Counters) Snapshot() map[string]int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()

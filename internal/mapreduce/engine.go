@@ -1,7 +1,7 @@
 package mapreduce
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -10,31 +10,38 @@ import (
 	"manimal/internal/serde"
 )
 
-// cancelCheckEvery throttles how often long task loops poll the pool's
-// cancellation channel: cheap enough to keep error latency low without
-// taxing the per-record hot path.
+// cancelCheckEvery throttles how often long task loops poll the job
+// context for cancellation: cheap enough to keep cancel latency low
+// without taxing the per-record hot path.
 const cancelCheckEvery = 64
 
-// errPoolCanceled is returned by tasks that stopped early because a sibling
-// task failed; runPool reports the sibling's error, not this sentinel.
-var errPoolCanceled = errors.New("mapreduce: task canceled")
+// counterFlushEvery is how often map tasks flush their locally batched
+// input-record count into the shared counters, so Status() progress moves
+// while a long task is still running (per-record Counters.Add takes a
+// mutex — too expensive on the hot path).
+const counterFlushEvery = 8192
 
-// Run executes a job to completion and returns its counters and duration.
+// Run executes a job to completion on the process-wide shared scheduler
+// and returns its counters and duration. It is the synchronous wrapper
+// around Scheduler.Submit; see Scheduler for the pooling and fairness
+// model, and Execution for the async surface (Wait/Cancel/Status).
 //
-// Run owns the job's resources on every exit path: inputs are closed, the
-// final output is closed (or aborted — partial file removed — on error),
-// and shuffle spill segments are deleted as soon as the reduce phase has
-// consumed them, so a long-lived WorkDir does not accumulate garbage.
-// Callers may safely Close inputs again.
+// The execution owns the job's resources on every exit path: inputs are
+// closed, the final output is closed (or aborted — partial file removed —
+// on error or cancellation), and shuffle spill segments are deleted as
+// soon as the reduce phase has consumed them, so a long-lived WorkDir does
+// not accumulate garbage. Callers may safely Close inputs again.
 func Run(job *Job) (*Result, error) {
-	if err := job.Validate(); err != nil {
-		return nil, err
-	}
-	counters := NewCounters()
-	start := time.Now()
-	if job.Config.StartupDelay > 0 {
-		time.Sleep(job.Config.StartupDelay)
-	}
+	return DefaultScheduler().Run(context.Background(), job)
+}
+
+// execute drives the job's task graph — admit → plan → map → (reduce) →
+// commit — with every task dispatched through the scheduler's slot pool.
+// It runs on the execution's controller goroutine.
+func (e *Execution) execute() (*Result, error) {
+	job := e.job
+	counters := e.counters
+	sched := e.sched
 
 	mapOnly := job.Reducer == nil
 	numReducers := 0
@@ -59,7 +66,9 @@ func Run(job *Job) (*Result, error) {
 	}
 
 	// fail releases everything on an error exit: the partial final output
-	// is aborted, inputs are closed, and any spill files are removed.
+	// is aborted, inputs are closed, and any spill files are removed. By
+	// the time a phase reports an error its tasks have drained, so nothing
+	// still writes to what is released here.
 	fail := func(phase string, err error) (*Result, error) {
 		if job.Output != nil {
 			abortOutput(job.Output)
@@ -71,32 +80,42 @@ func Run(job *Job) (*Result, error) {
 		return nil, fmt.Errorf("mapreduce: %q: %s: %w", job.Name, phase, err)
 	}
 
-	// Plan map tasks: splits from every input, each bound to its mapper.
+	if err := e.admit(); err != nil {
+		return fail("admission", err)
+	}
+
+	// Plan phase (one task): split every input, each split bound to its
+	// input's mapper.
 	type taskSpec struct {
 		split   Split
 		factory MapperFactory
 	}
-	// The job-wide task target is parallel*2; it is divided across inputs
-	// (rounding up) so an N-input job plans about the intended task count
-	// instead of N× it.
 	var tasks []taskSpec
-	parallel := job.Config.maxParallel()
-	perInput := (parallel*2 + len(job.Inputs) - 1) / len(job.Inputs)
-	if perInput < 1 {
-		perInput = 1
-	}
-	for _, in := range job.Inputs {
-		splits, err := in.Input.Splits(perInput)
-		if err != nil {
-			return fail("splits", err)
+	if err := sched.runPhase(e, PhasePlan, 1, func(context.Context, int) error {
+		// The job-wide task target is maxParallel*2; it is divided across
+		// inputs (rounding up) so an N-input job plans about the intended
+		// task count instead of N× it.
+		parallel := job.Config.maxParallel()
+		perInput := (parallel*2 + len(job.Inputs) - 1) / len(job.Inputs)
+		if perInput < 1 {
+			perInput = 1
 		}
-		for _, s := range splits {
-			tasks = append(tasks, taskSpec{split: s, factory: in.Mapper})
+		for _, in := range job.Inputs {
+			splits, err := in.Input.Splits(perInput)
+			if err != nil {
+				return err
+			}
+			for _, s := range splits {
+				tasks = append(tasks, taskSpec{split: s, factory: in.Mapper})
+			}
 		}
+		counters.Add(CtrMapTasks, int64(len(tasks)))
+		return nil
+	}); err != nil {
+		return fail("plan", err)
 	}
-	counters.Add(CtrMapTasks, int64(len(tasks)))
 
-	runTask := func(taskID int, spec taskSpec, cancel <-chan struct{}) (err error) {
+	runMapTask := func(ctx context.Context, taskID int, spec taskSpec) (err error) {
 		var se *shuffleEmitter
 		var taskOut Output
 		var outRecs int64
@@ -146,7 +165,7 @@ func Run(job *Job) (*Result, error) {
 		default:
 			emit = sink.Write
 		}
-		ctx := &interp.Context{
+		ictx := &interp.Context{
 			Conf: job.Config.Conf,
 			Emit: emit,
 			Counter: func(name string, delta int64) {
@@ -158,16 +177,21 @@ func Run(job *Job) (*Result, error) {
 			return err
 		}
 		defer it.Close()
-		// Input records are counted locally and flushed once: Counters.Add
-		// takes a mutex, too expensive per record on the map hot path.
-		n := 0
-		defer func() { counters.Add(CtrMapInputRecords, int64(n)) }()
+		// Input records are counted locally and flushed in batches (plus a
+		// final flush): live enough for progress reporting, cheap enough
+		// for the per-record hot path.
+		n, flushed := 0, 0
+		defer func() { counters.Add(CtrMapInputRecords, int64(n-flushed)) }()
 		for it.Next() {
-			if n%cancelCheckEvery == 0 && canceled(cancel) {
-				return errPoolCanceled
+			if n%cancelCheckEvery == 0 && ctx.Err() != nil {
+				return ctx.Err()
 			}
 			n++
-			if err := mapper.Map(it.Key(), it.Record(), ctx); err != nil {
+			if n-flushed >= counterFlushEvery {
+				counters.Add(CtrMapInputRecords, int64(n-flushed))
+				flushed = n
+			}
+			if err := mapper.Map(it.Key(), it.Record(), ictx); err != nil {
 				return err
 			}
 		}
@@ -180,15 +204,15 @@ func Run(job *Job) (*Result, error) {
 		return nil
 	}
 
-	if err := runPool(parallel, len(tasks), func(i int, cancel <-chan struct{}) error {
-		return runTask(i, tasks[i], cancel)
+	if err := sched.runPhase(e, PhaseMap, len(tasks), func(ctx context.Context, i int) error {
+		return runMapTask(ctx, i, tasks[i])
 	}); err != nil {
 		return fail("map phase", err)
 	}
 
 	if !mapOnly {
 		counters.Add(CtrReduceTasks, int64(numReducers))
-		reduceTask := func(p int, cancel <-chan struct{}) (err error) {
+		reduceTask := func(ctx context.Context, p int) (err error) {
 			var taskOut Output
 			var outRecs int64
 			defer func() {
@@ -225,7 +249,7 @@ func Run(job *Job) (*Result, error) {
 				return err
 			}
 			defer m.closeAll()
-			ctx := &interp.Context{
+			ictx := &interp.Context{
 				Conf: job.Config.Conf,
 				Emit: emit,
 				Counter: func(name string, delta int64) {
@@ -233,8 +257,8 @@ func Run(job *Job) (*Result, error) {
 				},
 			}
 			for m.nextGroup() {
-				if canceled(cancel) {
-					return errPoolCanceled
+				if ctx.Err() != nil {
+					return ctx.Err()
 				}
 				counters.Add(CtrReduceInputGroups, 1)
 				key, _, err := serde.DecodeSortKey(m.groupKey)
@@ -242,7 +266,7 @@ func Run(job *Job) (*Result, error) {
 					return err
 				}
 				g := &groupValueIter{m: m}
-				if err := reducer.Reduce(key, g, ctx); err != nil {
+				if err := reducer.Reduce(key, g, ictx); err != nil {
 					return err
 				}
 				m.drainGroup()
@@ -263,7 +287,7 @@ func Run(job *Job) (*Result, error) {
 			}
 			return nil
 		}
-		if err := runPool(parallel, numReducers, reduceTask); err != nil {
+		if err := sched.runPhase(e, PhaseReduce, numReducers, reduceTask); err != nil {
 			return fail("reduce phase", err)
 		}
 		// Spill files are shared across reduce partitions (each holds every
@@ -271,79 +295,32 @@ func Run(job *Job) (*Result, error) {
 		releaseSpills()
 	}
 
-	for _, in := range job.Inputs {
-		counters.Add(CtrInputBytesRead, in.Input.BytesRead())
-		in.Input.Close()
-	}
-	if sink != nil {
-		counters.Add(CtrOutputRecords, sink.flush())
-	}
-	if job.Output != nil {
-		if err := job.Output.Close(); err != nil {
-			// A failed close (e.g. flush on a full disk) leaves a truncated
-			// file that looks valid; discard it like every other error path.
-			abortOutput(job.Output)
-			return nil, fmt.Errorf("mapreduce: %q: close output: %w", job.Name, err)
+	// Commit phase (one task): account input bytes, flush the shared sink,
+	// and seal the final output.
+	if err := sched.runPhase(e, PhaseCommit, 1, func(context.Context, int) error {
+		for _, in := range job.Inputs {
+			counters.Add(CtrInputBytesRead, in.Input.BytesRead())
+			in.Input.Close()
 		}
-	}
-	return &Result{Counters: counters, Duration: time.Since(start)}, nil
-}
-
-// runPool executes n indexed tasks with at most parallel workers. The first
-// task error cancels the pool: queued tasks never start, and running tasks
-// observe the cancellation through the channel passed to them (returning
-// errPoolCanceled) instead of running to completion.
-func runPool(parallel, n int, task func(i int, cancel <-chan struct{}) error) error {
-	if parallel > n {
-		parallel = n
-	}
-	if parallel < 1 {
-		parallel = 1
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		next     int
-	)
-	cancel := make(chan struct{})
-	for w := 0; w < parallel; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if firstErr != nil || next >= n {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-				if err := task(i, cancel); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-						close(cancel)
-					}
-					mu.Unlock()
-					return
-				}
+		if sink != nil {
+			counters.Add(CtrOutputRecords, sink.flush())
+		}
+		if job.Output != nil {
+			if err := job.Output.Close(); err != nil {
+				// A failed close (e.g. flush on a full disk) leaves a truncated
+				// file that looks valid; discard it like every other error path.
+				abortOutput(job.Output)
+				return fmt.Errorf("close output: %w", err)
 			}
-		}()
+		}
+		return nil
+	}); err != nil {
+		// If the commit task ran, it already released what it touched; fail
+		// is idempotent for the rest (re-close and re-abort are safe), and
+		// it is required when cancellation kept the task from dispatching.
+		return fail("commit", err)
 	}
-	wg.Wait()
-	return firstErr
-}
-
-// canceled polls a cancellation channel without blocking.
-func canceled(cancel <-chan struct{}) bool {
-	select {
-	case <-cancel:
-		return true
-	default:
-		return false
-	}
+	return &Result{Counters: counters, Duration: time.Since(e.start)}, nil
 }
 
 // syncOutput serializes writes to the job output and counts records

@@ -7,6 +7,21 @@
 // prototype modified Hadoop only for indexed input formats and
 // delta-compression.
 //
+// # Concurrent job service
+//
+// Execution is owned by a Scheduler: a process-wide bounded pool of task
+// slots that interleaves tasks from many concurrently submitted jobs —
+// like a production MapReduce master multiplexing jobs over one cluster.
+// Each job is decomposed into an explicit task graph (plan → map tasks →
+// barrier → reduce tasks → commit); runnable jobs are served round-robin,
+// one task per turn, and a job's Config.MaxParallelTasks caps its share of
+// the pool rather than sizing a private pool. Scheduler.Submit returns an
+// Execution handle with Wait, Cancel, and live Status; the package-level
+// Run is the synchronous wrapper on the shared DefaultScheduler.
+// Cancellation is context-based end-to-end: canceling the submission
+// context (or the handle) halts dispatch, stops in-flight tasks at their
+// next check, and releases every partial output and spill file.
+//
 // # Buffer ownership
 //
 // The per-record hot paths run without allocations by reusing buffers, so
@@ -70,8 +85,10 @@ type Config struct {
 	// NumReducers is the reduce-task count; 0 means DefaultNumReducers.
 	// Ignored for map-only jobs.
 	NumReducers int
-	// MaxParallelTasks caps concurrently running map (and reduce) tasks —
-	// the cluster's "slots"; 0 means DefaultMaxParallelTasks.
+	// MaxParallelTasks caps how many of this job's tasks may occupy
+	// scheduler slots at once — a per-job fairness cap, not a pool size
+	// (the pool is the Scheduler's); 0 means DefaultMaxParallelTasks. It
+	// also sets the job's task-count target (about 2× this many splits).
 	MaxParallelTasks int
 	// WorkDir holds shuffle spill segments; required for jobs with a
 	// reduce phase.
@@ -80,8 +97,10 @@ type Config struct {
 	// sorted spill; 0 means DefaultSpillBufferBytes.
 	SpillBufferBytes int
 	// StartupDelay simulates the job-launch latency of a real cluster
-	// (paper Appendix D observes up to 15 s for Hadoop). Zero by default so
-	// tests run fast; benchmarks set it to model startup-dominated regimes.
+	// (paper Appendix D observes up to 15 s for Hadoop). The scheduler
+	// waits it out as a cancellable admission delay that occupies no task
+	// slot. Zero by default so tests run fast; benchmarks set it to model
+	// startup-dominated regimes.
 	StartupDelay time.Duration
 	// SortedOutput declares that the user requires the final output in
 	// key-sorted order. The optimizer refuses direct-operation compression

@@ -1,0 +1,399 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Phase names the stations of a job's task graph. A job moves through
+// pending (admission) → plan → map → reduce → commit and ends in one of
+// the terminal phases done, failed, or canceled; map-only jobs skip reduce.
+type Phase string
+
+// Job phases, in lifecycle order.
+const (
+	PhasePending  Phase = "pending"
+	PhasePlan     Phase = "plan"
+	PhaseMap      Phase = "map"
+	PhaseReduce   Phase = "reduce"
+	PhaseCommit   Phase = "commit"
+	PhaseDone     Phase = "done"
+	PhaseFailed   Phase = "failed"
+	PhaseCanceled Phase = "canceled"
+)
+
+// Terminal reports whether the phase is an end state.
+func (p Phase) Terminal() bool {
+	return p == PhaseDone || p == PhaseFailed || p == PhaseCanceled
+}
+
+// Status is a point-in-time snapshot of one execution, safe to read while
+// the job is running (counters are snapshotted through Counters.Snapshot,
+// which task-side batched increments feed as they flush).
+type Status struct {
+	Job   string
+	Phase Phase
+	// TasksDone / TasksTotal report progress through the current phase's
+	// tasks (the terminal phases keep the last phase's totals).
+	TasksDone  int
+	TasksTotal int
+	Counters   map[string]int64
+	Duration   time.Duration
+	// Err is the terminal error (set once Phase is failed or canceled).
+	Err error
+}
+
+// Scheduler multiplexes many jobs over one bounded pool of task slots —
+// the process-wide "cluster". Each slot runs one task (plan, map, reduce,
+// or commit) at a time; runnable jobs are served round-robin, one task per
+// turn, so a huge job cannot starve small ones, and a job's
+// Config.MaxParallelTasks caps how many slots that job may hold at once
+// (it no longer sizes a private pool). Job controllers and admission
+// delays do not occupy slots; only tasks do.
+type Scheduler struct {
+	slots int
+
+	mu        sync.Mutex
+	execs     []*Execution // attached executions, in submission order
+	rr        int          // round-robin dispatch cursor into execs
+	running   int          // tasks currently in a slot (<= slots)
+	highWater int          // max running ever observed
+}
+
+// NewScheduler creates a scheduler with the given number of task slots;
+// slots < 1 means DefaultSlots().
+func NewScheduler(slots int) *Scheduler {
+	if slots < 1 {
+		slots = DefaultSlots()
+	}
+	return &Scheduler{slots: slots}
+}
+
+// DefaultSlots is the pool size of schedulers created with slots < 1:
+// every core, and never fewer than the engine's historical per-job
+// parallelism default.
+func DefaultSlots() int {
+	n := runtime.NumCPU()
+	if n < DefaultMaxParallelTasks {
+		n = DefaultMaxParallelTasks
+	}
+	return n
+}
+
+var (
+	defaultSchedOnce sync.Once
+	defaultSched     *Scheduler
+)
+
+// DefaultScheduler returns the process-wide shared scheduler (created on
+// first use with DefaultSlots() slots). Run and every System that is not
+// given a private pool submit here, so jobs from independent callers in
+// one process share a single slot budget.
+func DefaultScheduler() *Scheduler {
+	defaultSchedOnce.Do(func() { defaultSched = NewScheduler(0) })
+	return defaultSched
+}
+
+// PoolStats describes a scheduler's pool at a point in time.
+type PoolStats struct {
+	Slots      int // total task slots
+	Running    int // tasks currently occupying a slot
+	ActiveJobs int // executions submitted and not yet terminal
+	HighWater  int // most slots ever occupied at once
+}
+
+// Stats snapshots the pool.
+func (s *Scheduler) Stats() PoolStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return PoolStats{Slots: s.slots, Running: s.running, ActiveJobs: len(s.execs), HighWater: s.highWater}
+}
+
+// Submit validates the job and starts it asynchronously. The returned
+// Execution exposes Wait, Cancel, and live Status; canceling ctx cancels
+// the job. Resources (inputs, outputs, spill files) are owned by the
+// execution on every path, exactly as Run owns them.
+func (s *Scheduler) Submit(ctx context.Context, job *Job) (*Execution, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ectx, cancel := context.WithCancel(ctx)
+	e := &Execution{
+		sched:    s,
+		job:      job,
+		ctx:      ectx,
+		cancel:   cancel,
+		counters: NewCounters(),
+		cap:      job.Config.maxParallel(),
+		phase:    PhasePending,
+		start:    time.Now(),
+		done:     make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.execs = append(s.execs, e)
+	s.mu.Unlock()
+	go e.run()
+	// The watcher turns an external cancellation (caller ctx or
+	// Execution.Cancel) into a halt of whatever phase is in flight; it
+	// exits when the execution finishes because run() cancels ectx.
+	go func() {
+		<-ectx.Done()
+		s.haltPhase(e)
+	}()
+	return e, nil
+}
+
+// Run submits the job and waits for it: the synchronous surface.
+func (s *Scheduler) Run(ctx context.Context, job *Job) (*Result, error) {
+	e, err := s.Submit(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	return e.Wait()
+}
+
+// Execution is one submitted job making its way through the scheduler.
+type Execution struct {
+	sched    *Scheduler
+	job      *Job
+	ctx      context.Context
+	cancel   context.CancelFunc
+	counters *Counters
+	start    time.Time
+	done     chan struct{}
+
+	// Scheduling state, guarded by sched.mu.
+	cap        int // max slots this execution may hold at once
+	inFlight   int // tasks of this execution currently in a slot
+	ph         *phaseRun
+	phase      Phase
+	phaseDone  int
+	phaseTotal int
+	result     *Result
+	err        error
+	dur        time.Duration
+}
+
+// phaseRun is one barrier-delimited batch of same-kind tasks (all map
+// tasks, all reduce tasks, ...). Guarded by sched.mu.
+type phaseRun struct {
+	task       func(ctx context.Context, i int) error
+	n          int
+	dispatched int
+	completed  int
+	halted     bool // stop dispatching: a task failed or the job was canceled
+	err        error
+	finished   chan struct{}
+	closed     bool
+}
+
+// Wait blocks until the execution is terminal and returns its result.
+func (e *Execution) Wait() (*Result, error) {
+	<-e.done
+	return e.result, e.err
+}
+
+// Done is closed when the execution reaches a terminal phase.
+func (e *Execution) Done() <-chan struct{} { return e.done }
+
+// Cancel asks the execution to stop: queued tasks never start, running
+// tasks observe the cancellation at their next check, and the job's
+// partial outputs and spill files are cleaned up. Wait then returns a
+// context.Canceled error. Safe to call at any time, including after
+// completion.
+func (e *Execution) Cancel() { e.cancel() }
+
+// Counters exposes the live counter set (snapshot with Counters.Snapshot).
+func (e *Execution) Counters() *Counters { return e.counters }
+
+// Status snapshots the execution's phase, task progress, and counters.
+func (e *Execution) Status() Status {
+	s := e.sched
+	s.mu.Lock()
+	st := Status{
+		Job:        e.job.Name,
+		Phase:      e.phase,
+		TasksDone:  e.phaseDone,
+		TasksTotal: e.phaseTotal,
+		Duration:   e.dur,
+		Err:        e.err,
+	}
+	if st.Duration == 0 {
+		st.Duration = time.Since(e.start)
+	}
+	s.mu.Unlock()
+	st.Counters = e.counters.Snapshot()
+	return st
+}
+
+// run is the execution's controller goroutine: it drives the task graph
+// through the scheduler (each phase's tasks occupy pool slots; the
+// controller itself never does) and publishes the terminal state.
+func (e *Execution) run() {
+	res, err := e.execute()
+	final := PhaseDone
+	if err != nil {
+		final = PhaseFailed
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			final = PhaseCanceled
+		}
+	}
+	s := e.sched
+	s.mu.Lock()
+	for i, x := range s.execs {
+		if x == e {
+			s.execs = append(s.execs[:i], s.execs[i+1:]...)
+			break
+		}
+	}
+	e.phase = final
+	e.result, e.err = res, err
+	e.dur = time.Since(e.start)
+	s.mu.Unlock()
+	e.cancel() // release the ctx watcher (and any parent-ctx resources)
+	close(e.done)
+}
+
+// admit waits out the job's configured startup delay (modeling cluster
+// job-launch latency) without occupying a slot, and cancellably: a job
+// canceled during admission never plans a task.
+func (e *Execution) admit() error {
+	d := e.job.Config.StartupDelay
+	if d <= 0 {
+		return e.ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-e.ctx.Done():
+		return e.ctx.Err()
+	}
+}
+
+// runPhase runs n tasks as the execution's next phase and blocks until
+// every dispatched task has returned. The first task error (or a job
+// cancellation) halts dispatch, cancels the job context so in-flight
+// sibling tasks stop at their next check, and is returned once the phase
+// has drained — so callers may release phase resources immediately after.
+func (s *Scheduler) runPhase(e *Execution, name Phase, n int, task func(ctx context.Context, i int) error) error {
+	if err := e.ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	e.phase, e.phaseDone, e.phaseTotal = name, 0, n
+	if n == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	ph := &phaseRun{task: task, n: n, finished: make(chan struct{})}
+	e.ph = ph
+	s.dispatchLocked()
+	s.mu.Unlock()
+	<-ph.finished
+	if ph.err != nil {
+		return ph.err
+	}
+	return e.ctx.Err()
+}
+
+// dispatchLocked fills free slots with tasks from runnable executions.
+// Called whenever a phase is enqueued or a slot frees up.
+func (s *Scheduler) dispatchLocked() {
+	for s.running < s.slots {
+		e := s.nextLocked()
+		if e == nil {
+			return
+		}
+		ph := e.ph
+		i := ph.dispatched
+		ph.dispatched++
+		e.inFlight++
+		s.running++
+		if s.running > s.highWater {
+			s.highWater = s.running
+		}
+		go s.runTask(e, ph, i)
+	}
+}
+
+// nextLocked picks the next execution to grant a slot: round-robin over
+// attached executions, skipping those with no dispatchable task or whose
+// per-job cap is reached. One task per turn keeps interleaving fair.
+func (s *Scheduler) nextLocked() *Execution {
+	n := len(s.execs)
+	for k := 0; k < n; k++ {
+		e := s.execs[(s.rr+k)%n]
+		ph := e.ph
+		if ph == nil || e.inFlight >= e.cap {
+			continue
+		}
+		if !ph.halted && e.ctx.Err() != nil {
+			// Canceled with no task in flight to notice: halt here so the
+			// phase completes without dispatching the rest.
+			ph.halted = true
+			ph.err = e.ctx.Err()
+			s.finishIfDrainedLocked(e, ph)
+			continue
+		}
+		if ph.halted || ph.dispatched >= ph.n {
+			continue
+		}
+		s.rr = (s.rr + k + 1) % n
+		return e
+	}
+	return nil
+}
+
+// runTask runs one task in its slot and updates phase bookkeeping.
+func (s *Scheduler) runTask(e *Execution, ph *phaseRun, i int) {
+	err := ph.task(e.ctx, i)
+	s.mu.Lock()
+	ph.completed++
+	e.inFlight--
+	s.running--
+	e.phaseDone++
+	if err != nil && !ph.halted {
+		ph.halted = true
+		ph.err = err
+		// Stop in-flight siblings (and any later phase work) promptly.
+		e.cancel()
+	}
+	s.finishIfDrainedLocked(e, ph)
+	s.dispatchLocked()
+	s.mu.Unlock()
+}
+
+// haltPhase reacts to an execution's context being canceled: the current
+// phase stops dispatching and, if nothing is in flight, completes.
+func (s *Scheduler) haltPhase(e *Execution) {
+	s.mu.Lock()
+	if ph := e.ph; ph != nil && !ph.halted {
+		ph.halted = true
+		if ph.err == nil {
+			ph.err = e.ctx.Err()
+		}
+		s.finishIfDrainedLocked(e, ph)
+	}
+	s.mu.Unlock()
+}
+
+// finishIfDrainedLocked closes the phase once every dispatched task has
+// returned and no further task will be dispatched.
+func (s *Scheduler) finishIfDrainedLocked(e *Execution, ph *phaseRun) {
+	if ph.closed {
+		return
+	}
+	if ph.completed == ph.dispatched && (ph.halted || ph.dispatched == ph.n) {
+		ph.closed = true
+		e.ph = nil
+		close(ph.finished)
+	}
+}

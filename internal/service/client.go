@@ -1,0 +1,138 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"manimal/internal/catalog"
+	"manimal/internal/mapreduce"
+)
+
+// Client talks to a running `manimal serve` instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient creates a client for the service at base (e.g.
+// "http://127.0.0.1:7070").
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// Submit posts a job and returns its service-side record.
+func (c *Client) Submit(req SubmitRequest) (JobInfo, error) {
+	var out JobInfo
+	err := c.do(http.MethodPost, "/v1/jobs", req, &out)
+	return out, err
+}
+
+// Jobs lists every job the service knows, oldest first.
+func (c *Client) Jobs() ([]JobInfo, error) {
+	var out []JobInfo
+	err := c.do(http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Job fetches one job's live status.
+func (c *Client) Job(id string) (JobInfo, error) {
+	var out JobInfo
+	err := c.do(http.MethodGet, "/v1/jobs/"+id, nil, &out)
+	return out, err
+}
+
+// Cancel asks the service to stop a job and returns its status.
+func (c *Client) Cancel(id string) (JobInfo, error) {
+	var out JobInfo
+	err := c.do(http.MethodPost, "/v1/jobs/"+id+"/cancel", nil, &out)
+	return out, err
+}
+
+// Catalog fetches the service's index catalog.
+func (c *Client) Catalog() ([]catalog.Entry, error) {
+	var out []catalog.Entry
+	err := c.do(http.MethodGet, "/v1/catalog", nil, &out)
+	return out, err
+}
+
+// Pool fetches the scheduler pool stats.
+func (c *Client) Pool() (mapreduce.PoolStats, error) {
+	var out mapreduce.PoolStats
+	err := c.do(http.MethodGet, "/v1/pool", nil, &out)
+	return out, err
+}
+
+// WaitJob polls the job until it reaches a terminal phase (or the timeout
+// elapses; timeout <= 0 waits forever), returning the final status.
+func (c *Client) WaitJob(id string, timeout, poll time.Duration) (JobInfo, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		info, err := c.Job(id)
+		if err != nil {
+			return info, err
+		}
+		if mapreduce.Phase(info.Phase).Terminal() {
+			return info, nil
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return info, fmt.Errorf("service: job %s not terminal after %s (phase %s)", id, timeout, info.Phase)
+		}
+		time.Sleep(poll)
+	}
+}
+
+// do runs one JSON round trip, decoding the service's error envelope on
+// non-2xx responses.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("service: encode request: %w", err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("service: read response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return fmt.Errorf("service: %s %s: %s", method, path, e.Error)
+		}
+		return fmt.Errorf("service: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("service: decode response: %w", err)
+	}
+	return nil
+}

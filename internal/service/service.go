@@ -1,0 +1,424 @@
+// Package service exposes a manimal.System as a long-lived HTTP job
+// service: jobs are submitted as JSON (program source inline), run
+// concurrently on the System's shared scheduler, and are tracked by ID for
+// status polling and cancellation — the `manimal serve` subcommand is a
+// thin wrapper around Server, and the matching client commands
+// (submit/jobs/status/cancel) around Client.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/jobs            submit a job        (SubmitRequest → JobInfo)
+//	GET  /v1/jobs            list known jobs     ([]JobInfo)
+//	GET  /v1/jobs/{id}       one job's status    (JobInfo)
+//	POST /v1/jobs/{id}/cancel cancel a job       (JobInfo)
+//	GET  /v1/catalog         index catalog       ([]catalog.Entry)
+//	GET  /v1/pool            scheduler pool stats (mapreduce.PoolStats)
+//
+// Input, output, and index paths in requests name files on the server's
+// filesystem: the service runs where the data lives.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"manimal"
+	"manimal/internal/serde"
+)
+
+// SubmitRequest describes one job submission over HTTP. Program source is
+// carried inline, so clients need no filesystem shared with the server
+// for programs (data paths, by contrast, are server-side).
+type SubmitRequest struct {
+	Name   string        `json:"name"`
+	Inputs []SubmitInput `json:"inputs"`
+	// OutputPath is the server-side path receiving the final KV output.
+	OutputPath string `json:"output_path"`
+	// Conf holds job parameters: JSON numbers become Int when integral
+	// (Float otherwise), strings String, booleans Bool.
+	Conf                map[string]any `json:"conf,omitempty"`
+	MapOnly             bool           `json:"map_only,omitempty"`
+	SortedOutput        bool           `json:"sorted_output,omitempty"`
+	SafeMode            bool           `json:"safe_mode,omitempty"`
+	DisableOptimization bool           `json:"disable_optimization,omitempty"`
+	NumReducers         int            `json:"num_reducers,omitempty"`
+	MaxParallelTasks    int            `json:"max_parallel_tasks,omitempty"`
+	// StartupDelayMillis models cluster job-launch latency (admission
+	// delay in the scheduler; cancellable).
+	StartupDelayMillis int64 `json:"startup_delay_ms,omitempty"`
+}
+
+// SubmitInput is one input file and the program mapped over it.
+type SubmitInput struct {
+	Path        string `json:"path"`
+	Program     string `json:"program"`
+	ProgramName string `json:"program_name,omitempty"`
+}
+
+// PlanInfo summarizes the optimizer's decision for one input.
+type PlanInfo struct {
+	Input   string   `json:"input"`
+	Kind    string   `json:"kind"`
+	Applied []string `json:"applied,omitempty"`
+	Notes   []string `json:"notes,omitempty"`
+}
+
+// JobInfo is the service's view of one job: identity, live status, and —
+// once terminal — the outcome.
+type JobInfo struct {
+	ID          string           `json:"id"`
+	Name        string           `json:"name"`
+	OutputPath  string           `json:"output_path"`
+	SubmittedAt time.Time        `json:"submitted_at"`
+	Phase       string           `json:"phase"`
+	TasksDone   int              `json:"tasks_done"`
+	TasksTotal  int              `json:"tasks_total"`
+	DurationMS  int64            `json:"duration_ms"`
+	Counters    map[string]int64 `json:"counters,omitempty"`
+	Plans       []PlanInfo       `json:"plans,omitempty"`
+	Error       string           `json:"error,omitempty"`
+}
+
+// maxTerminalJobs bounds how many finished jobs the server remembers: the
+// daemon is long-lived, so without eviction every submission's handle
+// (plans, counters, synthesized index programs) would accumulate forever.
+// The oldest terminal jobs are pruned first; running jobs are never
+// evicted, and neither are jobs terminal for less than terminalJobGrace —
+// a client that just saw its job finish can still poll the final status
+// (so tracked jobs can briefly exceed the cap, bounded by the submission
+// rate over one grace window).
+const (
+	maxTerminalJobs  = 256
+	terminalJobGrace = time.Minute
+)
+
+// Server tracks submitted jobs by ID on top of one System.
+type Server struct {
+	sys *manimal.System
+
+	mu   sync.Mutex
+	jobs map[string]*tracked
+	seq  int
+}
+
+type tracked struct {
+	id          string
+	seq         int
+	handle      *manimal.JobHandle
+	outputPath  string
+	submittedAt time.Time
+	terminalAt  time.Time // zero while the job runs; set when Done closes
+}
+
+// New wraps a System in a job service.
+func New(sys *manimal.System) *Server {
+	return &Server{sys: sys, jobs: make(map[string]*tracked)}
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/v1/catalog", s.handleCatalog)
+	mux.HandleFunc("/v1/pool", s.handlePool)
+	return mux
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleSubmit(w, r)
+	case http.MethodGet:
+		s.handleList(w, r)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "use GET to list or POST to submit")
+	}
+}
+
+// Submit hardening bounds: the endpoint is reachable by anything that can
+// reach the port, so request size and engine fan-out parameters are
+// capped before they allocate.
+const (
+	maxSubmitBodyBytes = 8 << 20
+	maxEngineFanOut    = 4096 // reducers / parallel-task cap per job
+	// maxStartupDelayMillis caps the modeled launch latency (the paper
+	// observes up to 15 s; beyond minutes a job would just squat in
+	// pending, holding its output-path claim and tracked entry).
+	maxStartupDelayMillis = 5 * 60 * 1000
+)
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBodyBytes))
+	dec.UseNumber()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad submit body: %v", err)
+		return
+	}
+	spec, err := req.toSpec()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The job outlives this request, so it runs under the server's
+	// lifetime (context.Background), not the HTTP request context;
+	// clients stop it through the cancel endpoint.
+	h, err := s.sys.SubmitAsync(context.Background(), spec)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	s.seq++
+	t := &tracked{
+		id:          fmt.Sprintf("j%04d", s.seq),
+		seq:         s.seq,
+		handle:      h,
+		outputPath:  spec.OutputPath,
+		submittedAt: time.Now(),
+	}
+	s.jobs[t.id] = t
+	s.pruneLocked()
+	s.mu.Unlock()
+	go func() {
+		<-h.Done()
+		s.mu.Lock()
+		t.terminalAt = time.Now()
+		s.mu.Unlock()
+	}()
+	writeJSON(w, http.StatusAccepted, t.info())
+}
+
+// pruneLocked evicts the oldest long-terminal jobs once the register
+// outgrows maxTerminalJobs.
+func (s *Server) pruneLocked() {
+	if len(s.jobs) <= maxTerminalJobs {
+		return
+	}
+	cutoff := time.Now().Add(-terminalJobGrace)
+	var evictable []*tracked
+	for _, t := range s.jobs {
+		if !t.terminalAt.IsZero() && t.terminalAt.Before(cutoff) {
+			evictable = append(evictable, t)
+		}
+	}
+	sort.Slice(evictable, func(i, j int) bool { return evictable[i].seq < evictable[j].seq })
+	for _, t := range evictable {
+		if len(s.jobs) <= maxTerminalJobs {
+			return
+		}
+		delete(s.jobs, t.id)
+	}
+}
+
+// toSpec converts the wire request into a JobSpec (parsing each program).
+func (r *SubmitRequest) toSpec() (manimal.JobSpec, error) {
+	if len(r.Inputs) == 0 {
+		return manimal.JobSpec{}, fmt.Errorf("submit: no inputs")
+	}
+	if r.OutputPath == "" {
+		return manimal.JobSpec{}, fmt.Errorf("submit: no output_path")
+	}
+	if r.NumReducers < 0 || r.NumReducers > maxEngineFanOut {
+		return manimal.JobSpec{}, fmt.Errorf("submit: num_reducers %d out of range [0, %d]", r.NumReducers, maxEngineFanOut)
+	}
+	if r.MaxParallelTasks < 0 || r.MaxParallelTasks > maxEngineFanOut {
+		return manimal.JobSpec{}, fmt.Errorf("submit: max_parallel_tasks %d out of range [0, %d]", r.MaxParallelTasks, maxEngineFanOut)
+	}
+	if r.StartupDelayMillis < 0 || r.StartupDelayMillis > maxStartupDelayMillis {
+		return manimal.JobSpec{}, fmt.Errorf("submit: startup_delay_ms %d out of range [0, %d]", r.StartupDelayMillis, maxStartupDelayMillis)
+	}
+	name := r.Name
+	if name == "" {
+		name = "job"
+	}
+	spec := manimal.JobSpec{
+		Name:                name,
+		OutputPath:          r.OutputPath,
+		MapOnly:             r.MapOnly,
+		SortedOutput:        r.SortedOutput,
+		SafeMode:            r.SafeMode,
+		DisableOptimization: r.DisableOptimization,
+		NumReducers:         r.NumReducers,
+		MaxParallelTasks:    r.MaxParallelTasks,
+		StartupDelay:        time.Duration(r.StartupDelayMillis) * time.Millisecond,
+	}
+	for i, in := range r.Inputs {
+		pname := in.ProgramName
+		if pname == "" {
+			pname = fmt.Sprintf("%s-input%d", name, i)
+		}
+		prog, err := manimal.ParseProgram(pname, in.Program)
+		if err != nil {
+			return manimal.JobSpec{}, fmt.Errorf("submit: program for input %q: %w", in.Path, err)
+		}
+		spec.Inputs = append(spec.Inputs, manimal.InputSpec{Path: in.Path, Program: prog})
+	}
+	if len(r.Conf) > 0 {
+		conf, err := confFromJSON(r.Conf)
+		if err != nil {
+			return manimal.JobSpec{}, err
+		}
+		spec.Conf = conf
+	}
+	return spec, nil
+}
+
+// ConfToJSON maps Manimal scalars onto the wire conf shape — the inverse
+// of the submit handler's decoding, so CLI clients can reuse one k=v
+// parser for both local runs and service submissions.
+func ConfToJSON(conf manimal.Conf) map[string]any {
+	if len(conf) == 0 {
+		return nil
+	}
+	out := make(map[string]any, len(conf))
+	for k, d := range conf {
+		switch d.Kind {
+		case serde.KindInt64:
+			out[k] = d.I
+		case serde.KindFloat64:
+			if math.IsInf(d.F, 0) || math.IsNaN(d.F) {
+				out[k] = d.F // json.Marshal rejects it, as for any JSON payload
+				continue
+			}
+			// Keep a decimal marker on integral floats: a bare "2" would
+			// come back from confFromJSON as Int and flip the datum's
+			// kind across the wire (ConfFloat programs would then fail).
+			num := strconv.FormatFloat(d.F, 'g', -1, 64)
+			if !strings.ContainsAny(num, ".eE") {
+				num += ".0"
+			}
+			out[k] = json.Number(num)
+		case serde.KindBool:
+			out[k] = d.Bool
+		default:
+			out[k] = d.S
+		}
+	}
+	return out
+}
+
+// confFromJSON maps JSON values onto Manimal scalars.
+func confFromJSON(m map[string]any) (manimal.Conf, error) {
+	conf := manimal.Conf{}
+	for k, v := range m {
+		switch x := v.(type) {
+		case json.Number:
+			if i, err := strconv.ParseInt(x.String(), 10, 64); err == nil {
+				conf[k] = manimal.Int(i)
+			} else if f, err := x.Float64(); err == nil {
+				conf[k] = manimal.Float(f)
+			} else {
+				return nil, fmt.Errorf("submit: conf %q: bad number %q", k, x.String())
+			}
+		case string:
+			conf[k] = manimal.String(x)
+		case bool:
+			conf[k] = manimal.Bool(x)
+		default:
+			return nil, fmt.Errorf("submit: conf %q: unsupported value type %T", k, v)
+		}
+	}
+	return conf, nil
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	all := make([]*tracked, 0, len(s.jobs))
+	for _, t := range s.jobs {
+		all = append(all, t)
+	}
+	s.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	out := make([]JobInfo, 0, len(all))
+	for _, t := range all {
+		out = append(out, t.info())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(path.Clean(r.URL.Path), "/v1/jobs/")
+	id, action, _ := strings.Cut(rest, "/")
+	s.mu.Lock()
+	t := s.jobs[id]
+	s.mu.Unlock()
+	if t == nil {
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	switch {
+	case action == "" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, t.info())
+	case action == "cancel" && r.Method == http.MethodPost:
+		t.handle.Cancel()
+		writeJSON(w, http.StatusOK, t.info())
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "unsupported %s %s", r.Method, r.URL.Path)
+	}
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sys.Catalog().All())
+}
+
+func (s *Server) handlePool(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sys.PoolStats())
+}
+
+// info snapshots a tracked job for the wire.
+func (t *tracked) info() JobInfo {
+	st := t.handle.Status()
+	info := JobInfo{
+		ID:          t.id,
+		Name:        t.handle.Name(),
+		OutputPath:  t.outputPath,
+		SubmittedAt: t.submittedAt,
+		Phase:       string(st.Phase),
+		TasksDone:   st.TasksDone,
+		TasksTotal:  st.TasksTotal,
+		DurationMS:  st.Duration.Milliseconds(),
+		Counters:    st.Counters,
+	}
+	for _, ir := range t.handle.Inputs() {
+		pi := PlanInfo{Input: ir.Path}
+		if ir.Plan != nil {
+			pi.Kind = ir.Plan.Kind.String()
+			pi.Applied = ir.Plan.Applied
+			pi.Notes = ir.Plan.Notes
+		}
+		info.Plans = append(info.Plans, pi)
+	}
+	if st.Err != nil {
+		info.Error = st.Err.Error()
+	}
+	return info
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,201 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"manimal"
+	"manimal/internal/workload"
+)
+
+const countProgram = `
+func Map(k, v *Record, ctx *Ctx) {
+	if v.Int("rank") > ctx.ConfInt("threshold") {
+		ctx.Emit(v.Int("rank") % 10, 1)
+	}
+}
+
+func Reduce(key Datum, values *Iter, ctx *Ctx) {
+	count := 0
+	for values.Next() {
+		count = count + values.Int()
+	}
+	ctx.Emit(key, count)
+}
+`
+
+func newTestService(t *testing.T) (*Client, string) {
+	t.Helper()
+	dir := t.TempDir()
+	data := filepath.Join(dir, "webpages.rec")
+	if err := workload.NewGen(21).WriteWebPages(data, 3000, 64); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := manimal.NewSystemWith(filepath.Join(dir, "sys"), manimal.Options{SchedulerSlots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(sys).Handler())
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL), data
+}
+
+// TestServeEndToEnd drives the full HTTP surface: submit, status polling
+// to completion, list, catalog, pool — and verifies the job really wrote
+// its output.
+func TestServeEndToEnd(t *testing.T) {
+	c, data := newTestService(t)
+	out := filepath.Join(filepath.Dir(data), "out.kv")
+
+	info, err := c.Submit(SubmitRequest{
+		Name:       "count",
+		Inputs:     []SubmitInput{{Path: data, Program: countProgram}},
+		OutputPath: out,
+		Conf:       map[string]any{"threshold": 5000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID == "" || info.Phase == "" {
+		t.Fatalf("submit returned %+v", info)
+	}
+	if len(info.Plans) != 1 || info.Plans[0].Kind == "" {
+		t.Fatalf("submit reported no plan: %+v", info.Plans)
+	}
+
+	final, err := c.WaitJob(info.ID, 30*time.Second, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Phase != "done" {
+		t.Fatalf("job finished in phase %s (error %q)", final.Phase, final.Error)
+	}
+	if final.Counters["map.input.records"] != 3000 {
+		t.Fatalf("final counters = %v", final.Counters)
+	}
+	pairs, err := manimal.ReadOutput(out)
+	if err != nil {
+		t.Fatalf("reading job output: %v", err)
+	}
+	if len(pairs) == 0 {
+		t.Fatal("job wrote no output pairs")
+	}
+
+	jobs, err := c.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != info.ID {
+		t.Fatalf("jobs list = %+v", jobs)
+	}
+	if _, err := c.Catalog(); err != nil {
+		t.Fatalf("catalog: %v", err)
+	}
+	pool, err := c.Pool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Slots != 2 {
+		t.Fatalf("pool slots = %d, want 2", pool.Slots)
+	}
+}
+
+// TestServeCancel submits a job held in admission and cancels it over
+// HTTP; the job must end canceled with its partial output cleaned up.
+func TestServeCancel(t *testing.T) {
+	c, data := newTestService(t)
+	out := filepath.Join(filepath.Dir(data), "out.kv")
+	info, err := c.Submit(SubmitRequest{
+		Name:               "doomed",
+		Inputs:             []SubmitInput{{Path: data, Program: countProgram}},
+		OutputPath:         out,
+		Conf:               map[string]any{"threshold": 5000},
+		StartupDelayMillis: 60_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Cancel(info.ID); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitJob(info.ID, 10*time.Second, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Phase != "canceled" {
+		t.Fatalf("canceled job ended in phase %s", final.Phase)
+	}
+	if final.Error == "" {
+		t.Fatal("canceled job reports no error")
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Errorf("partial output survived cancellation (stat err = %v)", err)
+	}
+}
+
+// TestConfRoundTrip: every scalar kind must survive client encoding →
+// JSON wire → server decoding with its kind intact. Integral floats are
+// the trap: a bare "2" on the wire would come back as Int and break
+// ConfFloat programs.
+func TestConfRoundTrip(t *testing.T) {
+	orig := manimal.Conf{
+		"ints":    manimal.Int(5),
+		"flt":     manimal.Float(0.5),
+		"fltint":  manimal.Float(2.0),
+		"fltbig":  manimal.Float(1e21),
+		"text":    manimal.String("abc"),
+		"numtext": manimal.String("17"),
+		"flag":    manimal.Bool(true),
+	}
+	raw, err := json.Marshal(ConfToJSON(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire map[string]any
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	if err := dec.Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	got, err := confFromJSON(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range orig {
+		// Strings deliberately stay strings even when they look numeric:
+		// JSON string tokens never enter the number path.
+		if d := got[k]; d.Kind != want.Kind || !d.Equal(want) {
+			t.Errorf("%s: %v (kind %v) != %v (kind %v)", k, d, d.Kind, want, want.Kind)
+		}
+	}
+}
+
+// TestServeRejects exercises the error envelope: bad body, bad program,
+// unknown job.
+func TestServeRejects(t *testing.T) {
+	c, data := newTestService(t)
+	if _, err := c.Submit(SubmitRequest{OutputPath: "x.kv"}); err == nil {
+		t.Error("submit with no inputs accepted")
+	}
+	if _, err := c.Submit(SubmitRequest{
+		Inputs:     []SubmitInput{{Path: data, Program: "func Map(k, v *Record"}},
+		OutputPath: "x.kv",
+	}); err == nil {
+		t.Error("submit with unparsable program accepted")
+	}
+	if _, err := c.Submit(SubmitRequest{
+		Inputs:      []SubmitInput{{Path: data, Program: countProgram}},
+		OutputPath:  "x.kv",
+		NumReducers: 1 << 30,
+	}); err == nil {
+		t.Error("submit with absurd num_reducers accepted")
+	}
+	if _, err := c.Job("j9999"); err == nil {
+		t.Error("unknown job id did not 404")
+	}
+}

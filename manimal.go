@@ -35,18 +35,33 @@
 // index-generation programs; run them with System.BuildIndex (the paper
 // leaves the decision to the administrator, like CREATE INDEX), and
 // subsequent submissions of the same program run against the index.
+//
+// # Concurrent job service
+//
+// A System is a long-lived job service, not a one-shot runner. Every
+// execution — submitted jobs and index builds alike — runs on one shared
+// mapreduce.Scheduler: a bounded pool of task slots multiplexed across all
+// concurrently running jobs with per-job fairness (see package mapreduce).
+// System.SubmitAsync is the primary submission path: it analyzes and plans
+// synchronously, then returns a JobHandle with Wait, Cancel, and live
+// Status (phase, task progress, counter snapshot). Submit is the thin
+// synchronous wrapper. The manimal CLI exposes the same service over HTTP
+// (`manimal serve`, package internal/service).
 package manimal
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"manimal/internal/analyzer"
 	"manimal/internal/catalog"
 	"manimal/internal/fabric"
 	"manimal/internal/indexgen"
+	"manimal/internal/interp"
 	"manimal/internal/lang"
 	"manimal/internal/mapreduce"
 	"manimal/internal/optimizer"
@@ -115,16 +130,35 @@ type BuildConfig = indexgen.BuildConfig
 // CatalogEntry re-exports a catalog index record.
 type CatalogEntry = catalog.Entry
 
-// System owns a catalog directory and a scratch area, and submits jobs.
+// System owns a catalog directory and a scratch area, and runs jobs and
+// index builds on a shared task-slot scheduler.
 type System struct {
 	dir     string
 	workDir string
 	cat     *catalog.Catalog
+	sched   *mapreduce.Scheduler
+
+	mu          sync.Mutex
+	liveOutputs map[string]string // normalized output path -> job name
+}
+
+// Options tunes a System beyond its directory.
+type Options struct {
+	// SchedulerSlots gives the System a private scheduler pool of that
+	// many task slots. 0 (the default) shares the process-wide scheduler,
+	// so every System in the process draws from one slot budget.
+	SchedulerSlots int
 }
 
 // NewSystem opens (or initializes) a Manimal system rooted at dir: the
-// catalog lives in dir, scratch shuffle space in dir/work.
+// catalog lives in dir, scratch shuffle space in dir/work. Jobs run on
+// the process-wide shared scheduler.
 func NewSystem(dir string) (*System, error) {
+	return NewSystemWith(dir, Options{})
+}
+
+// NewSystemWith is NewSystem with explicit options.
+func NewSystemWith(dir string, opts Options) (*System, error) {
 	cat, err := catalog.Open(dir)
 	if err != nil {
 		return nil, err
@@ -133,11 +167,47 @@ func NewSystem(dir string) (*System, error) {
 	if err := os.MkdirAll(workDir, 0o755); err != nil {
 		return nil, fmt.Errorf("manimal: %w", err)
 	}
-	return &System{dir: dir, workDir: workDir, cat: cat}, nil
+	sched := mapreduce.DefaultScheduler()
+	if opts.SchedulerSlots > 0 {
+		sched = mapreduce.NewScheduler(opts.SchedulerSlots)
+	}
+	return &System{dir: dir, workDir: workDir, cat: cat, sched: sched,
+		liveOutputs: make(map[string]string)}, nil
+}
+
+// claimOutput reserves an output path for a job's lifetime: two live jobs
+// writing one file would silently corrupt it (each truncates and writes
+// from offset 0), which serialized execution used to prevent by
+// construction. Returns the normalized key to release later.
+func (s *System) claimOutput(path, jobName string) (string, error) {
+	key := path
+	if abs, err := filepath.Abs(path); err == nil {
+		key = abs
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if holder, busy := s.liveOutputs[key]; busy {
+		return "", fmt.Errorf("manimal: output path %s is being written by in-flight job %q", path, holder)
+	}
+	s.liveOutputs[key] = jobName
+	return key, nil
+}
+
+func (s *System) releaseOutput(key string) {
+	s.mu.Lock()
+	delete(s.liveOutputs, key)
+	s.mu.Unlock()
 }
 
 // Catalog exposes the index catalog.
 func (s *System) Catalog() *catalog.Catalog { return s.cat }
+
+// PoolStats re-exports the scheduler pool snapshot type.
+type PoolStats = mapreduce.PoolStats
+
+// PoolStats snapshots the System's scheduler pool (slot budget, running
+// tasks, active jobs).
+func (s *System) PoolStats() PoolStats { return s.sched.Stats() }
 
 // Analyze runs the static analyzer against the program for an input file's
 // schema.
@@ -193,7 +263,9 @@ type JobSpec struct {
 	// baseline.
 	DisableOptimization bool
 	// NumReducers / MaxParallelTasks / StartupDelay tune the engine; zero
-	// values use engine defaults.
+	// values use engine defaults. MaxParallelTasks caps this job's share
+	// of the scheduler's shared slot pool; StartupDelay is a cancellable
+	// admission wait modeling cluster job-launch latency.
 	NumReducers      int
 	MaxParallelTasks int
 	StartupDelay     time.Duration
@@ -217,36 +289,91 @@ type JobReport struct {
 	Duration time.Duration
 }
 
-// Submit analyzes, optimizes, and executes a job (paper Section 2.2's
-// three-step walkthrough), returning the report with the synthesized
-// index-generation programs.
-func (s *System) Submit(spec JobSpec) (*JobReport, error) {
+// JobStatus re-exports the live execution status (phase, task progress,
+// counter snapshot) read through JobHandle.Status.
+type JobStatus = mapreduce.Status
+
+// JobHandle tracks one asynchronously submitted job. The analysis and
+// planning results are available immediately (Inputs); the execution
+// result arrives through Wait.
+type JobHandle struct {
+	name   string
+	inputs []InputReport
+	exec   *mapreduce.Execution
+	report *JobReport
+	err    error
+	done   chan struct{}
+}
+
+// Name returns the submitted job's name.
+func (h *JobHandle) Name() string { return h.name }
+
+// Inputs returns the per-input analysis and planning reports, available
+// as soon as SubmitAsync returns.
+func (h *JobHandle) Inputs() []InputReport { return h.inputs }
+
+// Status snapshots the job's phase, task progress, and counters; safe to
+// call at any time from any goroutine.
+func (h *JobHandle) Status() JobStatus { return h.exec.Status() }
+
+// Cancel asks the job to stop; partial outputs and scratch space are
+// cleaned up, and Wait returns a context.Canceled error.
+func (h *JobHandle) Cancel() { h.exec.Cancel() }
+
+// Done is closed once the job is terminal (result published, scratch
+// space removed).
+func (h *JobHandle) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the job finishes and returns its report.
+func (h *JobHandle) Wait() (*JobReport, error) {
+	<-h.done
+	if h.err != nil {
+		return nil, h.err
+	}
+	return h.report, nil
+}
+
+// SubmitAsync analyzes, optimizes, and starts a job (paper Section 2.2's
+// three-step walkthrough) without waiting for it: analysis and plan
+// selection run synchronously (their results are on the returned handle),
+// then the execution is handed to the System's scheduler, where it shares
+// the task-slot pool with every other in-flight job and index build.
+// Canceling ctx (or calling JobHandle.Cancel) stops the job and cleans up
+// its partial output and scratch space.
+func (s *System) SubmitAsync(ctx context.Context, spec JobSpec) (*JobHandle, error) {
 	if len(spec.Inputs) == 0 {
 		return nil, fmt.Errorf("manimal: job %q has no inputs", spec.Name)
 	}
 	if spec.OutputPath == "" {
 		return nil, fmt.Errorf("manimal: job %q has no output path", spec.Name)
 	}
+	outputKey, err := s.claimOutput(spec.OutputPath, spec.Name)
+	if err != nil {
+		return nil, err
+	}
 
 	report := &JobReport{}
 	var inputs []mapreduce.MapInput
-	closeAll := func() {
+	// fail undoes everything a refused submission reserved: the output
+	// claim and any input that was (lazily or not) opened.
+	fail := func() {
 		for _, in := range inputs {
 			in.Input.Close()
 		}
+		s.releaseOutput(outputKey)
 	}
 
 	for _, ispec := range spec.Inputs {
 		schema, err := schemaOf(ispec.Path)
 		if err != nil {
-			closeAll()
+			fail()
 			return nil, err
 		}
 		ir := InputReport{Path: ispec.Path}
 		if !spec.DisableOptimization {
 			desc, err := analyzer.Analyze(ispec.Program.parsed, schema)
 			if err != nil {
-				closeAll()
+				fail()
 				return nil, fmt.Errorf("manimal: analyzing %s for %s: %w", ispec.Program.Name, ispec.Path, err)
 			}
 			ir.Descriptor = desc
@@ -256,29 +383,20 @@ func (s *System) Submit(spec JobSpec) (*JobReport, error) {
 		} else {
 			ir.Plan = &optimizer.Plan{Kind: optimizer.PlanOriginal, InputPath: ispec.Path}
 		}
-		in, err := fabric.InputForPlan(ir.Plan)
-		if err != nil {
-			closeAll()
-			return nil, err
-		}
 		inputs = append(inputs, mapreduce.MapInput{
-			Input:  in,
+			Input:  &lazyInput{plan: ir.Plan},
 			Mapper: fabric.MapperFactory(ispec.Program.parsed),
 		})
 		report.Inputs = append(report.Inputs, ir)
 	}
-	defer closeAll()
 
-	out, err := mapreduce.NewKVFileOutput(spec.OutputPath)
-	if err != nil {
-		return nil, err
-	}
+	out := &lazyKVOutput{path: spec.OutputPath}
 
 	jobWork, err := os.MkdirTemp(s.workDir, "job-*")
 	if err != nil {
+		fail()
 		return nil, fmt.Errorf("manimal: %w", err)
 	}
-	defer os.RemoveAll(jobWork)
 
 	job := &mapreduce.Job{
 		Name:   spec.Name,
@@ -299,32 +417,63 @@ func (s *System) Submit(spec JobSpec) (*JobReport, error) {
 		job.Combiner = fabric.CombinerFactory(lead)
 	}
 
-	res, err := mapreduce.Run(job)
+	// From here the execution owns the inputs and output on every path.
+	exec, err := s.sched.Submit(ctx, job)
+	if err != nil {
+		fail()
+		os.RemoveAll(jobWork)
+		return nil, err
+	}
+	h := &JobHandle{name: spec.Name, inputs: report.Inputs, exec: exec, report: report, done: make(chan struct{})}
+	go func() {
+		res, err := exec.Wait()
+		os.RemoveAll(jobWork)
+		s.releaseOutput(outputKey)
+		if err != nil {
+			h.err = err
+		} else {
+			report.Result = res
+			report.Duration = res.Duration
+		}
+		close(h.done)
+	}()
+	return h, nil
+}
+
+// Submit analyzes, optimizes, and executes a job to completion: the thin
+// synchronous wrapper around SubmitAsync.
+func (s *System) Submit(spec JobSpec) (*JobReport, error) {
+	h, err := s.SubmitAsync(context.Background(), spec)
 	if err != nil {
 		return nil, err
 	}
-	report.Result = res
-	report.Duration = res.Duration
-	return report, nil
+	return h.Wait()
 }
 
 // BuildIndex runs an index-generation program over inputPath, writes the
 // index to indexPath, and registers it in the catalog (the CREATE INDEX of
 // Manimal's world). Builds run with default tuning — B+Trees sharded
 // across reducers, record files scanned with full task parallelism; use
-// BuildIndexWith to tune.
+// BuildIndexWith to tune. The build's jobs run on the System's scheduler,
+// concurrently with any in-flight submissions.
 func (s *System) BuildIndex(spec IndexSpec, inputPath, indexPath string) (CatalogEntry, error) {
 	return s.BuildIndexWith(spec, inputPath, indexPath, BuildConfig{})
 }
 
 // BuildIndexWith is BuildIndex with explicit build tuning.
 func (s *System) BuildIndexWith(spec IndexSpec, inputPath, indexPath string, cfg BuildConfig) (CatalogEntry, error) {
+	return s.BuildIndexCtx(context.Background(), spec, inputPath, indexPath, cfg)
+}
+
+// BuildIndexCtx is BuildIndexWith with a cancellation context: canceling
+// ctx aborts the build and removes its partial index files.
+func (s *System) BuildIndexCtx(ctx context.Context, spec IndexSpec, inputPath, indexPath string, cfg BuildConfig) (CatalogEntry, error) {
 	jobWork, err := os.MkdirTemp(s.workDir, "idx-*")
 	if err != nil {
 		return CatalogEntry{}, fmt.Errorf("manimal: %w", err)
 	}
 	defer os.RemoveAll(jobWork)
-	entry, err := indexgen.BuildWith(spec, inputPath, indexPath, jobWork, cfg)
+	entry, err := indexgen.BuildWith(ctx, s.sched, spec, inputPath, indexPath, jobWork, cfg)
 	if err != nil {
 		return CatalogEntry{}, err
 	}
@@ -367,3 +516,116 @@ func (s *System) BuildBestIndexesWith(p *Program, inputPath string, cfg BuildCon
 
 // ReadOutput loads a job's KV output file.
 func ReadOutput(path string) ([]mapreduce.KVPair, error) { return mapreduce.ReadKVFile(path) }
+
+// lazyInput defers opening a plan's physical input until the execution's
+// plan phase first needs it. A service may queue far more submissions
+// than the scheduler runs, and every eager open would hold file
+// descriptors for the whole queue wait; lazily, descriptors scale with
+// the running jobs. Open errors surface from the plan phase (Splits)
+// instead of from SubmitAsync.
+type lazyInput struct {
+	plan *optimizer.Plan
+
+	mu  sync.Mutex
+	in  mapreduce.Input
+	err error
+}
+
+func (l *lazyInput) open() (mapreduce.Input, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.in == nil && l.err == nil {
+		l.in, l.err = fabric.InputForPlan(l.plan)
+	}
+	return l.in, l.err
+}
+
+// Schema implements mapreduce.Input.
+func (l *lazyInput) Schema() *serde.Schema {
+	in, err := l.open()
+	if err != nil {
+		return nil
+	}
+	return in.Schema()
+}
+
+// Splits implements mapreduce.Input.
+func (l *lazyInput) Splits(target int) ([]mapreduce.Split, error) {
+	in, err := l.open()
+	if err != nil {
+		return nil, err
+	}
+	return in.Splits(target)
+}
+
+// BytesRead implements mapreduce.Input.
+func (l *lazyInput) BytesRead() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.in == nil {
+		return 0
+	}
+	return l.in.BytesRead()
+}
+
+// Close implements mapreduce.Input; never-opened inputs have nothing to
+// release.
+func (l *lazyInput) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.in == nil {
+		return nil
+	}
+	return l.in.Close()
+}
+
+// lazyKVOutput defers creating (and truncating) the output file until the
+// first write: a job canceled while queued never touches its output path.
+// Closing a never-written output still creates a valid empty KV file, so
+// zero-output jobs keep their historical result shape.
+type lazyKVOutput struct {
+	path string
+
+	mu  sync.Mutex
+	out *mapreduce.KVFileOutput
+	err error
+}
+
+func (l *lazyKVOutput) openLocked() error {
+	if l.out == nil && l.err == nil {
+		l.out, l.err = mapreduce.NewKVFileOutput(l.path)
+	}
+	return l.err
+}
+
+// Write implements mapreduce.Output (the engine already serializes
+// writes; the mutex here only guards lazy creation).
+func (l *lazyKVOutput) Write(k Datum, v interp.EmitValue) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.openLocked(); err != nil {
+		return err
+	}
+	return l.out.Write(k, v)
+}
+
+// Close implements mapreduce.Output.
+func (l *lazyKVOutput) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.openLocked(); err != nil {
+		return err
+	}
+	return l.out.Close()
+}
+
+// Abort implements mapreduce.Abortable: an opened partial file is
+// removed, a never-created one needs nothing.
+func (l *lazyKVOutput) Abort() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.out == nil {
+		return nil
+	}
+	return l.out.Abort()
+}
