@@ -12,6 +12,7 @@
 //	manimal run     -sys DIR -prog prog.go -input data.rec -out out.kv \
 //	                [-conf threshold=10] [-noopt] [-maponly] [-progress]
 //	manimal catalog -sys DIR
+//	manimal inspect -file data.rec [-blocks]
 //	manimal serve   -sys DIR -addr 127.0.0.1:7070 [-slots N]
 //	manimal submit  -addr URL -prog prog.go -input data.rec -out out.kv \
 //	                [-conf k=v] [-noopt] [-maponly] [-wait]
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"manimal"
+	"manimal/internal/catalog"
 	"manimal/internal/cfg"
 	"manimal/internal/dataflow"
 	"manimal/internal/service"
@@ -55,6 +57,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "catalog":
 		err = cmdCatalog(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "submit":
@@ -75,7 +79,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: manimal {analyze|explain|index|run|catalog|serve|submit|jobs|status|cancel} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: manimal {analyze|explain|index|run|catalog|inspect|serve|submit|jobs|status|cancel} [flags]")
 	os.Exit(2)
 }
 
@@ -354,12 +358,107 @@ func watchProgress(h *manimal.JobHandle) {
 
 func progressLine(st manimal.JobStatus) string {
 	line := fmt.Sprintf("%-8s tasks %d/%d", st.Phase, st.TasksDone, st.TasksTotal)
-	for _, c := range []string{"map.input.records", "reduce.input.groups", "output.records"} {
+	for _, c := range []string{"map.input.records", "reduce.input.groups", "output.records",
+		"manimal.blocks.skipped", "manimal.rows.prefiltered"} {
 		if v, ok := st.Counters[c]; ok {
 			line += fmt.Sprintf("  %s=%d", c, v)
 		}
 	}
 	return line
+}
+
+// cmdInspect dumps a record file's footer metadata: format version,
+// schema, encodings, block layout, and the zone-map stats block skipping
+// decisions are made from — the debugging window into why a scan did (or
+// did not) prune.
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	filePath := fs.String("file", "", "record file to inspect")
+	perBlock := fs.Bool("blocks", false, "print per-block stats (default: per-field summary)")
+	fs.Parse(args)
+	if *filePath == "" && fs.NArg() == 1 {
+		*filePath = fs.Arg(0)
+	}
+	if *filePath == "" {
+		return fmt.Errorf("inspect: need -file")
+	}
+	r, err := storage.Open(*filePath)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	schema := r.Schema()
+	fmt.Printf("%s: format v%d, %d bytes, %d blocks, %d records\n",
+		*filePath, r.FormatVersion(), r.Size(), r.NumBlocks(), r.NumRecords())
+	fmt.Printf("schema: %s\n", schema)
+	fmt.Print("encodings:")
+	for _, f := range schema.Fields() {
+		enc, _ := r.Encoding(f.Name)
+		fmt.Printf(" %s=%s", f.Name, enc)
+		if d := r.Dictionary(f.Name); d != nil {
+			fmt.Printf("(%d terms)", d.Len())
+		}
+	}
+	fmt.Println()
+	if !r.HasStats() {
+		fmt.Println("stats: none (pre-stats format; scans cannot block-skip this file)")
+		return nil
+	}
+	if *perBlock {
+		for b := 0; b < r.NumBlocks(); b++ {
+			fmt.Printf("block %4d: %d records\n", b, r.RecordsInBlocks(b, b+1))
+			for i, st := range r.BlockStats(b) {
+				fmt.Printf("    %-16s %s\n", schema.Field(i).Name, statsRange(st))
+			}
+		}
+		return nil
+	}
+	// Summary: fold every block's envelope per field. An unbounded block
+	// max (unrepresentable prefix successor) makes the whole field's max
+	// unbounded.
+	fmt.Printf("stats: per-block min/max over %d blocks\n", r.NumBlocks())
+	for i, f := range schema.Fields() {
+		var agg storage.FieldStats
+		maxUnbounded := false
+		for b := 0; b < r.NumBlocks(); b++ {
+			st := r.BlockStats(b)[i]
+			if st.Min.IsValid() && (!agg.Min.IsValid() || st.Min.Compare(agg.Min) < 0) {
+				agg.Min = st.Min
+			}
+			if !st.Max.IsValid() {
+				maxUnbounded = true
+			} else if st.Max.Compare(agg.Max) > 0 || !agg.Max.IsValid() {
+				agg.Max = st.Max
+			}
+			agg.Nulls += st.Nulls
+		}
+		if maxUnbounded {
+			agg.Max = manimal.Datum{}
+		}
+		fmt.Printf("  %-16s %s  nulls=%d\n", f.Name, statsRange(agg), agg.Nulls)
+	}
+	return nil
+}
+
+// statsRange renders one stats envelope (string/bytes bounds quoted, since
+// they are prefixes that may contain spaces).
+func statsRange(st storage.FieldStats) string {
+	render := func(d manimal.Datum, unbounded string) string {
+		if !d.IsValid() {
+			return unbounded
+		}
+		s := d.String()
+		if len(s) > 24 {
+			s = s[:24] + "…"
+		}
+		switch d.Kind.String() {
+		case "string", "bytes":
+			return fmt.Sprintf("%q", s)
+		}
+		return s
+	}
+	return fmt.Sprintf("[%s, %s]", render(st.Min, "-inf"), render(st.Max, "+inf"))
 }
 
 func cmdServe(args []string) error {
@@ -522,6 +621,16 @@ func cmdCatalog(args []string) error {
 			fmt.Printf(" enc=%v", e.Encodings)
 		}
 		fmt.Printf(" (%d bytes)", e.SizeBytes)
+		// Record files announce their stats capability: pre-stats variants
+		// (stats=none) still scan but can never be block-skipped; rebuilding
+		// the index upgrades them.
+		if e.Kind == catalog.KindRecordFile {
+			if e.StatsVersion >= 3 {
+				fmt.Printf(" stats=v%d", e.StatsVersion)
+			} else {
+				fmt.Print(" stats=none (pre-stats build; scans cannot prune)")
+			}
+		}
 		// Surface staleness the way the optimizer will judge it: only
 		// fingerprinted entries can go stale.
 		if e.InputSizeBytes != 0 || e.InputModTimeNanos != 0 {

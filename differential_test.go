@@ -167,3 +167,75 @@ func TestStaleIndexNotChosenEndToEnd(t *testing.T) {
 		t.Fatal("rebuilt index output differs from original scan")
 	}
 }
+
+// TestDifferentialZoneMapPruning: the zone-map pushdown path — with NO
+// index built at all — must produce output identical to the disabled-
+// optimization baseline while actually skipping blocks, for a selective
+// range over UserVisits' monotone visitDate.
+func TestDifferentialZoneMapPruning(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "uservisits.rec")
+	if err := workload.NewGen(17).WriteUserVisits(data, 8000, 300); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := manimal.NewSystem(filepath.Join(dir, "sys"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := mustProgram(t, "daterange", `
+func Map(k, v *Record, ctx *Ctx) {
+	if v.Int("visitDate") >= ctx.ConfInt("lo") && v.Int("visitDate") < ctx.ConfInt("hi") {
+		ctx.Emit(v.Str("destURL"), v.Int("adRevenue"))
+	}
+}
+
+func Reduce(key Datum, values *Iter, ctx *Ctx) {
+	sum := 0
+	for values.Next() {
+		sum = sum + values.Int()
+	}
+	ctx.Emit(key, sum)
+}
+`)
+	// A narrow slice in the middle of the (non-decreasing) date range.
+	conf := manimal.Conf{"lo": manimal.Int(1_200_030_000), "hi": manimal.Int(1_200_032_000)}
+
+	baseSpec := manimal.JobSpec{
+		Name:                "daterange-base",
+		Inputs:              []manimal.InputSpec{{Path: data, Program: prog}},
+		OutputPath:          filepath.Join(dir, "base.kv"),
+		Conf:                conf,
+		DisableOptimization: true,
+	}
+	base, baseReport := submit(t, sys, baseSpec)
+
+	optSpec := baseSpec
+	optSpec.Name = "daterange-opt"
+	optSpec.OutputPath = filepath.Join(dir, "opt.kv")
+	optSpec.DisableOptimization = false
+	opt, report := submit(t, sys, optSpec)
+
+	plan := report.Inputs[0].Plan
+	if plan.Kind.String() != "original" || plan.Pushdown == nil {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if !reflect.DeepEqual(base, opt) {
+		t.Fatalf("pruned output differs from baseline: %d vs %d pairs", len(base), len(opt))
+	}
+	ctr := report.Result.Counters
+	skipped := ctr.Get(mapreduce.CtrBlocksSkipped)
+	read := ctr.Get(mapreduce.CtrBlocksRead)
+	if skipped == 0 {
+		t.Fatalf("no blocks skipped (read %d); plan notes: %v", read, plan.Notes)
+	}
+	if skipped+read != baseReport.Result.Counters.Get(mapreduce.CtrBlocksRead) {
+		t.Fatalf("read %d + skipped %d != baseline blocks %d",
+			read, skipped, baseReport.Result.Counters.Get(mapreduce.CtrBlocksRead))
+	}
+	// Rows surviving to the interpreter + residually filtered rows must
+	// cover every record of every block that was read.
+	if got := ctr.Get("map.input.records") + ctr.Get(mapreduce.CtrRowsFiltered); got <= 0 ||
+		got > baseReport.Result.Counters.Get("map.input.records") {
+		t.Fatalf("pruned input accounting off: %d", got)
+	}
+}

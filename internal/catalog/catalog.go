@@ -54,6 +54,12 @@ type Entry struct {
 	// results from the stale index. Zero values mean "not recorded".
 	InputSizeBytes    int64 `json:"inputSizeBytes,omitempty"`
 	InputModTimeNanos int64 `json:"inputModTimeNanos,omitempty"`
+	// StatsVersion is the record-file format version the variant was
+	// written with (storage.FormatVersion at build time; record files
+	// only). Version >= 3 files carry per-block zone-map stats and support
+	// block-skipping scans; 0 marks entries built before stats existed —
+	// still scannable, never pruned.
+	StatsVersion int `json:"statsVersion,omitempty"`
 }
 
 // MatchesInput reports whether the entry's recorded input fingerprint

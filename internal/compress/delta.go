@@ -82,3 +82,15 @@ func (d *DeltaDecoder) Decode(buf []byte) (serde.Datum, int, error) {
 	}
 	return serde.Int(d.prev), n, nil
 }
+
+// Skip advances past one value without materializing a datum. The chain
+// state still updates — every later value in the block is a difference off
+// this one — so field-pruned scans stay positionally correct.
+func (d *DeltaDecoder) Skip(buf []byte) (int, error) {
+	delta, n := binary.Varint(buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("compress: truncated delta value")
+	}
+	d.prev += delta
+	return n, nil
+}

@@ -107,9 +107,9 @@ func (IdentityReducer) Reduce(key serde.Datum, values interp.ValueIter, ctx *int
 func InputForPlan(plan *optimizer.Plan) (mapreduce.Input, error) {
 	switch plan.Kind {
 	case optimizer.PlanOriginal:
-		return mapreduce.OpenFile(plan.InputPath, false)
+		return mapreduce.OpenFileWith(plan.InputPath, false, plan.Pushdown)
 	case optimizer.PlanRecordFile:
-		return mapreduce.OpenFile(plan.IndexPath, plan.DirectCodes)
+		return mapreduce.OpenFileWith(plan.IndexPath, plan.DirectCodes, plan.Pushdown)
 	case optimizer.PlanBTree:
 		ranges := make([]mapreduce.ByteRange, 0, len(plan.Ranges))
 		for _, iv := range plan.Ranges {

@@ -396,6 +396,10 @@ func buildRecordFile(ctx context.Context, sched *mapreduce.Scheduler, entry *cat
 	if err := w.Close(); err != nil {
 		return err
 	}
+	// The variant was just written by the current Writer, so it carries
+	// this format's per-block stats; record the version so tooling can
+	// tell pruned-capable variants from stale pre-stats ones.
+	entry.StatsVersion = storage.FormatVersion
 	if len(spec.Encodings) > 0 {
 		entry.Encodings = encodingNames(spec.Encodings)
 	}

@@ -19,6 +19,12 @@ const (
 	CtrMapTasks           = "map.tasks"
 	CtrReduceTasks        = "reduce.tasks"
 	CtrSkippedSideEffects = "manimal.skipped.map.invocations"
+	// Zone-map pruning effect (record-file inputs with a scan pushdown):
+	// storage blocks whose payload was read vs skipped without I/O, and
+	// rows the residual filter dropped before the interpreter ran.
+	CtrBlocksRead    = "manimal.blocks.read"
+	CtrBlocksSkipped = "manimal.blocks.skipped"
+	CtrRowsFiltered  = "manimal.rows.prefiltered"
 )
 
 // Counters is a concurrency-safe named counter set. Every accessor copies

@@ -300,6 +300,11 @@ func (e *Execution) execute() (*Result, error) {
 	if err := sched.runPhase(e, PhaseCommit, 1, func(context.Context, int) error {
 		for _, in := range job.Inputs {
 			counters.Add(CtrInputBytesRead, in.Input.BytesRead())
+			if st := in.Input.ScanStats(); st != (ScanStats{}) {
+				counters.Add(CtrBlocksRead, st.BlocksRead)
+				counters.Add(CtrBlocksSkipped, st.BlocksSkipped)
+				counters.Add(CtrRowsFiltered, st.RowsFiltered)
+			}
 			in.Input.Close()
 		}
 		if sink != nil {

@@ -8,6 +8,10 @@ import (
 	"manimal/internal/storage"
 )
 
+// ScanStats re-exports the scan-pruning counters (blocks read/skipped,
+// rows residual-filtered) record-file inputs accumulate.
+type ScanStats = storage.ScanStats
+
 // Input is a source of (key, record) pairs divisible into splits that map
 // tasks consume in parallel. The key plays Hadoop's "record offset" role
 // for plain files and is the index key for B+Tree-indexed input.
@@ -17,6 +21,9 @@ type Input interface {
 	Splits(target int) ([]Split, error)
 	// BytesRead reports data bytes scanned so far (for counters).
 	BytesRead() int64
+	// ScanStats reports pruning effect so far; inputs without zone-map
+	// pruning return zeros.
+	ScanStats() ScanStats
 	Close() error
 }
 
@@ -37,21 +44,31 @@ type RecordIter interface {
 	Close() error
 }
 
-// FileInput reads a Manimal record file (plain, projected, or compressed).
+// FileInput reads a Manimal record file (plain, projected, or compressed),
+// optionally with a scan pushdown (zone-map block skipping, residual row
+// filtering, field-pruned decoding) chosen by the optimizer.
 type FileInput struct {
-	r *storage.Reader
+	r  *storage.Reader
+	pd *storage.Pushdown
 }
 
 // OpenFile opens a record file as an input. directCodes enables
 // direct-operation mode on dictionary-compressed fields: codes are passed
 // to map() without decompression.
 func OpenFile(path string, directCodes bool) (*FileInput, error) {
+	return OpenFileWith(path, directCodes, nil)
+}
+
+// OpenFileWith is OpenFile with a scan pushdown (nil scans everything).
+// Pushdown degrades gracefully on pre-stats files: nothing is skipped at
+// the block level, while residual filtering and field pruning still apply.
+func OpenFileWith(path string, directCodes bool, pd *storage.Pushdown) (*FileInput, error) {
 	r, err := storage.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	r.DirectCodes = directCodes
-	return &FileInput{r: r}, nil
+	return &FileInput{r: r, pd: pd}, nil
 }
 
 // Reader exposes the underlying storage reader (for size statistics).
@@ -63,67 +80,93 @@ func (f *FileInput) Schema() *serde.Schema { return f.r.Schema() }
 // BytesRead implements Input.
 func (f *FileInput) BytesRead() int64 { return f.r.BytesRead() }
 
+// ScanStats implements Input.
+func (f *FileInput) ScanStats() ScanStats { return f.r.ScanStats() }
+
 // Close implements Input.
 func (f *FileInput) Close() error { return f.r.Close() }
 
-// Splits implements Input, partitioning storage blocks evenly.
+// Splits implements Input, partitioning storage blocks evenly. With a
+// pushdown filter and a stats-bearing file, fully-pruned block ranges are
+// dropped up front — they never become map-task work — and the remaining
+// blocks are balanced across splits by SURVIVING block count. Pre-stats
+// files degrade gracefully: no error, no pruning, even splits.
 func (f *FileInput) Splits(target int) ([]Split, error) {
 	n := f.r.NumBlocks()
 	if target < 1 {
 		target = 1
 	}
-	if target > n {
-		target = n
+	var kept []int
+	if f.pd != nil && f.pd.Filter != nil {
+		skip, _ := f.r.SkippableBlocks(f.pd.Filter)
+		for i := 0; i < n; i++ {
+			if !skip[i] {
+				kept = append(kept, i)
+			}
+		}
+	} else {
+		kept = make([]int, n)
+		for i := range kept {
+			kept[i] = i
+		}
+	}
+	if target > len(kept) {
+		target = len(kept)
 	}
 	var out []Split
-	if n == 0 {
+	if len(kept) == 0 {
+		// Every block is provably predicate-free: the job runs zero map
+		// tasks over this input. Account the whole file as skipped.
+		f.r.AddBlocksSkipped(int64(n))
 		return out, nil
 	}
-	per := n / target
-	extra := n % target
-	lo := 0
-	base := int64(0)
+	per := len(kept) / target
+	extra := len(kept) % target
+	pos := 0
+	covered := 0
 	for i := 0; i < target; i++ {
-		hi := lo + per
+		cnt := per
 		if i < extra {
-			hi++
+			cnt++
 		}
-		recs := f.r.RecordsInBlocks(lo, hi)
-		out = append(out, &fileSplit{r: f.r, lo: lo, hi: hi, baseKey: base})
-		base += recs
-		lo = hi
+		chunk := kept[pos : pos+cnt]
+		pos += cnt
+		// The split spans first..last surviving block; interior pruned
+		// blocks are skipped (and counted) by the scanner itself.
+		lo, hi := chunk[0], chunk[len(chunk)-1]+1
+		covered += hi - lo
+		out = append(out, &fileSplit{r: f.r, lo: lo, hi: hi, pd: f.pd})
 	}
+	// Blocks outside every split never reach a scanner; count them here so
+	// blocks read + skipped always totals the blocks planned over.
+	f.r.AddBlocksSkipped(int64(n - covered))
 	return out, nil
 }
 
 type fileSplit struct {
-	r       *storage.Reader
-	lo, hi  int
-	baseKey int64
+	r      *storage.Reader
+	lo, hi int
+	pd     *storage.Pushdown
 }
 
 func (s *fileSplit) Open() (RecordIter, error) {
-	sc, err := s.r.Scan(s.lo, s.hi)
+	sc, err := s.r.ScanPushdown(s.lo, s.hi, s.pd)
 	if err != nil {
 		return nil, err
 	}
-	return &fileIter{sc: sc, pos: s.baseKey - 1}, nil
+	return &fileIter{sc: sc}, nil
 }
 
 type fileIter struct {
-	sc  *storage.Scanner
-	pos int64
+	sc *storage.Scanner
 }
 
-func (it *fileIter) Next() bool {
-	if it.sc.Next() {
-		it.pos++
-		return true
-	}
-	return false
-}
+func (it *fileIter) Next() bool { return it.sc.Next() }
 
-func (it *fileIter) Key() serde.Datum      { return serde.Int(it.pos) }
+// Key is the record's whole-file position, which the scanner preserves
+// across block skips and residual drops: pruned and unpruned runs of a
+// key-reading program observe identical keys.
+func (it *fileIter) Key() serde.Datum      { return serde.Int(it.sc.RecordIndex()) }
 func (it *fileIter) Record() *serde.Record { return it.sc.Record() }
 func (it *fileIter) Err() error            { return it.sc.Err() }
 func (it *fileIter) Close() error          { return nil }
@@ -159,6 +202,10 @@ func (ix *IndexedInput) Schema() *serde.Schema { return ix.t.Schema() }
 
 // BytesRead implements Input.
 func (ix *IndexedInput) BytesRead() int64 { return ix.t.BytesRead() }
+
+// ScanStats implements Input; B+Tree scans prune via key ranges, not zone
+// maps, so the counters stay zero.
+func (ix *IndexedInput) ScanStats() ScanStats { return ScanStats{} }
 
 // Close implements Input.
 func (ix *IndexedInput) Close() error { return ix.t.Close() }
@@ -261,6 +308,9 @@ func (m *MemInput) Schema() *serde.Schema { return m.schema }
 
 // BytesRead implements Input.
 func (m *MemInput) BytesRead() int64 { return 0 }
+
+// ScanStats implements Input.
+func (m *MemInput) ScanStats() ScanStats { return ScanStats{} }
 
 // Close implements Input.
 func (m *MemInput) Close() error { return nil }

@@ -55,6 +55,14 @@ type Plan struct {
 	Ranges  []predicate.Interval
 	// DirectCodes turns on direct operation on dictionary codes.
 	DirectCodes bool
+	// Pushdown carries scan-time pruning for record-file scans (original
+	// or re-encoded): zone-map block skipping plus residual row filtering
+	// derived from the selection formula, and a used-field decode mask
+	// from the projection analysis. Nil scans everything. The optimizer
+	// owns legality: a filter is only installed when skipping records
+	// cannot change observable output, and the mask only drops fields the
+	// program provably never needs.
+	Pushdown *storage.Pushdown
 	// Applied lists the optimizations in effect, e.g. ["selection",
 	// "projection"]. Empty for original scans.
 	Applied []string
@@ -121,12 +129,88 @@ func Choose(desc *analyzer.Descriptor, inputPath string, schema *serde.Schema, e
 	}
 
 	// Rank 2-4: projection / direct-operation / delta via record files.
-	if best := chooseRecordFile(desc, schema, entries, required, opts.SortedOutput, plan); best != nil {
+	if best, stored := chooseRecordFile(desc, schema, entries, required, opts.SortedOutput, plan); best != nil {
+		applyPushdown(best, best.IndexPath, desc, conf, guarded, required, stored)
 		return best
 	}
 
 	plan.notef("no usable index in catalog; scanning original file")
+	// Even without any index, the analyzer's predicate and used-field set
+	// push down into the original file's scan: zone-map block skipping,
+	// residual row filtering, and field-pruned decoding.
+	applyPushdown(plan, inputPath, desc, conf, guarded, required, schema.FieldNames())
 	return plan
+}
+
+// applyPushdown attaches scan-time pruning to a record-file plan (original
+// input or re-encoded variant). Legality mirrors the optimizer's existing
+// gates: the block/row filter — which skips map() invocations — only when
+// selection is permitted (not guarded by safe-mode side effects), and the
+// field mask only drops fields outside the projection's used set. path is
+// the file the plan scans; stored is its field list.
+func applyPushdown(plan *Plan, path string, desc *analyzer.Descriptor, conf predicate.Config, guarded bool, required, stored []string) {
+	pd := &storage.Pushdown{}
+
+	if desc.Select != nil && !guarded {
+		zones, ok, err := desc.Select.Formula.Zones(conf)
+		if err != nil {
+			plan.notef("block-skip: %v", err)
+		} else if !ok {
+			plan.notef("block-skip: formula has an unbounded disjunct; scanning all blocks")
+		} else {
+			pd.Filter = zones
+			pd.Residual = true
+		}
+	} else if guarded {
+		plan.notef("block-skip: disabled (safe mode preserves side effects)")
+	}
+
+	if desc.Project != nil && len(required) < len(stored) {
+		pd.Fields = required
+	}
+
+	if pd.Filter == nil && pd.Fields == nil {
+		return
+	}
+	plan.Pushdown = pd
+
+	if pd.Fields != nil {
+		plan.Applied = append(plan.Applied, "field-prune")
+		plan.notef("field-prune: decoding %d/%d stored fields", len(pd.Fields), len(stored))
+	}
+	if pd.Filter == nil {
+		return
+	}
+	// Estimate what the zone maps buy by scoring the filter against the
+	// scanned file's footer stats (a metadata-only open).
+	r, err := storage.Open(path)
+	if err != nil {
+		// Without the footer we cannot tell a stats-bearing file from a
+		// pre-stats one, so (unlike the success path) no "block-skip" tag:
+		// the filter is installed and the scan will skip if stats exist.
+		plan.notef("block-skip: filter installed; could not score stats (%v)", err)
+		return
+	}
+	defer r.Close()
+	if !r.HasStats() {
+		plan.notef("block-skip: %s predates stats (format v%d); residual filter only", path, r.FormatVersion())
+		return
+	}
+	plan.Applied = append(plan.Applied, "block-skip")
+	mask, skip := r.SkippableBlocks(pd.Filter)
+	var skipRecs int64
+	for i, s := range mask {
+		if s {
+			skipRecs += r.RecordsInBlocks(i, i+1)
+		}
+	}
+	total := r.NumRecords()
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(total-skipRecs) / float64(total)
+	}
+	plan.notef("block-skip: %d/%d blocks prunable; estimated selectivity %.1f%% of %d records",
+		skip, r.NumBlocks(), pct, total)
 }
 
 // freshEntries drops catalog entries whose recorded input fingerprint no
@@ -217,12 +301,15 @@ func chooseBTree(desc *analyzer.Descriptor, entries []catalog.Entry, required []
 }
 
 // chooseRecordFile scores re-encoded record files by the hard-coded
-// ranking: projection > direct-operation > delta-compression.
-func chooseRecordFile(desc *analyzer.Descriptor, schema *serde.Schema, entries []catalog.Entry, required []string, sortedOutput bool, base *Plan) *Plan {
+// ranking: projection > direct-operation > delta-compression. It returns
+// the winning plan plus the chosen file's stored field list (for the
+// pushdown's field mask).
+func chooseRecordFile(desc *analyzer.Descriptor, schema *serde.Schema, entries []catalog.Entry, required []string, sortedOutput bool, base *Plan) (*Plan, []string) {
 	var (
-		best      *Plan
-		bestScore int
-		bestSize  int64
+		best       *Plan
+		bestFields []string
+		bestScore  int
+		bestSize   int64
 	)
 	for _, e := range entries {
 		if e.Kind != catalog.KindRecordFile {
@@ -267,6 +354,7 @@ func chooseRecordFile(desc *analyzer.Descriptor, schema *serde.Schema, entries [
 		}
 		if best == nil || score > bestScore || (score == bestScore && e.SizeBytes < bestSize) {
 			bestScore, bestSize = score, e.SizeBytes
+			bestFields = e.Fields
 			best = &Plan{
 				Kind:        PlanRecordFile,
 				InputPath:   base.InputPath,
@@ -278,7 +366,7 @@ func chooseRecordFile(desc *analyzer.Descriptor, schema *serde.Schema, entries [
 			best.notef("record file %s: %v", e.IndexPath, applied)
 		}
 	}
-	return best
+	return best, bestFields
 }
 
 func containsString(xs []string, s string) bool {

@@ -12,6 +12,7 @@ import (
 	"manimal/internal/lang"
 	"manimal/internal/predicate"
 	"manimal/internal/serde"
+	"manimal/internal/storage"
 )
 
 var uvSchema = serde.MustSchema(
@@ -292,5 +293,145 @@ func TestSafeMode(t *testing.T) {
 	cleanSafe := Choose(clean, "uv.rec", uvSchema, entries, conf, Options{SafeMode: true})
 	if cleanSafe.Kind != PlanBTree {
 		t.Fatalf("safe mode blocked a side-effect-free program: %+v", cleanSafe)
+	}
+}
+
+// TestPushdownOnOriginalPlan: with no usable index, the selection formula
+// and used-field set still push down into the original file's scan.
+func TestPushdownOnOriginalPlan(t *testing.T) {
+	d := describe(t, selProg)
+	input := writeUVFile(t, 2000)
+	plan := Choose(d, input, uvSchema, nil, predicate.Config{"since": serde.Int(5)}, Options{})
+	if plan.Kind != PlanOriginal {
+		t.Fatalf("plan = %+v", plan)
+	}
+	pd := plan.Pushdown
+	if pd == nil || pd.Filter == nil || !pd.Residual {
+		t.Fatalf("pushdown = %+v; want filter+residual", pd)
+	}
+	// selProg reads visitDate and duration; destURL must be masked out.
+	if len(pd.Fields) != 2 {
+		t.Fatalf("pushdown fields = %v", pd.Fields)
+	}
+	wantApplied := map[string]bool{"field-prune": false, "block-skip": false}
+	for _, a := range plan.Applied {
+		if _, ok := wantApplied[a]; ok {
+			wantApplied[a] = true
+		}
+	}
+	for a, seen := range wantApplied {
+		if !seen {
+			t.Fatalf("applied = %v, missing %s (notes %v)", plan.Applied, a, plan.Notes)
+		}
+	}
+
+	// An unopenable input keeps the filter but must NOT claim block-skip:
+	// the file might predate stats, where the tag would be a lie.
+	missing := Choose(d, filepath.Join(t.TempDir(), "absent.rec"), uvSchema, nil,
+		predicate.Config{"since": serde.Int(5)}, Options{})
+	if missing.Pushdown == nil || missing.Pushdown.Filter == nil {
+		t.Fatalf("missing-file plan lost its filter: %+v", missing)
+	}
+	for _, a := range missing.Applied {
+		if a == "block-skip" {
+			t.Fatalf("unverifiable file tagged block-skip: %v (notes %v)", missing.Applied, missing.Notes)
+		}
+	}
+}
+
+// writeUVFile writes a small stats-bearing uvSchema file with a monotone
+// visitDate for the pushdown tests.
+func writeUVFile(t *testing.T, n int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "uv.rec")
+	w, err := storage.NewWriter(path, uvSchema, storage.WriterOptions{BlockSize: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		r := serde.NewRecord(uvSchema)
+		r.MustSet("destURL", serde.String("http://example.com/p"))
+		r.MustSet("visitDate", serde.Int(int64(i)))
+		r.MustSet("duration", serde.Int(int64(i%60)))
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestPushdownSelectivityEstimate: over a real stats-bearing file the plan
+// note reports how many blocks the zone maps can prune.
+func TestPushdownSelectivityEstimate(t *testing.T) {
+	dir := t.TempDir()
+	input := filepath.Join(dir, "uv.rec")
+	w, err := storage.NewWriter(input, uvSchema, storage.WriterOptions{BlockSize: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		r := serde.NewRecord(uvSchema)
+		r.MustSet("destURL", serde.String("http://example.com/p"))
+		r.MustSet("visitDate", serde.Int(int64(i))) // monotone: prunable
+		r.MustSet("duration", serde.Int(int64(i%60)))
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d := describe(t, selProg)
+	plan := Choose(d, input, uvSchema, nil, predicate.Config{"since": serde.Int(3950)}, Options{})
+	if plan.Pushdown == nil || plan.Pushdown.Filter == nil {
+		t.Fatalf("plan = %+v", plan)
+	}
+	found := false
+	for _, n := range plan.Notes {
+		if strings.Contains(n, "blocks prunable") {
+			found = true
+			if strings.Contains(n, " 0/") {
+				t.Fatalf("estimate pruned nothing on a monotone key: %q", n)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no block-skip estimate note; notes = %v", plan.Notes)
+	}
+}
+
+// TestPushdownDisabledInSafeMode: guarded plans keep every record and
+// every field, so no pushdown may be attached.
+func TestPushdownDisabledInSafeMode(t *testing.T) {
+	d := describe(t, loggingSelProg)
+	plan := Choose(d, "uv.rec", uvSchema, nil, predicate.Config{"since": serde.Int(5)}, Options{SafeMode: true})
+	if plan.Pushdown != nil {
+		t.Fatalf("safe mode attached a pushdown: %+v (notes %v)", plan.Pushdown, plan.Notes)
+	}
+}
+
+// TestPushdownOnRecordFileVariant: a chosen re-encoded variant also gets
+// the filter, and the mask only applies when the variant stores more
+// fields than the program needs.
+func TestPushdownOnRecordFileVariant(t *testing.T) {
+	d := describe(t, selProg)
+	entries := []catalog.Entry{{
+		InputPath: "uv.rec", IndexPath: "proj.rec", Kind: catalog.KindRecordFile,
+		Fields: []string{"visitDate", "duration"},
+	}}
+	plan := Choose(d, "uv.rec", uvSchema, entries, predicate.Config{"since": serde.Int(5)}, Options{})
+	if plan.Kind != PlanRecordFile {
+		t.Fatalf("plan = %+v", plan)
+	}
+	pd := plan.Pushdown
+	if pd == nil || pd.Filter == nil || !pd.Residual {
+		t.Fatalf("pushdown = %+v", pd)
+	}
+	// The variant stores exactly the used fields: no mask needed.
+	if pd.Fields != nil {
+		t.Fatalf("mask on exactly-projected variant: %v", pd.Fields)
 	}
 }

@@ -257,6 +257,38 @@ func DecodeValueSharedInto(kind Kind, buf []byte, dst *Datum) (int, error) {
 	}
 }
 
+// SkipValue advances past one kind-implied value encoding without
+// materializing a datum, returning the bytes consumed. Field-pruned
+// record scans use it to step over fields the program never reads.
+func SkipValue(kind Kind, buf []byte) (int, error) {
+	switch kind {
+	case KindInt64:
+		_, n := binary.Varint(buf)
+		if n <= 0 {
+			return 0, fmt.Errorf("serde: truncated int64")
+		}
+		return n, nil
+	case KindFloat64:
+		if len(buf) < 8 {
+			return 0, fmt.Errorf("serde: truncated float64")
+		}
+		return 8, nil
+	case KindString, KindBytes:
+		l, n := binary.Uvarint(buf)
+		if n <= 0 || n+int(l) > len(buf) {
+			return 0, fmt.Errorf("serde: truncated %v", kind)
+		}
+		return n + int(l), nil
+	case KindBool:
+		if len(buf) < 1 {
+			return 0, fmt.Errorf("serde: truncated bool")
+		}
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("serde: skip of invalid kind %v", kind)
+	}
+}
+
 // unsafeString views b as a string without copying. Callers must guarantee
 // b is never mutated while the string is reachable.
 func unsafeString(b []byte) string {
@@ -277,6 +309,26 @@ func (d Datum) CloneData() Datum {
 		d.B = append([]byte(nil), d.B...)
 	}
 	return d
+}
+
+// ZeroOf returns the zero value of a kind (0, 0.0, "", nil bytes, false).
+// Record readers use it to give never-decoded (field-pruned) slots a
+// deterministic value instead of stale bytes from a previous row.
+func ZeroOf(k Kind) Datum {
+	switch k {
+	case KindInt64:
+		return Int(0)
+	case KindFloat64:
+		return Float(0)
+	case KindString:
+		return String("")
+	case KindBytes:
+		return Bytes(nil)
+	case KindBool:
+		return Bool(false)
+	default:
+		panic("serde: ZeroOf invalid kind")
+	}
 }
 
 // AppendTagged appends a self-describing encoding: one kind tag byte

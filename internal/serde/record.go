@@ -168,22 +168,7 @@ func (r *Record) AppendBinary(dst []byte) []byte {
 	return dst
 }
 
-func zeroOf(k Kind) Datum {
-	switch k {
-	case KindInt64:
-		return Int(0)
-	case KindFloat64:
-		return Float(0)
-	case KindString:
-		return String("")
-	case KindBytes:
-		return Bytes(nil)
-	case KindBool:
-		return Bool(false)
-	default:
-		panic("serde: zeroOf invalid kind")
-	}
-}
+func zeroOf(k Kind) Datum { return ZeroOf(k) }
 
 // DecodeRecord decodes a record of the given schema from buf, returning the
 // record and bytes consumed.

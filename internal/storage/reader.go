@@ -21,9 +21,17 @@ type Reader struct {
 	encodings []FieldEncoding
 	dicts     []*compress.Dictionary
 	blocks    []blockInfo
-	dataStart int64
-	fileSize  int64
-	bytesRead atomic.Int64
+	// blockStats holds per-block zone-map stats (schema field order), nil
+	// for pre-stats (version 2) files.
+	blockStats [][]FieldStats
+	version    int
+	dataStart  int64
+	fileSize   int64
+	bytesRead  atomic.Int64
+	// Pruning-effect counters aggregated across scanners and split planning.
+	blocksRead    atomic.Int64
+	blocksSkipped atomic.Int64
+	rowsFiltered  atomic.Int64
 	// DirectCodes controls dictionary-field materialization: when false
 	// (default) codes are decoded back to the original strings (lossless
 	// compression); when true, the fabric operates directly on compact
@@ -83,12 +91,20 @@ func (r *Reader) readMeta() error {
 	}
 	r.dataStart = hdrOff + int64(hdrLen)
 
-	// Footer.
-	tail := make([]byte, 8+len(magicFooter))
+	// Footer. The trailing magic selects the format version: MANIMAL3
+	// footers carry per-block zone-map stats between the block index and
+	// the dictionaries; MANIMAL2 (pre-stats) footers remain readable and
+	// simply leave blockStats nil, so scans cannot prune but never fail.
+	tail := make([]byte, 8+len(magicFooterV2))
 	if _, err := r.f.ReadAt(tail, r.fileSize-int64(len(tail))); err != nil {
 		return fmt.Errorf("read footer tail: %w", err)
 	}
-	if string(tail[8:]) != magicFooter {
+	switch string(tail[8:]) {
+	case magicFooterV2:
+		r.version = 2
+	case magicFooterV3:
+		r.version = 3
+	default:
 		return fmt.Errorf("bad footer magic: truncated record file")
 	}
 	ftrLen := int64(binary.LittleEndian.Uint64(tail[:8]))
@@ -114,6 +130,17 @@ func (r *Reader) readMeta() error {
 			pos += used
 		}
 		r.blocks = append(r.blocks, b)
+	}
+	if r.version >= 3 {
+		r.blockStats = make([][]FieldStats, 0, nb)
+		for i := uint64(0); i < nb; i++ {
+			st, used, err := decodeBlockStats(ftr[pos:], schema)
+			if err != nil {
+				return fmt.Errorf("block %d stats: %w", i, err)
+			}
+			r.blockStats = append(r.blockStats, st)
+			pos += used
+		}
 	}
 	r.dicts = make([]*compress.Dictionary, schema.NumFields())
 	for i, e := range r.encodings {
@@ -204,11 +231,29 @@ type Scanner struct {
 	rec      *serde.Record // reused current record; see ownership note
 	valid    bool
 	err      error
+
+	// Pushdown state (see Pushdown). decode is nil when every field is
+	// decoded; blockFilter/rowFilter are compiled against this file's
+	// schema; nextIdx/curIdx track the record's position in the WHOLE file
+	// so pruned scans expose the same record keys as unpruned ones.
+	decode      []bool
+	blockFilter *compiledFilter
+	rowFilter   *compiledFilter
+	filtered    int64 // residual drops this block, flushed per block
+	nextIdx     int64
+	curIdx      int64
 }
 
 // Scan returns a scanner over blocks [lo, hi). Passing (0, NumBlocks())
 // scans the whole file.
-func (r *Reader) Scan(lo, hi int) (*Scanner, error) {
+func (r *Reader) Scan(lo, hi int) (*Scanner, error) { return r.ScanPushdown(lo, hi, nil) }
+
+// ScanPushdown returns a scanner over blocks [lo, hi) with the given
+// pushdown applied (nil scans everything; see Pushdown for semantics and
+// the legality contract). Pruned and unpruned scans agree exactly on the
+// surviving records: values decode identically, masked fields read as
+// their kind's zero value, and RecordIndex reflects whole-file positions.
+func (r *Reader) ScanPushdown(lo, hi int, pd *Pushdown) (*Scanner, error) {
 	if lo < 0 || hi > len(r.blocks) || lo > hi {
 		return nil, fmt.Errorf("storage: block range [%d,%d) out of [0,%d)", lo, hi, len(r.blocks))
 	}
@@ -218,6 +263,7 @@ func (r *Reader) Scan(lo, hi int) (*Scanner, error) {
 		blockHi: hi,
 		deltas:  make([]*compress.DeltaDecoder, r.schema.NumFields()),
 		rec:     serde.NewRecord(r.schema),
+		nextIdx: r.RecordsInBlocks(0, lo),
 	}
 	for i, e := range r.encodings {
 		if e == EncodeDelta {
@@ -228,33 +274,103 @@ func (r *Reader) Scan(lo, hi int) (*Scanner, error) {
 			s.deltas[i] = d
 		}
 	}
+	if pd != nil {
+		if pd.Filter != nil {
+			bf := r.compileFilter(pd.Filter, false)
+			s.blockFilter = &bf
+			if pd.Residual {
+				rf := r.compileFilter(pd.Filter, true)
+				s.rowFilter = &rf
+			}
+		}
+		if pd.Fields != nil {
+			s.decode = make([]bool, r.schema.NumFields())
+			for _, name := range pd.Fields {
+				if i := r.schema.IndexOf(name); i >= 0 {
+					s.decode[i] = true
+				}
+			}
+			// The residual filter reads its fields off the decoded record,
+			// so they decode regardless of the mask.
+			if s.rowFilter != nil {
+				for _, c := range s.rowFilter.conjuncts {
+					for _, b := range c {
+						s.decode[b.field] = true
+					}
+				}
+			}
+			// Masked slots hold a deterministic zero value, not stale bytes.
+			for i := range s.decode {
+				if !s.decode[i] {
+					*s.rec.Slot(i) = serde.ZeroOf(r.schema.Field(i).Kind)
+				}
+			}
+		}
+	}
 	return s, nil
 }
 
 // ScanAll returns a scanner over the entire file.
 func (r *Reader) ScanAll() (*Scanner, error) { return r.Scan(0, len(r.blocks)) }
 
-// Next advances to the next record, returning false at the end of the range
-// or on error (check Err).
+// Next advances to the next surviving record, returning false at the end
+// of the range or on error (check Err). With a pushdown installed it
+// transparently skips blocks the zone maps rule out (without reading their
+// payload) and rows the residual filter rejects.
 func (s *Scanner) Next() bool {
 	if s.err != nil {
 		return false
 	}
-	for s.recsLeft == 0 {
-		if s.blockLo >= s.blockHi {
+	for {
+		for s.recsLeft == 0 {
+			if s.blockLo >= s.blockHi {
+				s.flushFiltered()
+				return false
+			}
+			b := s.blockLo
+			s.blockLo++
+			if s.blockFilter != nil && s.r.blockSkippable(s.blockFilter, b) {
+				s.nextIdx += s.r.blocks[b].records
+				s.r.blocksSkipped.Add(1)
+				continue
+			}
+			if err := s.loadBlock(b); err != nil {
+				s.err = err
+				return false
+			}
+		}
+		if !s.decodeRow() {
 			return false
 		}
-		if err := s.loadBlock(s.blockLo); err != nil {
-			s.err = err
-			return false
+		s.recsLeft--
+		s.curIdx = s.nextIdx
+		s.nextIdx++
+		if s.rowFilter != nil && !s.rowFilter.matchesRow(s.rec) {
+			s.filtered++
+			continue
 		}
-		s.blockLo++
+		s.valid = true
+		return true
 	}
+}
+
+// decodeRow decodes (or skips, per the field mask) every field of the next
+// row in the loaded block.
+func (s *Scanner) decodeRow() bool {
 	for i := 0; i < s.r.schema.NumFields(); i++ {
 		var (
 			n   int
 			err error
 		)
+		if s.decode != nil && !s.decode[i] {
+			n, err = s.skipField(i)
+			if err != nil {
+				s.err = fmt.Errorf("storage: %s field %q: %w", s.r.path, s.r.schema.Field(i).Name, err)
+				return false
+			}
+			s.pos += n
+			continue
+		}
 		// Fields decode in place into the reused record's slots; plain
 		// fields use the shared (aliasing) decode, whose string/bytes
 		// datums point into the block buffer. Both stay intact exactly
@@ -287,10 +403,43 @@ func (s *Scanner) Next() bool {
 		}
 		s.pos += n
 	}
-	s.recsLeft--
-	s.valid = true
 	return true
 }
+
+// skipField advances past one masked field without materializing a value:
+// plain fields skip at the encoding level, delta fields advance the chain
+// state (blocks are delta chains, so the running value must stay current),
+// dict fields skip the code varint without touching the dictionary.
+func (s *Scanner) skipField(i int) (int, error) {
+	switch s.r.encodings[i] {
+	case EncodePlain:
+		return serde.SkipValue(s.r.schema.Field(i).Kind, s.buf[s.pos:])
+	case EncodeDelta:
+		return s.deltas[i].Skip(s.buf[s.pos:])
+	case EncodeDict:
+		_, n := binary.Uvarint(s.buf[s.pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("truncated dict code")
+		}
+		return n, nil
+	default:
+		return 0, fmt.Errorf("unknown encoding %d", s.r.encodings[i])
+	}
+}
+
+// flushFiltered publishes the per-block residual-drop count to the reader.
+func (s *Scanner) flushFiltered() {
+	if s.filtered > 0 {
+		s.r.rowsFiltered.Add(s.filtered)
+		s.filtered = 0
+	}
+}
+
+// RecordIndex returns the current record's position in the WHOLE file
+// (counting records in skipped blocks and residual-dropped rows), so
+// callers keying records by position see identical keys with and without
+// pruning. Valid after a successful Next.
+func (s *Scanner) RecordIndex() int64 { return s.curIdx }
 
 func (s *Scanner) loadBlock(i int) error {
 	b := s.r.blocks[i]
@@ -302,6 +451,8 @@ func (s *Scanner) loadBlock(i int) error {
 		return fmt.Errorf("storage: read block %d: %w", i, err)
 	}
 	s.r.bytesRead.Add(b.length)
+	s.r.blocksRead.Add(1)
+	s.flushFiltered()
 	payloadLen, n1 := binary.Uvarint(raw)
 	if n1 <= 0 {
 		return fmt.Errorf("storage: block %d: truncated payload length", i)

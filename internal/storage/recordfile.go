@@ -5,6 +5,52 @@
 // compressed files) are record files; the B+Tree (package btree) is the one
 // other on-disk structure.
 //
+// # On-disk format
+//
+// A record file is header, blocks, footer:
+//
+//	"MANIMAL1" | uvarint hdrLen | schema wire form | one encoding byte per field
+//	repeated blocks: uvarint payloadLen | uvarint records | payload
+//	footer | uint64le footerLen | "MANIMAL3"
+//
+// Block payloads concatenate rows field by field in schema order: plain
+// fields use the kind-implied serde value encoding, delta fields a
+// zigzag-varint difference chain reset per block, dict fields a uvarint
+// dictionary code. The footer (located via the fixed-size trailer) holds:
+//
+//	uvarint numBlocks
+//	per block:  uvarint offset | uvarint length | uvarint records
+//	per block, per field (zone-map stats, format v3):
+//	    flags byte (bit0 min present, bit1 max present)
+//	    uvarint null count
+//	    [min value] [max value]   — kind-implied encodings
+//	per dict field: term count + length-prefixed terms in code order
+//
+// Stats are computed on LOGICAL values before encoding, so predicates over
+// original values prune delta- and dict-encoded blocks too. Numeric and
+// bool bounds are exact; string/bytes bounds are conservative envelopes
+// clipped to a 16-byte prefix — min is a prefix (orders at or below the
+// true minimum), max is the exact value or the lexicographic successor of
+// its prefix (orders at or above the true maximum), and an all-0xFF prefix
+// leaves the max absent (unbounded). Pruning logic may therefore conclude
+// only "no value in this block can match", never the converse.
+//
+// Files sealed with the previous "MANIMAL2" trailer (format v2, no stats
+// section) remain fully readable: Reader reports FormatVersion 2 and
+// HasStats false, and every scan simply proceeds unpruned.
+//
+// # Scan pushdown
+//
+// Scanner accepts a Pushdown (block-level zone-map filter, per-row
+// residual filter, used-field decode mask). Ownership of LEGALITY sits
+// with the planner (package optimizer): skipping blocks or rows elides
+// map() invocations — admissible exactly when the paper's selection
+// optimization is — and masking a field is admissible exactly when
+// projection may drop it. This package applies a pushdown mechanically and
+// guarantees only equivalence: surviving rows decode byte-identically to
+// an unpruned scan, masked fields read as their kind's zero value, and
+// RecordIndex reports stable whole-file positions.
+//
 // # Buffer ownership
 //
 // Scanner runs allocation-free by decoding every row into one reused
@@ -53,7 +99,15 @@ func (e FieldEncoding) String() string {
 
 const (
 	magicHeader = "MANIMAL1"
-	magicFooter = "MANIMAL2"
+	// magicFooterV2 seals pre-stats footers (format version 2): block index
+	// and dictionaries only. Still readable; scans simply cannot prune.
+	magicFooterV2 = "MANIMAL2"
+	// magicFooterV3 seals stats-bearing footers (format version 3): block
+	// index, per-block zone-map stats, then dictionaries.
+	magicFooterV3 = "MANIMAL3"
+
+	// FormatVersion is the version new writers produce.
+	FormatVersion = 3
 
 	// DefaultBlockSize is the target uncompressed payload per block.
 	DefaultBlockSize = 256 << 10
@@ -87,16 +141,26 @@ type Writer struct {
 	blockRecs int64
 	offset    int64
 	blocks    []blockInfo
+	curStats  []FieldStats // zone-map accumulator for the open block
+	stats     []byte       // encoded per-block stats, appended per flush
 	records   int64
 	closed    bool
 	finished  bool // Close completed; Abort must not remove the file
 }
 
-// NewWriter creates (truncating) a record file at path.
+// NewWriter creates (truncating) a record file at path. Construction
+// errors remove the just-created file: by then any prior file at path is
+// already truncated, so leaving the stub would present a corrupt record
+// file where the caller expects either the old data or nothing.
 func NewWriter(path string, schema *serde.Schema, opts WriterOptions) (*Writer, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: create %s: %w", path, err)
+	}
+	fail := func(err error) (*Writer, error) {
+		f.Close()
+		os.Remove(path)
+		return nil, err
 	}
 	w := &Writer{
 		f:         f,
@@ -105,6 +169,7 @@ func NewWriter(path string, schema *serde.Schema, opts WriterOptions) (*Writer, 
 		encodings: make([]FieldEncoding, schema.NumFields()),
 		deltas:    make([]*compress.DeltaEncoder, schema.NumFields()),
 		dicts:     make([]*compress.Dictionary, schema.NumFields()),
+		curStats:  make([]FieldStats, schema.NumFields()),
 		blockSize: opts.BlockSize,
 	}
 	if w.blockSize <= 0 {
@@ -113,8 +178,7 @@ func NewWriter(path string, schema *serde.Schema, opts WriterOptions) (*Writer, 
 	for name, enc := range opts.Encodings {
 		i := schema.IndexOf(name)
 		if i < 0 {
-			f.Close()
-			return nil, fmt.Errorf("storage: encoding for unknown field %q", name)
+			return fail(fmt.Errorf("storage: encoding for unknown field %q", name))
 		}
 		kind := schema.Field(i).Kind
 		switch enc {
@@ -122,25 +186,21 @@ func NewWriter(path string, schema *serde.Schema, opts WriterOptions) (*Writer, 
 		case EncodeDelta:
 			d, err := compress.NewDeltaEncoder(kind)
 			if err != nil {
-				f.Close()
-				return nil, fmt.Errorf("storage: field %q: %w", name, err)
+				return fail(fmt.Errorf("storage: field %q: %w", name, err))
 			}
 			w.deltas[i] = d
 		case EncodeDict:
 			if kind != serde.KindString {
-				f.Close()
-				return nil, fmt.Errorf("storage: dict encoding requires string field, %q is %v", name, kind)
+				return fail(fmt.Errorf("storage: dict encoding requires string field, %q is %v", name, kind))
 			}
 			w.dicts[i] = compress.NewDictionary()
 		default:
-			f.Close()
-			return nil, fmt.Errorf("storage: unknown encoding %d for field %q", enc, name)
+			return fail(fmt.Errorf("storage: unknown encoding %d for field %q", enc, name))
 		}
 		w.encodings[i] = enc
 	}
 	if err := w.writeHeader(); err != nil {
-		f.Close()
-		return nil, err
+		return fail(err)
 	}
 	return w, nil
 }
@@ -175,6 +235,10 @@ func (w *Writer) Append(r *serde.Record) error {
 		if !d.IsValid() {
 			return fmt.Errorf("storage: record field %q unset", w.schema.Field(i).Name)
 		}
+		// Zone-map stats accumulate on the LOGICAL value, before any
+		// encoding, so predicates over original values can prune blocks of
+		// delta- and dict-encoded fields alike.
+		w.curStats[i].update(d)
 		switch w.encodings[i] {
 		case EncodePlain:
 			w.buf = d.AppendValue(w.buf)
@@ -214,6 +278,10 @@ func (w *Writer) flushBlock() error {
 		length:  int64(len(hdr) + len(w.buf)),
 		records: w.blockRecs,
 	})
+	w.stats = appendBlockStats(w.stats, w.curStats)
+	for i := range w.curStats {
+		w.curStats[i].reset()
+	}
 	w.offset += int64(len(hdr) + len(w.buf))
 	w.buf = w.buf[:0]
 	w.blockRecs = 0
@@ -228,15 +296,23 @@ func (w *Writer) flushBlock() error {
 // NumRecords returns the number of records appended so far.
 func (w *Writer) NumRecords() int64 { return w.records }
 
-// Close flushes the final block, writes the footer, and closes the file.
+// Close flushes the final block, writes the stats-bearing footer, and
+// closes the file. Any failure — block flush, stats/footer write, sync, or
+// the final close — removes the partial file before returning the error
+// (matching the spill-writer guarantee): a truncated record file must
+// never be left where a reader could mistake it for a complete one.
 func (w *Writer) Close() error {
 	if w.closed {
 		return nil
 	}
 	w.closed = true
-	if err := w.flushBlock(); err != nil {
+	fail := func(err error) error {
 		w.f.Close()
+		os.Remove(w.path)
 		return err
+	}
+	if err := w.flushBlock(); err != nil {
+		return fail(err)
 	}
 	var ftr []byte
 	ftr = binary.AppendUvarint(ftr, uint64(len(w.blocks)))
@@ -245,22 +321,22 @@ func (w *Writer) Close() error {
 		ftr = binary.AppendUvarint(ftr, uint64(b.length))
 		ftr = binary.AppendUvarint(ftr, uint64(b.records))
 	}
+	ftr = append(ftr, w.stats...)
 	for i, d := range w.dicts {
 		if w.encodings[i] == EncodeDict {
 			ftr = d.AppendBinary(ftr)
 		}
 	}
 	ftr = binary.LittleEndian.AppendUint64(ftr, uint64(len(ftr)))
-	ftr = append(ftr, magicFooter...)
+	ftr = append(ftr, magicFooterV3...)
 	if _, err := w.f.Write(ftr); err != nil {
-		w.f.Close()
-		return fmt.Errorf("storage: write footer: %w", err)
+		return fail(fmt.Errorf("storage: write footer: %w", err))
 	}
 	if err := w.f.Sync(); err != nil {
-		w.f.Close()
-		return fmt.Errorf("storage: sync: %w", err)
+		return fail(fmt.Errorf("storage: sync: %w", err))
 	}
 	if err := w.f.Close(); err != nil {
+		os.Remove(w.path)
 		return err
 	}
 	w.finished = true
@@ -268,15 +344,18 @@ func (w *Writer) Close() error {
 }
 
 // Abort closes the writer and removes the partial file; used when the
-// producing job — or a Close that failed midway, leaving a truncated
-// file — must be discarded. A no-op after a successful Close.
+// producing job must be discarded. A no-op after a successful Close, and
+// tolerant of the file already being gone (a failed Close removes it).
 func (w *Writer) Abort() error {
 	if w.finished {
 		return nil
 	}
 	w.closed = true
 	w.f.Close()
-	return os.Remove(w.path)
+	if err := os.Remove(w.path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
 }
 
 // Schema returns the writer's file schema.

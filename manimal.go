@@ -568,6 +568,16 @@ func (l *lazyInput) BytesRead() int64 {
 	return l.in.BytesRead()
 }
 
+// ScanStats implements mapreduce.Input.
+func (l *lazyInput) ScanStats() mapreduce.ScanStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.in == nil {
+		return mapreduce.ScanStats{}
+	}
+	return l.in.ScanStats()
+}
+
 // Close implements mapreduce.Input; never-opened inputs have nothing to
 // release.
 func (l *lazyInput) Close() error {
