@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	manimal analyze -prog prog.go -schema "url:string,rank:int64"
+//	manimal analyze -prog prog.go -schema "url:string,rank:int64" [-json] \
+//	                [-prog2 other.go -schema2 "..."]
 //	manimal explain -prog prog.go [-cfg] [-usedef]
 //	manimal index   -sys DIR -prog prog.go -input data.rec
 //	manimal run     -sys DIR -prog prog.go -input data.rec -out out.kv \
@@ -23,6 +24,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -119,21 +121,28 @@ func cmdAnalyze(args []string) error {
 	progPath := fs.String("prog", "", "mapper-language program file")
 	schemaText := fs.String("schema", "", "input schema, e.g. \"url:string,rank:int64\"")
 	inputPath := fs.String("input", "", "record file to take the schema from (alternative to -schema)")
+	prog2Path := fs.String("prog2", "", "second program: analyze a two-input job and report its join shape")
+	schema2Text := fs.String("schema2", "", "second input's schema")
+	input2Path := fs.String("input2", "", "second input's record file (alternative to -schema2)")
+	jsonOut := fs.Bool("json", false, "emit the analysis as JSON")
 	fs.Parse(args)
+
+	resolveSchema := func(text, input string) (*manimal.Schema, error) {
+		switch {
+		case text != "":
+			return manimal.ParseSchema(text)
+		case input != "":
+			return schemaFromFile(input)
+		default:
+			return nil, fmt.Errorf("need -schema or -input")
+		}
+	}
 
 	prog, err := loadProgram(*progPath)
 	if err != nil {
 		return err
 	}
-	var schema *manimal.Schema
-	switch {
-	case *schemaText != "":
-		schema, err = manimal.ParseSchema(*schemaText)
-	case *inputPath != "":
-		schema, err = schemaFromFile(*inputPath)
-	default:
-		return fmt.Errorf("need -schema or -input")
-	}
+	schema, err := resolveSchema(*schemaText, *inputPath)
 	if err != nil {
 		return err
 	}
@@ -141,8 +150,104 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
+
+	var (
+		desc2 *manimal.Descriptor
+		join  *manimal.JoinDescriptor
+	)
+	if *prog2Path != "" {
+		prog2, err := loadProgram(*prog2Path)
+		if err != nil {
+			return err
+		}
+		schema2, err := resolveSchema(*schema2Text, *input2Path)
+		if err != nil {
+			return fmt.Errorf("second input: %w", err)
+		}
+		desc2, err = manimal.AnalyzeSchema(prog2, schema2)
+		if err != nil {
+			return err
+		}
+		join = manimal.DetectJoin(prog, schema, prog2, schema2)
+	}
+
+	if *jsonOut {
+		out := analysisJSON{Program: *progPath, Descriptor: descriptorJSON(desc)}
+		if desc2 != nil {
+			out.Program2 = *prog2Path
+			out.Descriptor2 = descriptorJSON(desc2)
+		}
+		out.Join = join
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+
 	printDescriptor(desc)
+	if desc2 != nil {
+		fmt.Printf("--- %s ---\n", *prog2Path)
+		printDescriptor(desc2)
+	}
+	if *prog2Path != "" {
+		if join != nil {
+			fmt.Printf("JOIN: %s\n", join)
+		} else {
+			fmt.Println("no join shape detected")
+		}
+	}
 	return nil
+}
+
+// analysisJSON is the machine-readable shape of `manimal analyze -json`.
+type analysisJSON struct {
+	Program     string                  `json:"program"`
+	Descriptor  *jsonDescriptor         `json:"descriptor"`
+	Program2    string                  `json:"program2,omitempty"`
+	Descriptor2 *jsonDescriptor         `json:"descriptor2,omitempty"`
+	Join        *manimal.JoinDescriptor `json:"join,omitempty"`
+}
+
+type jsonDescriptor struct {
+	Select      *jsonSelect  `json:"select,omitempty"`
+	Project     *jsonProject `json:"project,omitempty"`
+	Delta       []string     `json:"delta,omitempty"`
+	DirectOp    []string     `json:"directOp,omitempty"`
+	SideEffects []string     `json:"sideEffects,omitempty"`
+	Notes       []string     `json:"notes,omitempty"`
+}
+
+type jsonSelect struct {
+	Formula     string   `json:"formula"`
+	IndexKeys   []string `json:"indexKeys,omitempty"`
+	Approximate bool     `json:"approximate,omitempty"`
+}
+
+type jsonProject struct {
+	Used    []string `json:"used"`
+	Dropped []string `json:"dropped"`
+}
+
+// descriptorJSON flattens a Descriptor for JSON output: the DNF formula is
+// rendered canonically rather than as its internal expression tree.
+func descriptorJSON(d *manimal.Descriptor) *jsonDescriptor {
+	out := &jsonDescriptor{SideEffects: d.SideEffects, Notes: d.Notes}
+	if d.Select != nil {
+		out.Select = &jsonSelect{
+			Formula:     d.Select.Formula.Canon(),
+			IndexKeys:   d.Select.IndexKeys,
+			Approximate: d.Select.Approximate,
+		}
+	}
+	if d.Project != nil {
+		out.Project = &jsonProject{Used: d.Project.UsedFields, Dropped: d.Project.DroppedFields}
+	}
+	if d.Delta != nil {
+		out.Delta = d.Delta.Fields
+	}
+	if d.DirectOp != nil {
+		out.DirectOp = d.DirectOp.Fields
+	}
+	return out
 }
 
 // schemaFromFile reads just the schema of a record file.

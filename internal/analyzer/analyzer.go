@@ -6,7 +6,49 @@
 // Like the paper's analyzer, it is best-effort but safety-first: it may
 // miss optimizations (a determined programmer can elude it) but never
 // reports one that would change the program's reduce-stage output.
-// Everything here operates at the "micro-scale" on the map() function only.
+// Everything operates at the "micro-scale" on the map() function — but
+// interprocedurally: map() may call user-defined helper functions, and
+// two extensions keep the detectors precise across them and across loops.
+//
+// # The interprocedural summary contract
+//
+// Every top-level function that is not a stage (Map/Reduce/Combine) is a
+// helper. Summarize computes a FuncSummary per helper, bottom-up over the
+// call graph (any recursion collapses the cycle to a fully conservative
+// summary). A summary answers, without re-walking the callee at every
+// call site:
+//
+//   - Pure: no global reads or writes, no impure builtins, transitively
+//     through callees. Only pure helpers may participate in formulas.
+//   - ReadsGlobals/WritesGlobals: transitive member-variable effects.
+//     Any write anywhere in Map's helper closure disables loop hoisting.
+//   - ParamFields: for each record parameter position, exactly which
+//     schema fields the callee (transitively) reads from it, or Opaque
+//     when the record escapes analysis. Projection and direct-op consume
+//     these instead of treating a record argument as "touches everything".
+//   - Inlinable + RetStmt/RetExpr: a straight-line body ending in a single
+//     return can be folded into a caller-side predicate expression —
+//     selection resolves the helper's return expression with the caller's
+//     arguments substituted for its parameters, after re-running isFunc
+//     inside the helper. Branching helpers are never folded (safety
+//     before completeness); their field use still counts via ParamFields.
+//
+// # The loop-invariance rule
+//
+// An emit under a loop is governed by two kinds of guards. A guard whose
+// use-def DAG reaches no definition inside a loop (and is not a range
+// header) is loop-INVARIANT: it has one value per (record, config) and
+// joins the DNF exactly like straight-line guards. A loop-VARYING guard is
+// dropped from its conjunct, which makes the formula an OVER-approximation
+// of the emit condition (SelectDescriptor.Approximate). Dropping is sound
+// because every kept guard is functional in the record and config alone:
+// formula false means some kept guard is false on every path, so no
+// iteration of any loop can emit. Every formula consumer is a prefilter —
+// zone-map block skipping, residual scan filters, B+Tree range selection —
+// and map() re-runs its own guards over each surviving record. The rule is
+// disabled when map() (or any helper it calls) writes a member variable:
+// then skipped invocations could perturb state that dropped, invisible
+// guards of later invocations read.
 package analyzer
 
 import (
@@ -30,6 +72,15 @@ type SelectDescriptor struct {
 	// IndexKeys are canonical key expressions bounded in every disjunct;
 	// each is a valid index-generation key. Sorted, deterministic.
 	IndexKeys []string
+	// Approximate marks a formula from which loop-varying guards were
+	// hoisted out: the formula OVER-approximates the emit condition
+	// (formula false still guarantees no emit, but formula true no longer
+	// guarantees one). All formula consumers are prefilters — zone-map
+	// skipping, residual scan filters, B+Tree range selection — and the
+	// map still runs its own guards over every surviving record, so an
+	// over-approximation is safe; an exact formula additionally permits
+	// emission-counting uses.
+	Approximate bool
 }
 
 // ProjectDescriptor describes a detected projection opportunity.
@@ -85,6 +136,15 @@ type analysis struct {
 	ctxParam   string
 
 	emits []emitSite
+
+	// summaries holds the bottom-up interprocedural summaries of every
+	// user-defined helper (see summary.go).
+	summaries map[string]*FuncSummary
+	// paramSubst is set only on helper sub-analyses: it maps the helper's
+	// scalar parameter names to caller-side resolved predicate expressions.
+	paramSubst map[string]predicate.Expr
+	// helpers caches per-helper cfg/dataflow sub-analyses across call sites.
+	helpers map[string]*analysis
 }
 
 type emitSite struct {
@@ -120,6 +180,7 @@ func Analyze(p *lang.Program, inputSchema *serde.Schema) (*Descriptor, error) {
 		keyParam:   fn.Params[0].Name,
 		valueParam: fn.Params[1].Name,
 		ctxParam:   fn.Params[2].Name,
+		summaries:  Summarize(p),
 	}
 	a.collectEmits()
 

@@ -92,6 +92,32 @@ func (a *analysis) findDirectOp(d *Descriptor) *DirectOpDescriptor {
 		}
 		recv, _, isMethod := lang.MethodOn(call)
 		if !isMethod || (recv != a.valueParam) {
+			// A helper receiving the record reads fields the syntactic scan
+			// below cannot see; it has no use-context information for them,
+			// so every field the summary attributes to the passed parameter
+			// is conservatively poisoned (used in a non-equality position).
+			if id, isIdent := call.Fun.(*ast.Ident); isIdent && !isMethod {
+				if sum := a.summaries[id.Name]; sum != nil {
+					for i, arg := range call.Args {
+						vid, isV := unparen(arg).(*ast.Ident)
+						if !isV || vid.Name != a.valueParam || i >= len(sum.ParamFields) {
+							continue
+						}
+						if sum.ParamFields[i].Opaque {
+							for _, f := range a.schema.FieldNames() {
+								bad[f] = true
+							}
+							continue
+						}
+						for _, f := range sum.ParamFields[i].Fields {
+							if kind, _ := a.schema.KindOf(f); kind == serde.KindString {
+								used[f] = true
+								bad[f] = true
+							}
+						}
+					}
+				}
+			}
 			return true
 		}
 		field, method, ok := lang.IsRecordAccessor(call)

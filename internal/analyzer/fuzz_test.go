@@ -1,0 +1,99 @@
+package analyzer
+
+import (
+	"testing"
+
+	"manimal/internal/cfg"
+	"manimal/internal/dataflow"
+	"manimal/internal/lang"
+	"manimal/internal/programs"
+	"manimal/internal/serde"
+)
+
+// FuzzAnalyze asserts the whole static-analysis stack — cfg construction,
+// dataflow, summaries, and every detector — never panics on any program the
+// language front end accepts. Sources that fail lang.Parse are skipped:
+// rejecting them IS the front end's job; crashing afterwards is ours.
+func FuzzAnalyze(f *testing.F) {
+	f.Add(programs.Benchmark1Selection)
+	f.Add(programs.Benchmark2Aggregation)
+	f.Add(programs.Benchmark3JoinUserVisits)
+	f.Add(programs.Benchmark3JoinRankings)
+	f.Add(programs.Benchmark4UDFAggregation)
+	f.Add(programs.SelectionQuery)
+	f.Add(programs.ProjectionQuery)
+	f.Add(programs.DeltaQuery)
+	f.Add(programs.CompressionQuery)
+	// Interprocedural and loop-aware shapes.
+	f.Add(`
+func hot(r *Record, t int64) bool {
+	return r.Int("rank") > t
+}
+
+func Map(k, v *Record, ctx *Ctx) {
+	if hot(v, ctx.ConfInt("t")) {
+		ctx.Emit(v.Str("url"), 1)
+	}
+}
+`)
+	f.Add(`
+func Map(k, v *Record, ctx *Ctx) {
+	words := strings.Fields(v.Str("content"))
+	for _, w := range words {
+		if v.Int("rank") > 10 {
+			ctx.Emit(w, 1)
+		}
+	}
+}
+`)
+	f.Add(`
+func ping(r *Record, n int64) bool {
+	return pong(r, n-1)
+}
+
+func pong(r *Record, n int64) bool {
+	return ping(r, n-1)
+}
+
+func Map(k, v *Record, ctx *Ctx) {
+	if ping(v, 2) {
+		ctx.Emit(k, 1)
+	}
+}
+`)
+
+	schema := serde.MustSchema(
+		serde.Field{Name: "url", Kind: serde.KindString},
+		serde.Field{Name: "rank", Kind: serde.KindInt64},
+		serde.Field{Name: "content", Kind: serde.KindString},
+	)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := lang.Parse(src)
+		if err != nil {
+			return
+		}
+		// The analyzer proper (schema-bearing and schema-less).
+		if _, err := Analyze(p, schema); err != nil {
+			_ = err
+		}
+		if _, err := Analyze(p, nil); err != nil {
+			_ = err
+		}
+		// Summaries plus cfg/dataflow over EVERY function, helpers included
+		// (Analyze exercises only Map's graph).
+		_ = Summarize(p)
+		for _, fn := range p.Funcs {
+			g, err := cfg.Build(p, fn)
+			if err != nil {
+				continue
+			}
+			if fl, err := dataflow.Analyze(p, g); err == nil {
+				_ = fl.Dump()
+			}
+			_ = g.Dump()
+		}
+		// Join detection against itself must also hold up.
+		_ = DetectJoin(p, schema, p, schema)
+	})
+}

@@ -1,0 +1,459 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+
+	"manimal/internal/lang"
+	"manimal/internal/predicate"
+	"manimal/internal/serde"
+)
+
+// --- interprocedural selection: seeing through pure user helpers ---
+
+func TestSelectThroughPureHelper(t *testing.T) {
+	d := mustAnalyze(t, `
+func hot(r *Record, t int64) bool {
+	return r.Int("rank") > t
+}
+
+func Map(k, v *Record, ctx *Ctx) {
+	if hot(v, ctx.ConfInt("threshold")) {
+		ctx.Emit(v.Str("url"), v.Int("rank"))
+	}
+}
+`, webPageSchema)
+	if d.Select == nil {
+		t.Fatalf("helper-guarded selection not detected: %v", d.Notes)
+	}
+	want := `((v.Int("rank") > ctx.ConfInt("threshold")))`
+	if got := d.Select.Formula.Canon(); got != want {
+		t.Errorf("formula = %q, want %q", got, want)
+	}
+	if d.Select.Approximate {
+		t.Errorf("straight-line helper guard must yield an exact formula")
+	}
+	if len(d.Select.IndexKeys) != 1 || d.Select.IndexKeys[0] != `v.Int("rank")` {
+		t.Errorf("index keys = %v", d.Select.IndexKeys)
+	}
+}
+
+func TestSelectThroughHelperWithLocals(t *testing.T) {
+	// The helper resolves its own locals; the caller resolves the argument.
+	d := mustAnalyze(t, `
+func scaled(r *Record, mult int64) bool {
+	base := r.Int("rank") * mult
+	return base > 100
+}
+
+func Map(k, v *Record, ctx *Ctx) {
+	m := ctx.ConfInt("mult")
+	if scaled(v, m) {
+		ctx.Emit(k, 1)
+	}
+}
+`, webPageSchema)
+	if d.Select == nil {
+		t.Fatalf("helper-with-locals selection not detected: %v", d.Notes)
+	}
+	want := `(((v.Int("rank") * ctx.ConfInt("mult")) > 100))`
+	if got := d.Select.Formula.Canon(); got != want {
+		t.Errorf("formula = %q, want %q", got, want)
+	}
+}
+
+func TestSelectThroughNestedHelpers(t *testing.T) {
+	d := mustAnalyze(t, `
+func above(r *Record, t int64) bool {
+	return r.Int("rank") > t
+}
+
+func interesting(r *Record, t int64) bool {
+	return above(r, t*2)
+}
+
+func Map(k, v *Record, ctx *Ctx) {
+	if interesting(v, ctx.ConfInt("t")) {
+		ctx.Emit(k, 1)
+	}
+}
+`, webPageSchema)
+	if d.Select == nil {
+		t.Fatalf("nested helper selection not detected: %v", d.Notes)
+	}
+	want := `((v.Int("rank") > (ctx.ConfInt("t") * 2)))`
+	if got := d.Select.Formula.Canon(); got != want {
+		t.Errorf("formula = %q, want %q", got, want)
+	}
+}
+
+func TestSelectRejectsGlobalReadingHelper(t *testing.T) {
+	d := mustAnalyze(t, `
+var calls int
+
+func noisy(r *Record) bool {
+	return r.Int("rank") > calls
+}
+
+func Map(k, v *Record, ctx *Ctx) {
+	if noisy(v) {
+		ctx.Emit(k, 1)
+	}
+}
+`, webPageSchema)
+	if d.Select != nil {
+		t.Fatalf("global-reading helper must defeat selection, got %q", d.Select.Formula.Canon())
+	}
+}
+
+func TestSelectRejectsRecursiveHelper(t *testing.T) {
+	d := mustAnalyze(t, `
+func weird(r *Record, n int64) bool {
+	if n < 1 {
+		return r.Int("rank") > 0
+	}
+	return weird(r, n-1)
+}
+
+func Map(k, v *Record, ctx *Ctx) {
+	if weird(v, 3) {
+		ctx.Emit(k, 1)
+	}
+}
+`, webPageSchema)
+	if d.Select != nil {
+		t.Fatalf("recursive helper must defeat selection, got %q", d.Select.Formula.Canon())
+	}
+}
+
+func TestSelectRejectsBranchingHelperButStaysSafe(t *testing.T) {
+	// Pure but branching helper: not inlinable into a formula; selection is
+	// refused (never wrongly approximated).
+	d := mustAnalyze(t, `
+func pick(r *Record, t int64) bool {
+	if r.Has("rank") {
+		return r.Int("rank") > t
+	}
+	return false
+}
+
+func Map(k, v *Record, ctx *Ctx) {
+	if pick(v, ctx.ConfInt("t")) {
+		ctx.Emit(k, 1)
+	}
+}
+`, webPageSchema)
+	if d.Select != nil {
+		t.Fatalf("branching helper must not be folded, got %q", d.Select.Formula.Canon())
+	}
+}
+
+// --- loop-aware selection ---
+
+func TestSelectLoopInvariantGuard(t *testing.T) {
+	d := mustAnalyze(t, `
+func Map(k, v *Record, ctx *Ctx) {
+	words := strings.Fields(v.Str("content"))
+	for _, w := range words {
+		if v.Int("rank") > ctx.ConfInt("t") {
+			ctx.Emit(w, v.Int("rank"))
+		}
+	}
+}
+`, webPageSchema)
+	if d.Select == nil {
+		t.Fatalf("loop-invariant guard not hoisted: %v", d.Notes)
+	}
+	if !d.Select.Approximate {
+		t.Errorf("loop-hoisted formula must be marked approximate")
+	}
+	want := `((v.Int("rank") > ctx.ConfInt("t")))`
+	if got := d.Select.Formula.Canon(); got != want {
+		t.Errorf("formula = %q, want %q", got, want)
+	}
+	if len(d.Select.IndexKeys) != 1 || d.Select.IndexKeys[0] != `v.Int("rank")` {
+		t.Errorf("index keys = %v", d.Select.IndexKeys)
+	}
+}
+
+func TestSelectLoopVaryingGuardRefused(t *testing.T) {
+	// The guard reads the range variable: it genuinely varies per
+	// iteration, so no invariant selection exists and the formula
+	// over-approximates to "always" — reported as no selection.
+	d := mustAnalyze(t, `
+func Map(k, v *Record, ctx *Ctx) {
+	words := strings.Fields(v.Str("content"))
+	for _, w := range words {
+		if strings.HasPrefix(w, "http://") {
+			ctx.Emit(w, 1)
+		}
+	}
+}
+`, webPageSchema)
+	if d.Select != nil {
+		t.Fatalf("loop-varying guard must not produce a selection, got %q", d.Select.Formula.Canon())
+	}
+}
+
+func TestSelectMixedInvariantAndVaryingGuards(t *testing.T) {
+	// Invariant guard kept, varying guard dropped: the formula keeps the
+	// rank predicate and over-approximates away the per-word test.
+	d := mustAnalyze(t, `
+func Map(k, v *Record, ctx *Ctx) {
+	words := strings.Fields(v.Str("content"))
+	for _, w := range words {
+		if v.Int("rank") > 10 {
+			if strings.HasPrefix(w, "http://") {
+				ctx.Emit(w, 1)
+			}
+		}
+	}
+}
+`, webPageSchema)
+	if d.Select == nil {
+		t.Fatalf("mixed-guard selection not detected: %v", d.Notes)
+	}
+	if !d.Select.Approximate {
+		t.Errorf("formula with dropped guards must be marked approximate")
+	}
+	want := `((v.Int("rank") > 10))`
+	if got := d.Select.Formula.Canon(); got != want {
+		t.Errorf("formula = %q, want %q", got, want)
+	}
+}
+
+func TestSelectLoopHoistRefusedWhenGlobalsWritten(t *testing.T) {
+	// Dropping loop-varying guards is only sound when map() never writes
+	// member variables; this program does, so selection must bail even
+	// though an invariant guard exists.
+	d := mustAnalyze(t, `
+var seen int
+
+func Map(k, v *Record, ctx *Ctx) {
+	seen = seen + 1
+	words := strings.Fields(v.Str("content"))
+	for _, w := range words {
+		if v.Int("rank") > 10 {
+			if strings.HasPrefix(w, "http://") {
+				ctx.Emit(w, 1)
+			}
+		}
+	}
+}
+`, webPageSchema)
+	if d.Select != nil {
+		t.Fatalf("global-writing loop program must not be select-optimizable, got %q", d.Select.Formula.Canon())
+	}
+}
+
+func TestSelectForLoopInvariantGuard(t *testing.T) {
+	d := mustAnalyze(t, `
+func Map(k, v *Record, ctx *Ctx) {
+	for i := 0; i < 3; i++ {
+		if v.Int("rank") > 100 {
+			ctx.Emit(v.Str("url"), i)
+		}
+	}
+}
+`, webPageSchema)
+	if d.Select == nil {
+		t.Fatalf("for-loop invariant guard not hoisted: %v", d.Notes)
+	}
+	want := `((v.Int("rank") > 100))`
+	if got := d.Select.Formula.Canon(); got != want {
+		t.Errorf("formula = %q, want %q", got, want)
+	}
+	if !d.Select.Approximate {
+		t.Errorf("loop-hoisted formula must be marked approximate")
+	}
+}
+
+// --- interprocedural projection ---
+
+func TestProjectThroughHelper(t *testing.T) {
+	d := mustAnalyze(t, `
+func hot(r *Record, t int64) bool {
+	return r.Int("rank") > t
+}
+
+func Map(k, v *Record, ctx *Ctx) {
+	if hot(v, ctx.ConfInt("t")) {
+		ctx.Emit(v.Str("url"), 1)
+	}
+}
+`, webPageSchema)
+	if d.Project == nil {
+		t.Fatalf("projection through helper not detected: %v", d.Notes)
+	}
+	if got := strings.Join(d.Project.UsedFields, ","); got != "url,rank" {
+		t.Errorf("used fields = %v", d.Project.UsedFields)
+	}
+	if got := strings.Join(d.Project.DroppedFields, ","); got != "content" {
+		t.Errorf("dropped fields = %v", d.Project.DroppedFields)
+	}
+}
+
+func TestProjectHelperOpaqueRecordUse(t *testing.T) {
+	// A branching helper is still summarized for field use even though it
+	// cannot be inlined into a formula; projection sees exactly its fields.
+	d := mustAnalyze(t, `
+func label(r *Record) string {
+	if r.Int("rank") > 10 {
+		return r.Str("url")
+	}
+	return ""
+}
+
+func Map(k, v *Record, ctx *Ctx) {
+	ctx.Emit(label(v), 1)
+}
+`, webPageSchema)
+	if d.Project == nil {
+		t.Fatalf("projection with summarized helper not detected: %v", d.Notes)
+	}
+	if got := strings.Join(d.Project.DroppedFields, ","); got != "content" {
+		t.Errorf("dropped fields = %v (want content only)", d.Project.DroppedFields)
+	}
+}
+
+// --- interprocedural direct-op: helper-read fields are poisoned ---
+
+func TestDirectOpPoisonedByHelperUse(t *testing.T) {
+	schema := serde.MustSchema(
+		serde.Field{Name: "destURL", Kind: serde.KindString},
+		serde.Field{Name: "duration", Kind: serde.KindInt64},
+	)
+	d := mustAnalyze(t, `
+func urlOf(r *Record) string {
+	return r.Str("destURL")
+}
+
+func Map(k, v *Record, ctx *Ctx) {
+	ctx.Emit(urlOf(v), v.Int("duration"))
+}
+
+func Reduce(key Datum, values *Iter, ctx *Ctx) {
+	sum := 0
+	for values.Next() {
+		sum = sum + values.Int()
+	}
+	ctx.Emit(0, sum)
+}
+`, schema)
+	if d.DirectOp != nil {
+		t.Fatalf("helper-read field must be poisoned for direct-op, got %v", d.DirectOp.Fields)
+	}
+}
+
+// --- summaries ---
+
+func TestSummarize(t *testing.T) {
+	p, err := lang.Parse(`
+func pureHelper(r *Record, t int64) bool {
+	return r.Int("rank") > t
+}
+
+func impureHelper(r *Record) bool {
+	return r.Int("rank") > bar
+}
+
+func chained(r *Record) bool {
+	return pureHelper(r, 5)
+}
+
+var bar int
+
+func Map(k, v *Record, ctx *Ctx) {
+	if pureHelper(v, 1) {
+		ctx.Emit(k, 1)
+	}
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := Summarize(p)
+	ph := sums["pureHelper"]
+	if ph == nil || !ph.Pure || !ph.Inlinable || ph.Recursive {
+		t.Fatalf("pureHelper summary = %+v", ph)
+	}
+	if len(ph.ParamFields) != 2 || strings.Join(ph.ParamFields[0].Fields, ",") != "rank" {
+		t.Errorf("pureHelper param fields = %+v", ph.ParamFields)
+	}
+	ih := sums["impureHelper"]
+	if ih == nil || ih.Pure || !ih.ReadsGlobals {
+		t.Fatalf("impureHelper summary = %+v", ih)
+	}
+	ch := sums["chained"]
+	if ch == nil || !ch.Pure {
+		t.Fatalf("chained summary = %+v", ch)
+	}
+	if strings.Join(ch.ParamFields[0].Fields, ",") != "rank" {
+		t.Errorf("chained must inherit callee field use, got %+v", ch.ParamFields)
+	}
+}
+
+func TestSummarizeRecursionConservative(t *testing.T) {
+	p, err := lang.Parse(`
+func ping(r *Record, n int64) bool {
+	return pong(r, n-1)
+}
+
+func pong(r *Record, n int64) bool {
+	return ping(r, n-1)
+}
+
+func Map(k, v *Record, ctx *Ctx) {
+	if ping(v, 2) {
+		ctx.Emit(k, 1)
+	}
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := Summarize(p)
+	for _, name := range []string{"ping", "pong"} {
+		s := sums[name]
+		if s == nil {
+			t.Fatalf("no summary for %s", name)
+		}
+		if s.Pure {
+			t.Errorf("%s: mutual recursion must not be pure", name)
+		}
+		if !s.ParamFields[0].Opaque {
+			t.Errorf("%s: recursive record param must be opaque", name)
+		}
+	}
+}
+
+// --- helper execution semantics are pinned elsewhere (differential tests);
+// here, pin that a program mixing the new features still analyzes exactly ---
+
+func TestSelectHelperAndLoopCombined(t *testing.T) {
+	d := mustAnalyze(t, `
+func hot(r *Record, t int64) bool {
+	return r.Int("rank") > t
+}
+
+func Map(k, v *Record, ctx *Ctx) {
+	words := strings.Fields(v.Str("content"))
+	for _, w := range words {
+		if hot(v, ctx.ConfInt("t")) {
+			ctx.Emit(w, 1)
+		}
+	}
+}
+`, webPageSchema)
+	if d.Select == nil {
+		t.Fatalf("helper guard inside loop not detected: %v", d.Notes)
+	}
+	if !d.Select.Approximate {
+		t.Errorf("loop-hoisted helper formula must be approximate")
+	}
+	want := `((v.Int("rank") > ctx.ConfInt("t")))`
+	if got := d.Select.Formula.Canon(); got != want {
+		t.Errorf("formula = %q, want %q", got, want)
+	}
+	_ = predicate.DNF{}
+}

@@ -1,0 +1,126 @@
+package analyzer
+
+import (
+	"fmt"
+
+	"manimal/internal/cfg"
+	"manimal/internal/dataflow"
+	"manimal/internal/lang"
+	"manimal/internal/predicate"
+	"manimal/internal/serde"
+)
+
+// JoinSide describes one input of a detected repartition join: which plain
+// schema field every map emit uses as its output key.
+type JoinSide struct {
+	// Field is the schema field name whose value keys every emit.
+	Field string `json:"field"`
+	// Canon is the canonical accessor expression, e.g. `v.Str("destURL")`.
+	Canon string `json:"canon"`
+	// Records is the input file's record count, when the caller filled it
+	// in from the storage footer; 0 means unknown.
+	Records int64 `json:"records,omitempty"`
+}
+
+// JoinDescriptor describes a detected two-input repartition join (the
+// examples/join / paper Benchmark 3 shape): each input's map() re-keys its
+// records on a field extracted from that input, so the shuffle brings
+// matching keys together and reduce() performs the join. Knowing the key
+// fields lets the optimizer report (and a future planner exploit) the join
+// structure — e.g. choosing a build side by cardinality.
+type JoinDescriptor struct {
+	Left  JoinSide `json:"left"`
+	Right JoinSide `json:"right"`
+	// Notes explains detection details for tooling.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// String renders the join shape for explain output.
+func (j *JoinDescriptor) String() string {
+	return fmt.Sprintf("%s = %s", j.Left.Canon, j.Right.Canon)
+}
+
+// DetectJoin recognizes the repartition-join shape across a two-input job:
+// both maps must key every emit by a (statically resolvable, functional)
+// plain field of their own input record. Safety-first like every detector:
+// any doubt — multiple inconsistent key fields, a computed key, a key that
+// fails isFunc — yields nil.
+func DetectJoin(left *lang.Program, leftSchema *serde.Schema, right *lang.Program, rightSchema *serde.Schema) *JoinDescriptor {
+	lf, lc, ok := emitKeyField(left, leftSchema)
+	if !ok {
+		return nil
+	}
+	rf, rc, ok := emitKeyField(right, rightSchema)
+	if !ok {
+		return nil
+	}
+	j := &JoinDescriptor{
+		Left:  JoinSide{Field: lf, Canon: lc},
+		Right: JoinSide{Field: rf, Canon: rc},
+	}
+	j.Notes = append(j.Notes, fmt.Sprintf("join: both inputs re-key on a plain field (%s)", j))
+	return j
+}
+
+// emitKeyField reports the single schema field that keys every emit of the
+// program's map(), if there is one. The key argument of each emit must pass
+// isFunc (its value depends only on the record and config) and resolve to a
+// bare field accessor; all emits must agree on the field.
+func emitKeyField(p *lang.Program, schema *serde.Schema) (field, canon string, ok bool) {
+	fn := p.Map()
+	if fn == nil || len(fn.Params) != 3 || schema == nil {
+		return "", "", false
+	}
+	g, err := cfg.Build(p, fn)
+	if err != nil {
+		return "", "", false
+	}
+	fl, err := dataflow.Analyze(p, g)
+	if err != nil {
+		return "", "", false
+	}
+	a := &analysis{
+		prog:       p,
+		schema:     schema,
+		fn:         fn,
+		graph:      g,
+		flow:       fl,
+		keyParam:   fn.Params[0].Name,
+		valueParam: fn.Params[1].Name,
+		ctxParam:   fn.Params[2].Name,
+		summaries:  Summarize(p),
+	}
+	a.collectEmits()
+	if len(a.emits) == 0 {
+		return "", "", false
+	}
+	for _, e := range a.emits {
+		if len(e.call.Args) < 1 {
+			return "", "", false
+		}
+		key := e.call.Args[0]
+		dag, err := a.flow.UseDefOfExpr(key, e.stmt)
+		if err != nil {
+			return "", "", false
+		}
+		if funcOK, _ := a.isFunc(dag); !funcOK {
+			return "", "", false
+		}
+		pe, err := a.resolveToInputs(key, resolvePoint{stmt: e.stmt})
+		if err != nil {
+			return "", "", false
+		}
+		f, isField := pe.(predicate.Field)
+		if !isField {
+			return "", "", false
+		}
+		if _, known := schema.KindOf(f.Name); !known {
+			return "", "", false
+		}
+		if field != "" && field != f.Name {
+			return "", "", false // inconsistent key fields across emits
+		}
+		field, canon = f.Name, f.Canon()
+	}
+	return field, canon, field != ""
+}

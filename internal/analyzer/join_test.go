@@ -1,0 +1,135 @@
+package analyzer
+
+import (
+	"testing"
+
+	"manimal/internal/lang"
+	"manimal/internal/serde"
+)
+
+var (
+	uvSchema = serde.MustSchema(
+		serde.Field{Name: "sourceIP", Kind: serde.KindString},
+		serde.Field{Name: "destURL", Kind: serde.KindString},
+		serde.Field{Name: "visitDate", Kind: serde.KindInt64},
+		serde.Field{Name: "adRevenue", Kind: serde.KindInt64},
+	)
+	rkSchema = serde.MustSchema(
+		serde.Field{Name: "pageURL", Kind: serde.KindString},
+		serde.Field{Name: "pageRank", Kind: serde.KindInt64},
+	)
+)
+
+const uvJoinSrc = `
+func Map(k, v *Record, ctx *Ctx) {
+	if v.Int("visitDate") >= ctx.ConfInt("dateLo") && v.Int("visitDate") < ctx.ConfInt("dateHi") {
+		ctx.Emit(v.Str("destURL"), v)
+	}
+}
+
+func Reduce(key Datum, values *Iter, ctx *Ctx) {
+	ctx.Emit(key, 1)
+}
+`
+
+const rkJoinSrc = `
+func Map(k, v *Record, ctx *Ctx) {
+	ctx.Emit(v.Str("pageURL"), v)
+}
+`
+
+func mustParse(t *testing.T, src string) *lang.Program {
+	t.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDetectJoinBenchmark3Shape(t *testing.T) {
+	j := DetectJoin(mustParse(t, uvJoinSrc), uvSchema, mustParse(t, rkJoinSrc), rkSchema)
+	if j == nil {
+		t.Fatal("Benchmark-3 join shape not detected")
+	}
+	if j.Left.Field != "destURL" || j.Right.Field != "pageURL" {
+		t.Errorf("join fields = %q / %q", j.Left.Field, j.Right.Field)
+	}
+	if got := j.String(); got != `v.Str("destURL") = v.Str("pageURL")` {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestDetectJoinThroughKeyVariable(t *testing.T) {
+	// The key flows through a local; resolution follows the def chain.
+	src := `
+func Map(k, v *Record, ctx *Ctx) {
+	url := v.Str("pageURL")
+	ctx.Emit(url, v.Int("pageRank"))
+}
+`
+	j := DetectJoin(mustParse(t, uvJoinSrc), uvSchema, mustParse(t, src), rkSchema)
+	if j == nil {
+		t.Fatal("join via key variable not detected")
+	}
+	if j.Right.Field != "pageURL" {
+		t.Errorf("right field = %q", j.Right.Field)
+	}
+}
+
+func TestDetectJoinRejectsComputedKey(t *testing.T) {
+	src := `
+func Map(k, v *Record, ctx *Ctx) {
+	ctx.Emit(strings.ToLower(v.Str("pageURL")), v)
+}
+`
+	if j := DetectJoin(mustParse(t, uvJoinSrc), uvSchema, mustParse(t, src), rkSchema); j != nil {
+		t.Fatalf("computed key must not be a join key, got %v", j)
+	}
+}
+
+func TestDetectJoinRejectsInconsistentKeys(t *testing.T) {
+	src := `
+func Map(k, v *Record, ctx *Ctx) {
+	if v.Int("pageRank") > 10 {
+		ctx.Emit(v.Str("pageURL"), v)
+	} else {
+		ctx.Emit(v.Int("pageRank"), v)
+	}
+}
+`
+	if j := DetectJoin(mustParse(t, uvJoinSrc), uvSchema, mustParse(t, src), rkSchema); j != nil {
+		t.Fatalf("inconsistent emit keys must not be a join, got %v", j)
+	}
+}
+
+func TestDetectJoinRejectsNonEmittingMap(t *testing.T) {
+	src := `
+func Map(k, v *Record, ctx *Ctx) {
+	ctx.Log("nothing")
+}
+`
+	if j := DetectJoin(mustParse(t, uvJoinSrc), uvSchema, mustParse(t, src), rkSchema); j != nil {
+		t.Fatalf("non-emitting map must not be a join side, got %v", j)
+	}
+}
+
+func TestDetectJoinKeyThroughHelper(t *testing.T) {
+	// Interprocedural: the key accessor lives in a pure helper.
+	src := `
+func keyOf(r *Record) string {
+	return r.Str("pageURL")
+}
+
+func Map(k, v *Record, ctx *Ctx) {
+	ctx.Emit(keyOf(v), v)
+}
+`
+	j := DetectJoin(mustParse(t, uvJoinSrc), uvSchema, mustParse(t, src), rkSchema)
+	if j == nil {
+		t.Fatal("helper-extracted join key not detected")
+	}
+	if j.Right.Field != "pageURL" {
+		t.Errorf("right field = %q", j.Right.Field)
+	}
+}

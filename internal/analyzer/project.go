@@ -120,6 +120,30 @@ func (a *analysis) fieldsIn(e ast.Expr) (fields []string, all bool) {
 				// constant and holds no further uses.
 				return false
 			}
+			// A call to a summarized helper: the record flowing in touches
+			// exactly the fields the summary attributes to that parameter
+			// position — no need to treat the bare record argument as opaque.
+			if id, isIdent := x.Fun.(*ast.Ident); isIdent {
+				if sum := a.summaries[id.Name]; sum != nil {
+					for i, arg := range x.Args {
+						if vid, isV := unparen(arg).(*ast.Ident); isV && vid.Name == a.valueParam && i < len(sum.ParamFields) {
+							if sum.ParamFields[i].Opaque {
+								all = true
+								return false
+							}
+							fields = append(fields, sum.ParamFields[i].Fields...)
+							continue
+						}
+						fs, opq := a.fieldsIn(arg)
+						if opq {
+							all = true
+							return false
+						}
+						fields = append(fields, fs...)
+					}
+					return false
+				}
+			}
 			return true
 		case *ast.Ident:
 			if x.Name == a.valueParam {

@@ -82,6 +82,16 @@ func (a *analysis) firstImpureCall(e ast.Expr) (bad bool, reason string) {
 		if lang.PureFuncs[name] {
 			return true
 		}
+		if sum := a.summaries[name]; sum != nil {
+			if sum.Pure {
+				// Interprocedural extension: a summarized pure helper is as
+				// good as a whitelisted function; keep scanning its arguments.
+				return true
+			}
+			bad = true
+			reason = fmt.Sprintf("calls helper %s: %s", name, sum.ImpureReason)
+			return false
+		}
 		bad = true
 		reason = fmt.Sprintf("calls %s, which the analyzer has no functional model of", name)
 		return false
@@ -107,6 +117,11 @@ func (a *analysis) resolveToInputs(e ast.Expr, at resolvePoint) (predicate.Expr,
 			return predicate.Const{D: serde.Bool(true)}, nil
 		case "false":
 			return predicate.Const{D: serde.Bool(false)}, nil
+		}
+		if sub, ok := a.paramSubst[ex.Name]; ok {
+			// Helper sub-analysis: a scalar parameter stands for the
+			// caller-side expression already resolved to inputs.
+			return sub, nil
 		}
 		if a.prog.IsGlobal(ex.Name) {
 			return nil, fmt.Errorf("member variable %q", ex.Name)
@@ -169,6 +184,9 @@ func (a *analysis) resolveCall(c *ast.CallExpr, at resolvePoint) (predicate.Expr
 	if !ok {
 		return nil, fmt.Errorf("unrecognizable call")
 	}
+	if sum := a.summaries[name]; sum != nil {
+		return a.inlineHelper(c, sum, at)
+	}
 	if recv, method, isMethod := lang.MethodOn(c); isMethod {
 		switch recv {
 		case a.valueParam, a.ctxParam:
@@ -191,6 +209,96 @@ func (a *analysis) resolveCall(c *ast.CallExpr, at resolvePoint) (predicate.Expr
 		args[i] = r
 	}
 	return predicate.Call{Name: name, Args: args}, nil
+}
+
+// inlineHelper folds a call to a user-defined helper into the caller's
+// predicate: the helper must be pure (summary-verified) and straight-line
+// with a single trailing return. The helper's return expression is resolved
+// in the helper's OWN dataflow — with its record parameter standing for the
+// caller's value parameter and each scalar parameter substituted by the
+// caller-side argument, itself already resolved to inputs. This is the
+// interprocedural half of selection detection: the resulting predicate is
+// a formula over the input record and job config, exactly as if the helper
+// body had been written inline.
+func (a *analysis) inlineHelper(c *ast.CallExpr, sum *FuncSummary, at resolvePoint) (predicate.Expr, error) {
+	if !sum.Pure {
+		return nil, fmt.Errorf("helper %s is not functional: %s", sum.Name, sum.ImpureReason)
+	}
+	if !sum.Inlinable {
+		return nil, fmt.Errorf("helper %s has branching control flow; cannot fold it into a formula", sum.Name)
+	}
+	fn := a.prog.Funcs[sum.Name]
+	if fn == nil || len(c.Args) != len(fn.Params) {
+		return nil, fmt.Errorf("helper %s: unexpected call shape", sum.Name)
+	}
+	subst := make(map[string]predicate.Expr, len(fn.Params))
+	recordParam := ""
+	for i, prm := range fn.Params {
+		arg := c.Args[i]
+		if prm.Type == "*Record" {
+			id, isIdent := unparen(arg).(*ast.Ident)
+			if !isIdent || id.Name != a.valueParam {
+				return nil, fmt.Errorf("helper %s: record argument %d is not the map value parameter", sum.Name, i)
+			}
+			if recordParam != "" {
+				return nil, fmt.Errorf("helper %s takes more than one record parameter", sum.Name)
+			}
+			recordParam = prm.Name
+			continue
+		}
+		r, err := a.resolveToInputs(arg, at)
+		if err != nil {
+			return nil, fmt.Errorf("helper %s argument %q: %w", sum.Name, prm.Name, err)
+		}
+		subst[prm.Name] = r
+	}
+	sub, err := a.helperAnalysis(fn, recordParam)
+	if err != nil {
+		return nil, err
+	}
+	sub.paramSubst = subst
+	defer func() { sub.paramSubst = nil }()
+	// Belt and braces: the summary already vouches for purity, but the
+	// return DAG is cheap to re-check in the helper's own dataflow.
+	dag, err := sub.flow.UseDefOfExpr(sum.RetExpr, sum.RetStmt)
+	if err != nil {
+		return nil, err
+	}
+	if ok, why := sub.isFunc(dag); !ok {
+		return nil, fmt.Errorf("helper %s return fails isFunc: %s", sum.Name, why)
+	}
+	return sub.resolveToInputs(sum.RetExpr, resolvePoint{stmt: sum.RetStmt})
+}
+
+// helperAnalysis builds (and caches) the cfg/dataflow machinery for one
+// helper, shared across call sites and nested inlines.
+func (a *analysis) helperAnalysis(fn *lang.Function, recordParam string) (*analysis, error) {
+	if a.helpers == nil {
+		a.helpers = make(map[string]*analysis)
+	}
+	if sub, ok := a.helpers[fn.Name]; ok {
+		return sub, nil
+	}
+	g, err := cfg.Build(a.prog, fn)
+	if err != nil {
+		return nil, fmt.Errorf("helper %s: %w", fn.Name, err)
+	}
+	fl, err := dataflow.Analyze(a.prog, g)
+	if err != nil {
+		return nil, fmt.Errorf("helper %s: %w", fn.Name, err)
+	}
+	sub := &analysis{
+		prog:       a.prog,
+		schema:     a.schema,
+		fn:         fn,
+		graph:      g,
+		flow:       fl,
+		valueParam: recordParam,
+		summaries:  a.summaries,
+		helpers:    a.helpers,
+	}
+	a.helpers[fn.Name] = sub
+	return sub, nil
 }
 
 // resolvePoint identifies where an expression is evaluated: either at a

@@ -1,6 +1,10 @@
 package analyzer
 
 import (
+	"go/ast"
+
+	"manimal/internal/cfg"
+	"manimal/internal/dataflow"
 	"manimal/internal/predicate"
 )
 
@@ -9,22 +13,30 @@ import (
 // emit() — each disjunct the conjunction of that path's conditional
 // outcomes — and return it only when every condition (and every emitted
 // expression, for full safety) passes the isFunc test.
+//
+// Loop awareness (beyond the paper): an emit inside a loop is governed by
+// two kinds of guards. Guards whose use-def DAGs are loop-invariant
+// (parameters, constants, and definitions outside any loop) have the same
+// outcome in every iteration, so they join the DNF exactly as straight-line
+// guards do. Guards that vary per iteration (range variables, loop-carried
+// definitions) cannot be expressed as a per-record formula — they are
+// DROPPED from their conjunct, leaving a formula that over-approximates the
+// emit condition (Descriptor.Select.Approximate). Dropping is sound because
+// every kept guard is functional in the record and config alone: if the
+// formula is false, some kept guard on every path is false, so no dynamic
+// execution of any path can emit. The one hazard is a program that writes
+// member variables — skipped invocations would then perturb state that
+// later invocations' (dropped, invisible) guards read — so any member-
+// variable write disables dropping entirely.
 func (a *analysis) findSelect(d *Descriptor) *SelectDescriptor {
 	if len(a.emits) == 0 {
 		d.notef("select: map() never emits")
 		return nil
 	}
-	for _, e := range a.emits {
-		if e.block.InLoop {
-			// A per-record loop can emit a data-dependent number of times;
-			// the path conditions alone do not determine emission. Missing
-			// the optimization is regrettable; a false one is catastrophic.
-			d.notef("select: emit at %s is inside a loop; conservatively not optimizable", a.prog.Pos(e.call.Pos()))
-			return nil
-		}
-	}
+	globalWrite, writes := a.writesGlobals()
 
 	var dnf predicate.DNF
+	approx := false
 	for _, e := range a.emits {
 		paths, err := a.graph.PathsTo(e.block)
 		if err != nil {
@@ -34,6 +46,17 @@ func (a *analysis) findSelect(d *Descriptor) *SelectDescriptor {
 		for _, path := range paths {
 			conj := predicate.DNF{predicate.Conjunct{}} // neutral: true
 			for _, c := range path {
+				if a.condLoopVarying(c) {
+					if writes {
+						d.notef("select: guard %q varies per loop iteration and the program writes member variable %s; conservatively not optimizable",
+							a.graph.ExprString(c.Expr), globalWrite)
+						return nil
+					}
+					// Hoist the loop out of the formula: drop the varying
+					// guard, keeping only the invariant ones.
+					approx = true
+					continue
+				}
 				// allFunc: every conditional on every path must be
 				// functional in the inputs (paper Figure 3, lines 8-11).
 				dag, err := a.flow.UseDefOfCond(c.Block)
@@ -72,11 +95,18 @@ func (a *analysis) findSelect(d *Descriptor) *SelectDescriptor {
 	}
 
 	if dnf.AlwaysEmits() {
-		d.notef("select: some path to emit carries no conditions; no selection present")
+		if approx {
+			d.notef("select: every guard on some path to emit varies per loop iteration; no invariant selection")
+		} else {
+			d.notef("select: some path to emit carries no conditions; no selection present")
+		}
 		return nil
 	}
+	if approx {
+		d.notef("select: loop-varying guards hoisted out of the formula; it over-approximates the emit condition (safe for prefilters)")
+	}
 
-	sel := &SelectDescriptor{Formula: dnf}
+	sel := &SelectDescriptor{Formula: dnf, Approximate: approx}
 	for _, canon := range dnf.IndexableKeys() {
 		expr, ok := dnf.KeyExprFor(canon)
 		if ok && !exprContainsConf(expr) {
@@ -87,4 +117,67 @@ func (a *analysis) findSelect(d *Descriptor) *SelectDescriptor {
 		d.notef("select: formula %q has no indexable key bounded in every disjunct", dnf.Canon())
 	}
 	return sel
+}
+
+// condLoopVarying reports whether a path condition's value can change
+// between loop iterations of a single map() invocation: the condition is a
+// range header (its "condition" is iteration progress itself) or its
+// use-def DAG reaches a definition inside a loop. Conditions this cannot
+// prove varying fall through to the strict isFunc/resolve pipeline, which
+// bails on anything else suspicious.
+func (a *analysis) condLoopVarying(c cfg.Cond) bool {
+	if c.Block.IsRangeHeader {
+		return true
+	}
+	return condReachesLoopDef(a, c)
+}
+
+func condReachesLoopDef(a *analysis, c cfg.Cond) bool {
+	dag, err := a.flow.UseDefOfCond(c.Block)
+	if err != nil {
+		return false // let the strict path surface the error
+	}
+	varying := false
+	dag.Walk(func(n *dataflow.Node) {
+		if varying || n.Kind != dataflow.NodeStmt || n.Stmt == nil {
+			return
+		}
+		if blk := a.graph.BlockOf(n.Stmt); blk != nil && blk.InLoop {
+			varying = true
+		}
+	})
+	return varying
+}
+
+// writesGlobals reports whether the Map function — or any helper it calls,
+// transitively through summaries — assigns to a member variable.
+func (a *analysis) writesGlobals() (string, bool) {
+	what := ""
+	note := func(name string) {
+		if what == "" {
+			what = name
+		}
+	}
+	ast.Inspect(a.fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range st.Lhs {
+				if id, ok := l.(*ast.Ident); ok && a.prog.IsGlobal(id.Name) {
+					note(id.Name)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := st.X.(*ast.Ident); ok && a.prog.IsGlobal(id.Name) {
+				note(id.Name)
+			}
+		case *ast.CallExpr:
+			if id, ok := st.Fun.(*ast.Ident); ok {
+				if sum := a.summaries[id.Name]; sum != nil && (sum.WritesGlobals || sum.Recursive) {
+					note("(via helper " + id.Name + ")")
+				}
+			}
+		}
+		return true
+	})
+	return what, what != ""
 }

@@ -1,0 +1,352 @@
+package analyzer
+
+import (
+	"fmt"
+	"go/ast"
+
+	"manimal/internal/lang"
+)
+
+// ParamFieldUse records which input-record fields a helper reads through
+// one of its parameters (meaningful only for *Record parameters).
+type ParamFieldUse struct {
+	// Fields are the constant field names read. Sorted, deterministic.
+	Fields []string
+	// Opaque marks a parameter used whole (passed somewhere the summary
+	// cannot see through) or accessed with a dynamic field name: every
+	// field must be assumed touched.
+	Opaque bool
+
+	fieldSet map[string]bool
+}
+
+func (u *ParamFieldUse) addField(f string) {
+	if u.fieldSet == nil {
+		u.fieldSet = make(map[string]bool)
+	}
+	u.fieldSet[f] = true
+}
+
+// FuncSummary is the bottom-up interprocedural summary of one user-defined
+// helper function: everything the intraprocedural detectors need in order
+// to see through a call without re-walking the callee at every call site.
+// Summaries are computed callee-first over the program call graph;
+// recursion makes a conservative all-bets-off summary (Recursive).
+type FuncSummary struct {
+	Name string
+
+	// Pure reports that the helper's return value is functional in its
+	// arguments: no member-variable access, no calls outside the pure
+	// whitelist or to other pure helpers. This is the interprocedural
+	// extension of the paper's isFunc test (Section 3.2).
+	Pure bool
+	// ImpureReason explains the first purity violation found, for notes.
+	ImpureReason string
+
+	// ReadsGlobals/WritesGlobals track member-variable access, including
+	// transitively through callees.
+	ReadsGlobals  bool
+	WritesGlobals bool
+
+	// ParamFields[i] is the field use of parameter i.
+	ParamFields []ParamFieldUse
+
+	// Inlinable marks a straight-line helper (no branches or loops, a
+	// single trailing return): its return expression can be substituted
+	// into a caller's predicate by the selection resolver.
+	Inlinable bool
+	// RetStmt/RetExpr are the single return site when Inlinable.
+	RetStmt *ast.ReturnStmt
+	RetExpr ast.Expr
+
+	// Recursive marks helpers on a call-graph cycle; the analyzer has no
+	// model of them (conservative bail, exactly like the paper treats
+	// constructs outside its knowledge).
+	Recursive bool
+}
+
+// Summarize computes summaries for every helper in the program, bottom-up
+// over the call graph.
+func Summarize(p *lang.Program) map[string]*FuncSummary {
+	s := &summarizer{p: p, sums: make(map[string]*FuncSummary), state: make(map[string]int)}
+	for _, fn := range p.Helpers() {
+		s.visit(fn.Name)
+	}
+	return s.sums
+}
+
+type summarizer struct {
+	p     *lang.Program
+	sums  map[string]*FuncSummary
+	state map[string]int // 0 unvisited, 1 in progress, 2 done
+}
+
+// visit computes the summary of one helper, recursing into callees first.
+// A helper found on the DFS stack is part of a cycle: it (and everything
+// still in progress above it) gets the conservative recursive summary.
+func (s *summarizer) visit(name string) *FuncSummary {
+	if sum, ok := s.sums[name]; ok && s.state[name] == 2 {
+		return sum
+	}
+	fn := s.p.Funcs[name]
+	if fn == nil || lang.IsWellKnown(name) {
+		return nil
+	}
+	if s.state[name] == 1 {
+		// Cycle: seed the conservative summary now so the caller sees it.
+		sum := recursiveSummary(fn)
+		s.sums[name] = sum
+		s.state[name] = 2
+		return sum
+	}
+	s.state[name] = 1
+	sum := s.scan(fn)
+	if existing, ok := s.sums[name]; ok && existing.Recursive {
+		// A cycle through this helper was detected while scanning it; the
+		// conservative summary stands.
+		s.state[name] = 2
+		return existing
+	}
+	s.sums[name] = sum
+	s.state[name] = 2
+	return sum
+}
+
+func recursiveSummary(fn *lang.Function) *FuncSummary {
+	sum := &FuncSummary{
+		Name:          fn.Name,
+		Pure:          false,
+		ImpureReason:  "recursive helper; the analyzer has no functional model of recursion",
+		Recursive:     true,
+		ReadsGlobals:  true,
+		WritesGlobals: true,
+		ParamFields:   make([]ParamFieldUse, len(fn.Params)),
+	}
+	for i := range sum.ParamFields {
+		sum.ParamFields[i].Opaque = true
+	}
+	return sum
+}
+
+// scan walks one helper body, folding in the (already computed) summaries
+// of everything it calls.
+func (s *summarizer) scan(fn *lang.Function) *FuncSummary {
+	sum := &FuncSummary{Name: fn.Name, Pure: true, ParamFields: make([]ParamFieldUse, len(fn.Params))}
+	paramIdx := make(map[string]int, len(fn.Params))
+	for i, p := range fn.Params {
+		paramIdx[p.Name] = i
+	}
+	impure := func(format string, args ...any) {
+		if sum.Pure {
+			sum.Pure = false
+			sum.ImpureReason = fmt.Sprintf(format, args...)
+		}
+	}
+	opaque := func(i int) { sum.ParamFields[i].Opaque = true }
+	isRecordParam := func(i int) bool { return fn.Params[i].Type == "*Record" }
+
+	var scanExpr func(e ast.Expr)
+	scanExpr = func(e ast.Expr) {
+		switch ex := e.(type) {
+		case nil:
+		case *ast.Ident:
+			if i, ok := paramIdx[ex.Name]; ok {
+				if isRecordParam(i) {
+					opaque(i) // record escapes whole
+				}
+				return
+			}
+			if _, local := fn.SlotIndex(ex.Name); !local && s.p.IsGlobal(ex.Name) {
+				sum.ReadsGlobals = true
+				impure("reads member variable %q", ex.Name)
+			}
+		case *ast.ParenExpr:
+			scanExpr(ex.X)
+		case *ast.UnaryExpr:
+			scanExpr(ex.X)
+		case *ast.BinaryExpr:
+			scanExpr(ex.X)
+			scanExpr(ex.Y)
+		case *ast.IndexExpr:
+			scanExpr(ex.X)
+			scanExpr(ex.Index)
+		case *ast.CallExpr:
+			s.scanCall(fn, sum, ex, paramIdx, impure, scanExpr)
+		}
+	}
+
+	var scanStmt func(st ast.Stmt)
+	scanStmt = func(st ast.Stmt) {
+		switch t := st.(type) {
+		case nil:
+		case *ast.AssignStmt:
+			for _, l := range t.Lhs {
+				switch lhs := l.(type) {
+				case *ast.Ident:
+					if _, local := fn.SlotIndex(lhs.Name); !local && s.p.IsGlobal(lhs.Name) {
+						sum.WritesGlobals = true
+						impure("writes member variable %q", lhs.Name)
+					}
+				case *ast.IndexExpr:
+					scanExpr(lhs)
+				}
+			}
+			for _, r := range t.Rhs {
+				scanExpr(r)
+			}
+		case *ast.DeclStmt:
+			if gd, ok := t.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, v := range vs.Values {
+							scanExpr(v)
+						}
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := t.X.(*ast.Ident); ok {
+				if _, local := fn.SlotIndex(id.Name); !local && s.p.IsGlobal(id.Name) {
+					sum.WritesGlobals = true
+					impure("writes member variable %q", id.Name)
+				}
+			}
+			scanExpr(t.X)
+		case *ast.ExprStmt:
+			scanExpr(t.X)
+		case *ast.ReturnStmt:
+			for _, r := range t.Results {
+				scanExpr(r)
+			}
+		case *ast.IfStmt:
+			scanExpr(t.Cond)
+			scanStmt(t.Body)
+			scanStmt(t.Else)
+		case *ast.ForStmt:
+			scanStmt(t.Init)
+			scanExpr(t.Cond)
+			scanStmt(t.Post)
+			scanStmt(t.Body)
+		case *ast.RangeStmt:
+			scanExpr(t.X)
+			scanStmt(t.Body)
+		case *ast.BlockStmt:
+			for _, inner := range t.List {
+				scanStmt(inner)
+			}
+		case *ast.BranchStmt:
+		}
+	}
+	scanStmt(fn.Body)
+
+	sum.Inlinable, sum.RetStmt = inlinableReturn(fn.Body)
+	if sum.RetStmt != nil && len(sum.RetStmt.Results) == 1 {
+		sum.RetExpr = sum.RetStmt.Results[0]
+	} else {
+		sum.Inlinable = false
+	}
+
+	for i := range sum.ParamFields {
+		sum.ParamFields[i].Fields = sortedStrings(sum.ParamFields[i].fieldSet)
+	}
+	return sum
+}
+
+// scanCall folds one call inside a helper body into the summary.
+func (s *summarizer) scanCall(fn *lang.Function, sum *FuncSummary, call *ast.CallExpr,
+	paramIdx map[string]int, impure func(string, ...any), scanExpr func(ast.Expr)) {
+	isRecordParam := func(i int) bool { return fn.Params[i].Type == "*Record" }
+
+	if recv, method, isMethod := lang.MethodOn(call); isMethod {
+		switch {
+		case recv == "strings" || recv == "strconv" || recv == "math":
+			full := recv + "." + method
+			if !lang.PureFuncs[full] {
+				impure("calls %s, which the analyzer has no functional model of", full)
+			}
+			for _, a := range call.Args {
+				scanExpr(a)
+			}
+		default:
+			if i, ok := paramIdx[recv]; ok && isRecordParam(i) {
+				if field, _, isAccessor := lang.IsRecordAccessor(call); isAccessor {
+					if field == "" {
+						sum.ParamFields[i].Opaque = true
+					} else {
+						sum.ParamFields[i].addField(field)
+					}
+					return
+				}
+			}
+			impure("calls non-functional method %s.%s", recv, method)
+			for _, a := range call.Args {
+				scanExpr(a)
+			}
+		}
+		return
+	}
+
+	name, _ := lang.CallName(call)
+	if callee, isHelper := s.p.Funcs[name]; isHelper && !lang.IsWellKnown(name) {
+		csum := s.visit(name)
+		if csum == nil {
+			impure("calls %s, which the analyzer has no functional model of", name)
+			return
+		}
+		if !csum.Pure {
+			impure("calls helper %s: %s", name, csum.ImpureReason)
+		}
+		sum.ReadsGlobals = sum.ReadsGlobals || csum.ReadsGlobals
+		sum.WritesGlobals = sum.WritesGlobals || csum.WritesGlobals
+		for j, arg := range call.Args {
+			if j >= len(callee.Params) || j >= len(csum.ParamFields) {
+				scanExpr(arg)
+				continue
+			}
+			if id, ok := unparen(arg).(*ast.Ident); ok {
+				if i, isP := paramIdx[id.Name]; isP && isRecordParam(i) {
+					// The record flows into the callee: merge the callee's
+					// view of that parameter position.
+					if csum.ParamFields[j].Opaque {
+						sum.ParamFields[i].Opaque = true
+					}
+					for _, f := range csum.ParamFields[j].Fields {
+						sum.ParamFields[i].addField(f)
+					}
+					continue
+				}
+			}
+			scanExpr(arg)
+		}
+		return
+	}
+	if !lang.PureFuncs[name] {
+		impure("calls %s, which the analyzer has no functional model of", name)
+	}
+	for _, a := range call.Args {
+		scanExpr(a)
+	}
+}
+
+// inlinableReturn reports whether a helper body is straight-line code
+// ending in its only return statement. Such a helper's return expression
+// can be resolved in the helper's own dataflow and substituted into a
+// caller's predicate.
+func inlinableReturn(body *ast.BlockStmt) (bool, *ast.ReturnStmt) {
+	if len(body.List) == 0 {
+		return false, nil
+	}
+	ret, ok := body.List[len(body.List)-1].(*ast.ReturnStmt)
+	if !ok {
+		return false, nil
+	}
+	for _, st := range body.List[:len(body.List)-1] {
+		switch st.(type) {
+		case *ast.AssignStmt, *ast.DeclStmt, *ast.ExprStmt, *ast.IncDecStmt:
+		default:
+			return false, nil // branches, loops, nested blocks, early returns
+		}
+	}
+	// No nested returns possible: the loop above rejects compound statements.
+	return true, ret
+}

@@ -4,6 +4,14 @@
 // and distinguish true/false successors so that conds(path) — the sequence
 // of conditional outcomes along a path — can be recovered exactly as the
 // selection-detection algorithm (paper Figure 3) requires.
+//
+// Two annotations serve the analyzer's loop-invariance rule: Block.InLoop
+// marks blocks lowered inside any for/range body (a definition there may
+// take a new value each iteration), and Block.IsRangeHeader marks range
+// headers themselves (their "condition" is iteration progress, never a
+// per-record predicate). Return statements join their block's Stmts list so
+// dataflow computes an environment at the return site — that is where the
+// analyzer resolves an inlinable helper's return expression.
 package cfg
 
 import (
@@ -32,10 +40,16 @@ type Block struct {
 	Next      *Block
 
 	// InLoop marks blocks whose statements may execute more than once per
-	// map() invocation. The selection analyzer conservatively refuses to
-	// build a DNF over emits in loops (a missed optimization is regrettable;
-	// a false one is catastrophic — paper Section 1).
+	// map() invocation. The selection analyzer refuses to build a DNF over
+	// loop-varying guards of emits in loops (a missed optimization is
+	// regrettable; a false one is catastrophic — paper Section 1); guards
+	// whose use-def DAGs are loop-invariant may still be hoisted.
 	InLoop bool
+
+	// IsRangeHeader marks a range loop's header block, whose Cond is the
+	// range expression itself (not a boolean): useful for projection's
+	// field-use collection but never meaningful as a DNF atom.
+	IsRangeHeader bool
 
 	// IsEntry/IsExit mark the two special nodes (paper Section 3.1).
 	IsEntry bool
@@ -152,6 +166,10 @@ func (b *builder) lowerStmt(cur *Block, s ast.Stmt) (*Block, error) {
 		return b.lowerBlock(cur, st)
 
 	case *ast.ReturnStmt:
+		// Returns join the block's statement list so dataflow computes an
+		// environment for them: helper return expressions are resolved at
+		// their return site.
+		cur.Stmts = append(cur.Stmts, s)
 		b.g.stmtBlock[s] = cur
 		cur.Next = b.g.Exit
 		return nil, nil
@@ -272,6 +290,7 @@ func (b *builder) lowerStmt(cur *Block, s ast.Stmt) (*Block, error) {
 		// representing it by the range expression itself lets fieldsIn()
 		// see the fields the iteration consumes.
 		header.Cond = st.X
+		header.IsRangeHeader = true
 		header.TrueSucc = bodyB
 		header.FalseSucc = after
 		b.g.stmtBlock[s] = header

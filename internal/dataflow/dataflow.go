@@ -3,7 +3,14 @@
 // a use, finds every reaching definition, and recursively treats each
 // definition as a new use, bottoming out at map() parameters, constants,
 // or externally-defined member variables (package-level vars). The
-// resulting DAG is what the analyzer's isFunc safety test inspects.
+// resulting DAG is what the analyzer's isFunc safety test inspects; the
+// same DAGs drive the loop-invariance rule (a condition is loop-varying
+// iff its DAG reaches a definition in an InLoop block) and helper
+// inlining (UseDefOfExpr at a helper's return statement resolves its
+// return expression — return statements appear in Block.Stmts exactly so
+// an environment exists there). Calls to user-defined helpers contribute
+// their ARGUMENT uses only: the callee's effects are the analyzer's
+// summaries' concern, not the caller's chains.
 package dataflow
 
 import (
@@ -352,6 +359,8 @@ func StmtUses(s ast.Stmt) []ast.Expr {
 		return []ast.Expr{st.X}
 	case *ast.ExprStmt:
 		return []ast.Expr{st.X}
+	case *ast.ReturnStmt:
+		return append([]ast.Expr(nil), st.Results...)
 	default:
 		return nil
 	}

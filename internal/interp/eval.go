@@ -167,6 +167,17 @@ func (fr *frame) evalCall(c *ast.CallExpr) (Value, error) {
 		}
 	}
 	name, _ := lang.CallName(c)
+	if helper, ok := fr.ex.prog.Funcs[name]; ok && !lang.IsWellKnown(name) {
+		args := make([]Value, len(c.Args))
+		for i, a := range c.Args {
+			v, err := fr.eval(a)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = v
+		}
+		return fr.callHelper(helper, args)
+	}
 	return fr.evalBuiltin(name, c)
 }
 

@@ -162,6 +162,11 @@ type frame struct {
 	iter      ValueIter
 	iterCur   EmitValue
 	iterOK    bool
+	// ret carries a helper's return value out of its body; depth bounds the
+	// helper call chain (the language admits recursion syntactically, the
+	// analyzer just refuses to model it).
+	ret   Value
+	depth int
 }
 
 // newFrame resets and returns the executor's reused invocation frame. The
@@ -189,7 +194,40 @@ func (ex *Executor) newFrame(ctx *Context, fn *lang.Function) *frame {
 	fr.iter = nil
 	fr.iterCur = EmitValue{}
 	fr.iterOK = false
+	fr.ret = Value{}
+	fr.depth = 0
 	return fr
+}
+
+// maxCallDepth bounds user-helper call chains; recursive helpers are legal
+// to run (the analyzer simply refuses to summarize them) but must not be
+// able to blow the Go stack.
+const maxCallDepth = 64
+
+// callHelper invokes a user-defined helper function in a fresh frame.
+// Helper frames are allocated per call — the executor's reused frame is the
+// caller's and must stay live — but helper calls only occur on the
+// tree-walking path of programs that use them, so the hot compiled path
+// stays allocation-free.
+func (fr *frame) callHelper(fn *lang.Function, args []Value) (Value, error) {
+	if fr.depth >= maxCallDepth {
+		return Value{}, fmt.Errorf("interp: call depth exceeded %d in %s (runaway recursion?)", maxCallDepth, fn.Name)
+	}
+	hf := &frame{ex: fr.ex, ctx: fr.ctx, fn: fn, depth: fr.depth + 1}
+	n := fn.NumSlots()
+	hf.slots = make([]Value, n)
+	hf.defined = make([]bool, n)
+	for i, p := range fn.Params {
+		hf.define(p.Name, args[i])
+	}
+	c, err := hf.execBlock(fn.Body)
+	if err != nil {
+		return Value{}, err
+	}
+	if c != ctrlReturn {
+		return Value{}, fmt.Errorf("interp: helper %s fell off the end without returning", fn.Name)
+	}
+	return hf.ret, nil
 }
 
 func (fr *frame) define(name string, v Value) {
@@ -384,6 +422,13 @@ func (fr *frame) execStmt(s ast.Stmt) (ctrl, error) {
 		}
 		return ctrlNone, nil
 	case *ast.ReturnStmt:
+		if len(st.Results) == 1 {
+			v, err := fr.eval(st.Results[0])
+			if err != nil {
+				return ctrlNone, err
+			}
+			fr.ret = v
+		}
 		return ctrlReturn, nil
 	case *ast.BranchStmt:
 		if st.Tok == token.BREAK {

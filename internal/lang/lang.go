@@ -23,6 +23,13 @@
 //	    }
 //	    ctx.Emit(key, sum)
 //	}
+//
+// Programs may also define HELPER functions — any other top-level func.
+// A helper returns exactly one value, takes only *Record and scalar
+// (Datum, int, int64, float64, string, bool) parameters, and cannot call
+// the stage functions. Helpers run in the tree-walking interpreter with
+// call-depth-bounded recursion; the analyzer summarizes them (package
+// analyzer) so calling one does not hide an optimization.
 package lang
 
 import (
@@ -30,6 +37,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"sort"
 )
 
 // Well-known function names within a program. Combine is an optional
@@ -39,6 +47,14 @@ const (
 	ReduceFuncName  = "Reduce"
 	CombineFuncName = "Combine"
 )
+
+// IsWellKnown reports whether name is one of the stage entry points
+// (Map/Reduce/Combine). Every other top-level function is a user-defined
+// helper: it must declare exactly one result and may be called from stage
+// functions or other helpers.
+func IsWellKnown(name string) bool {
+	return name == MapFuncName || name == ReduceFuncName || name == CombineFuncName
+}
 
 // Record accessor method names (methods on the map value/key parameters).
 var recordAccessors = map[string]bool{
@@ -260,6 +276,23 @@ func (p *Program) Reduce() *Function { return p.Funcs[ReduceFuncName] }
 // Combine returns the optional Combine function, or nil.
 func (p *Program) Combine() *Function { return p.Funcs[CombineFuncName] }
 
+// Helpers returns the user-defined helper functions (everything that is not
+// Map/Reduce/Combine) in sorted name order.
+func (p *Program) Helpers() []*Function {
+	var names []string
+	for name := range p.Funcs {
+		if !IsWellKnown(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	out := make([]*Function, len(names))
+	for i, name := range names {
+		out[i] = p.Funcs[name]
+	}
+	return out
+}
+
 // IsGlobal reports whether name is a package-level variable of the program.
 func (p *Program) IsGlobal(name string) bool {
 	_, ok := p.Globals[name]
@@ -342,14 +375,40 @@ func (p *Program) buildFunction(d *ast.FuncDecl) (*Function, error) {
 	if d.Body == nil {
 		return nil, fmt.Errorf("lang: %s: function %q has no body", p.Pos(d.Pos()), d.Name.Name)
 	}
-	if d.Type.Results != nil && len(d.Type.Results.List) > 0 {
-		return nil, fmt.Errorf("lang: %s: function %q must not return values", p.Pos(d.Pos()), d.Name.Name)
+	nresults := 0
+	if d.Type.Results != nil {
+		for _, f := range d.Type.Results.List {
+			if n := len(f.Names); n > 0 {
+				nresults += n
+			} else {
+				nresults++
+			}
+		}
+	}
+	if IsWellKnown(d.Name.Name) {
+		if nresults > 0 {
+			return nil, fmt.Errorf("lang: %s: function %q must not return values", p.Pos(d.Pos()), d.Name.Name)
+		}
+	} else if nresults != 1 {
+		return nil, fmt.Errorf("lang: %s: helper function %q must return exactly one value", p.Pos(d.Pos()), d.Name.Name)
 	}
 	fn := &Function{Name: d.Name.Name, Body: d.Body, Decl: d}
 	for _, field := range d.Type.Params.List {
 		t := typeText(field.Type)
 		for _, n := range field.Names {
 			fn.Params = append(fn.Params, Param{Name: n.Name, Type: t})
+		}
+	}
+	if !IsWellKnown(fn.Name) {
+		// Helpers take records and scalars only: no *Ctx (helpers cannot
+		// emit) and no *Iter (iterator state belongs to the reduce stage).
+		for _, prm := range fn.Params {
+			switch prm.Type {
+			case "*Record", "Datum", "int", "int64", "float64", "string", "bool":
+			default:
+				return nil, fmt.Errorf("lang: %s: helper %q parameter %q has unsupported type %q (allowed: *Record and scalars)",
+					p.Pos(d.Pos()), fn.Name, prm.Name, prm.Type)
+			}
 		}
 	}
 	return fn, nil

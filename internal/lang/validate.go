@@ -151,10 +151,17 @@ func (v *validator) stmt(s ast.Stmt) error {
 		}
 		return v.block(st.Body)
 	case *ast.ReturnStmt:
-		if len(st.Results) > 0 {
-			return v.errf(s.Pos(), "return must be bare")
+		if IsWellKnown(v.fn.Name) {
+			if len(st.Results) > 0 {
+				return v.errf(s.Pos(), "return must be bare")
+			}
+			return nil
 		}
-		return nil
+		// Helpers declare exactly one result; every return must supply it.
+		if len(st.Results) != 1 {
+			return v.errf(s.Pos(), "helper %s must return exactly one value", v.fn.Name)
+		}
+		return v.expr(st.Results[0])
 	case *ast.BranchStmt:
 		if st.Label != nil {
 			return v.errf(s.Pos(), "labeled branches are not supported")
@@ -272,10 +279,15 @@ func (v *validator) call(c *ast.CallExpr) error {
 	switch fn := c.Fun.(type) {
 	case *ast.Ident:
 		name := fn.Name
-		if !PureFuncs[name] && !ImpureFuncs[name] {
+		if helper, isHelper := v.p.Funcs[name]; isHelper && !IsWellKnown(name) {
+			if len(c.Args) != len(helper.Params) {
+				return v.errf(c.Pos(), "%s called with %d arguments, wants %d", name, len(c.Args), len(helper.Params))
+			}
+		} else if IsWellKnown(name) {
+			return v.errf(c.Pos(), "cannot call stage function %q directly", name)
+		} else if !PureFuncs[name] && !ImpureFuncs[name] {
 			return v.errf(c.Pos(), "call to unknown function %q", name)
-		}
-		if err := v.checkArity(c, name); err != nil {
+		} else if err := v.checkArity(c, name); err != nil {
 			return err
 		}
 	case *ast.SelectorExpr:

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxFirst enforces the standard parameter order: a context.Context, when a
+// function takes one, is the first parameter — optionally preceded by a
+// *testing.T/B/F in test helpers, matching Go convention.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context must be the first parameter (after any *testing.T/B/F)",
+	Run:  runCtxFirst,
+}
+
+func runCtxFirst(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var name string
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ft, name = fn.Type, fn.Name.Name
+			case *ast.FuncLit:
+				ft, name = fn.Type, "function literal"
+			default:
+				return true
+			}
+			checkCtxFirst(p, ft, name)
+			return true
+		})
+	}
+}
+
+func checkCtxFirst(p *Pass, ft *ast.FuncType, name string) {
+	if ft.Params == nil {
+		return
+	}
+	// Walk parameter positions (a field like `a, b int` is two positions).
+	pos := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			if isContextType(field.Type) {
+				if pos > 0 {
+					p.Reportf(field.Pos(), "%s: context.Context is parameter %d; it must come first (after any *testing.T/B/F)", name, pos+1)
+				}
+				return // only the first context param is checked
+			}
+			if !isTestingType(field.Type) {
+				pos++ // non-testing params before a context count against it
+			}
+		}
+	}
+}
+
+// isContextType matches the type expression `context.Context`.
+func isContextType(t ast.Expr) bool {
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "context"
+}
+
+// isTestingType matches *testing.T, *testing.B, and *testing.F.
+func isTestingType(t ast.Expr) bool {
+	star, ok := t.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := star.X.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "T" && sel.Sel.Name != "B" && sel.Sel.Name != "F") {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "testing"
+}

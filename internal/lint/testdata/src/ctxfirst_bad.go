@@ -1,0 +1,21 @@
+// Seeded ctxfirst violations.
+package testdata
+
+import (
+	"context"
+	"testing"
+)
+
+func ctxSecond(name string, ctx context.Context) {} // want: ctx must be first
+
+func ctxFirstOK(ctx context.Context, name string) {}
+
+func testHelperOK(t *testing.T, ctx context.Context, name string) {}
+
+func testHelperBad(t *testing.T, name string, ctx context.Context) {} // want: ctx after non-testing param
+
+func noCtx(a, b int) {}
+
+func litHolder() {
+	_ = func(n int, ctx context.Context) {} // want: ctx must be first in literals too
+}

@@ -1,0 +1,35 @@
+// Seeded recordclone violations: each "want" line below must be reported.
+package testdata
+
+type record struct{ x int }
+
+func (r *record) Clone() *record { return &(*r) }
+
+type scanner struct{ buf record }
+
+func (s *scanner) Next() bool      { return false }
+func (s *scanner) Record() *record { return &s.buf }
+
+type holder struct{ rec *record }
+
+func retainAll(sc *scanner, out []*record, m map[int]*record, ch chan *record) []*record {
+	out = append(out, sc.Record()) // want: appended to a slice
+	m[0] = sc.Record()             // want: stored in a container
+	h := holder{}
+	h.rec = sc.Record() // want: stored in a field
+	hs := []holder{
+		{rec: sc.Record()}, // want: composite literal
+	}
+	ch <- sc.Record() // want: sent on a channel
+	_ = hs
+	return out
+}
+
+func borrowOK(sc *scanner, out []*record) []*record {
+	r := sc.Record() // ok: local borrow
+	use(r)
+	out = append(out, sc.Record().Clone()) // ok: cloned before retention
+	return out
+}
+
+func use(*record) {}

@@ -232,7 +232,7 @@ func (r slowReducer) Reduce(key serde.Datum, values interp.ValueIter, ctx *inter
 
 // submitShuffleJob builds a reduce job over `records` records with tunable
 // map/reduce delays, returning the execution plus output and work paths.
-func submitShuffleJob(t *testing.T, s *Scheduler, ctx context.Context, records int, mapSleep, reduceSleep time.Duration) (*Execution, string, string) {
+func submitShuffleJob(t *testing.T, ctx context.Context, s *Scheduler, records int, mapSleep, reduceSleep time.Duration) (*Execution, string, string) {
 	t.Helper()
 	lines := make([]string, records)
 	for i := range lines {
@@ -307,7 +307,7 @@ func assertCanceledCleanup(t *testing.T, e *Execution, out, work string) {
 // promptly and leave no partial output or spill files behind.
 func TestCancelMidMapPhase(t *testing.T) {
 	s := NewScheduler(2)
-	e, out, work := submitShuffleJob(t, s, context.Background(), 5000, time.Millisecond, 0)
+	e, out, work := submitShuffleJob(t, context.Background(), s, 5000, time.Millisecond, 0)
 	waitForPhase(t, e, PhaseMap)
 	e.Cancel()
 	assertCanceledCleanup(t, e, out, work)
@@ -319,7 +319,7 @@ func TestCancelMidReducePhase(t *testing.T) {
 	s := NewScheduler(2)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	e, out, work := submitShuffleJob(t, s, ctx, 400, 0, 50*time.Millisecond)
+	e, out, work := submitShuffleJob(t, ctx, s, 400, 0, 50*time.Millisecond)
 	waitForPhase(t, e, PhaseReduce)
 	cancel()
 	assertCanceledCleanup(t, e, out, work)
@@ -353,7 +353,7 @@ func TestCancelDuringAdmission(t *testing.T) {
 // and ends done with the result's counters visible through Status.
 func TestExecutionStatusLifecycle(t *testing.T) {
 	s := NewScheduler(2)
-	e, out, _ := submitShuffleJob(t, s, context.Background(), 64, 0, 0)
+	e, out, _ := submitShuffleJob(t, context.Background(), s, 64, 0, 0)
 	res, err := e.Wait()
 	if err != nil {
 		t.Fatal(err)

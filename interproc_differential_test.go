@@ -1,0 +1,238 @@
+package manimal_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"manimal"
+	"manimal/internal/mapreduce"
+	"manimal/internal/workload"
+)
+
+// helperGuardSource keys its emit decision on a pure helper: the
+// interprocedural analyzer must see through the call and recover the same
+// date-range selection it finds when the guard is written inline.
+const helperGuardSource = `
+func inWindow(r *Record, lo int64, hi int64) bool {
+	return r.Int("visitDate") >= lo && r.Int("visitDate") < hi
+}
+
+func Map(k, v *Record, ctx *Ctx) {
+	if inWindow(v, ctx.ConfInt("lo"), ctx.ConfInt("hi")) {
+		ctx.Emit(v.Str("destURL"), v.Int("adRevenue"))
+	}
+}
+
+func Reduce(key Datum, values *Iter, ctx *Ctx) {
+	sum := 0
+	for values.Next() {
+		sum = sum + values.Int()
+	}
+	ctx.Emit(key, sum)
+}
+`
+
+// loopGuardSource emits inside a range loop under a loop-invariant guard:
+// the loop-aware analyzer must hoist the invariant date-range test into an
+// (approximate) selection formula while the per-iteration emit key varies.
+const loopGuardSource = `
+func Map(k, v *Record, ctx *Ctx) {
+	words := strings.Fields(v.Str("searchWord"))
+	for _, w := range words {
+		if v.Int("visitDate") >= ctx.ConfInt("lo") && v.Int("visitDate") < ctx.ConfInt("hi") {
+			ctx.Emit(w, v.Int("adRevenue"))
+		}
+	}
+}
+
+func Reduce(key Datum, values *Iter, ctx *Ctx) {
+	sum := 0
+	for values.Next() {
+		sum = sum + values.Int()
+	}
+	ctx.Emit(key, sum)
+}
+`
+
+// runInterprocDifferential runs src against UserVisits twice — optimization
+// disabled and enabled — and requires identical output plus engaged
+// zone-map block skipping on the optimized run.
+func runInterprocDifferential(t *testing.T, name, src string, wantApprox bool) {
+	t.Helper()
+	dir := t.TempDir()
+	data := filepath.Join(dir, "uservisits.rec")
+	if err := workload.NewGen(21).WriteUserVisits(data, 8000, 300); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := manimal.NewSystem(filepath.Join(dir, "sys"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := mustProgram(t, name, src)
+	// A narrow slice in the middle of the monotone date range: most blocks
+	// are skippable by their visitDate zone maps.
+	conf := manimal.Conf{"lo": manimal.Int(1_200_030_000), "hi": manimal.Int(1_200_032_000)}
+
+	baseSpec := manimal.JobSpec{
+		Name:                name + "-base",
+		Inputs:              []manimal.InputSpec{{Path: data, Program: prog}},
+		OutputPath:          filepath.Join(dir, "base.kv"),
+		Conf:                conf,
+		DisableOptimization: true,
+	}
+	base, _ := submit(t, sys, baseSpec)
+	if len(base) == 0 {
+		t.Fatal("baseline produced no output")
+	}
+
+	optSpec := baseSpec
+	optSpec.Name = name + "-opt"
+	optSpec.OutputPath = filepath.Join(dir, "opt.kv")
+	optSpec.DisableOptimization = false
+	opt, report := submit(t, sys, optSpec)
+
+	desc := report.Inputs[0].Descriptor
+	if desc.Select == nil {
+		t.Fatalf("no selection detected; notes: %v", desc.Notes)
+	}
+	if desc.Select.Approximate != wantApprox {
+		t.Errorf("Approximate = %v, want %v", desc.Select.Approximate, wantApprox)
+	}
+	if !reflect.DeepEqual(base, opt) {
+		t.Fatalf("optimized output differs from baseline: %d vs %d pairs", len(base), len(opt))
+	}
+	if skipped := report.Result.Counters.Get(mapreduce.CtrBlocksSkipped); skipped == 0 {
+		t.Fatalf("no blocks skipped; plan: %+v", report.Inputs[0].Plan)
+	}
+}
+
+// TestDifferentialHelperGuardSelection: acceptance check — a mapper using a
+// pure helper in its emit guard gets a SelectDescriptor, block skipping
+// engages, and output is byte-identical to the unoptimized run.
+func TestDifferentialHelperGuardSelection(t *testing.T) {
+	runInterprocDifferential(t, "helper-guard", helperGuardSource, false)
+}
+
+// TestDifferentialLoopInvariantGuardSelection: acceptance check — a mapper
+// emitting under a loop-invariant guard gets an (approximate)
+// SelectDescriptor with the same block-skipping and output guarantees.
+func TestDifferentialLoopInvariantGuardSelection(t *testing.T) {
+	runInterprocDifferential(t, "loop-guard", loopGuardSource, true)
+}
+
+// TestDifferentialHelperGuardIndexedPlan drives the helper-guarded mapper
+// through the full index path: synthesize and build the visitDate B+Tree,
+// then require a btree plan whose output matches the unoptimized baseline.
+func TestDifferentialHelperGuardIndexedPlan(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "uservisits.rec")
+	if err := workload.NewGen(22).WriteUserVisits(data, 6000, 300); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := manimal.NewSystem(filepath.Join(dir, "sys"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := mustProgram(t, "helper-guard-idx", helperGuardSource)
+	conf := manimal.Conf{"lo": manimal.Int(1_200_030_000), "hi": manimal.Int(1_200_032_000)}
+
+	baseSpec := manimal.JobSpec{
+		Name:                "helper-guard-idx-base",
+		Inputs:              []manimal.InputSpec{{Path: data, Program: prog}},
+		OutputPath:          filepath.Join(dir, "base.kv"),
+		Conf:                conf,
+		DisableOptimization: true,
+	}
+	base, _ := submit(t, sys, baseSpec)
+
+	entries, err := sys.BuildBestIndexes(prog, data)
+	if err != nil {
+		t.Fatalf("build indexes: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no index synthesized for helper-guarded selection")
+	}
+
+	optSpec := baseSpec
+	optSpec.Name = "helper-guard-idx-opt"
+	optSpec.OutputPath = filepath.Join(dir, "opt.kv")
+	optSpec.DisableOptimization = false
+	opt, report := submit(t, sys, optSpec)
+	if got := report.Inputs[0].Plan.Kind.String(); got != "btree" {
+		t.Fatalf("plan = %s, want btree; notes: %v", got, report.Inputs[0].Plan.Notes)
+	}
+	if !reflect.DeepEqual(base, opt) {
+		t.Fatalf("indexed output differs from baseline: %d vs %d pairs", len(base), len(opt))
+	}
+}
+
+// TestDifferentialHelperProjectionPruned: a mapper whose only record access
+// happens inside helpers must still get a projection (the summaries carry
+// per-parameter field use), and the pruned record-file run must match the
+// unoptimized baseline.
+func TestDifferentialHelperProjectionPruned(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "uservisits.rec")
+	if err := workload.NewGen(23).WriteUserVisits(data, 4000, 300); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := manimal.NewSystem(filepath.Join(dir, "sys"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := mustProgram(t, "helper-project", `
+func ip(r *Record) string {
+	return r.Str("sourceIP")
+}
+
+func revenue(r *Record) int64 {
+	return r.Int("adRevenue")
+}
+
+func Map(k, v *Record, ctx *Ctx) {
+	ctx.Emit(ip(v), revenue(v))
+}
+
+func Reduce(key Datum, values *Iter, ctx *Ctx) {
+	sum := 0
+	for values.Next() {
+		sum = sum + values.Int()
+	}
+	ctx.Emit(key, sum)
+}
+`)
+
+	baseSpec := manimal.JobSpec{
+		Name:                "helper-project-base",
+		Inputs:              []manimal.InputSpec{{Path: data, Program: prog}},
+		OutputPath:          filepath.Join(dir, "base.kv"),
+		Conf:                manimal.Conf{},
+		DisableOptimization: true,
+	}
+	base, _ := submit(t, sys, baseSpec)
+
+	entries, err := sys.BuildBestIndexes(prog, data)
+	if err != nil {
+		t.Fatalf("build indexes: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no projected record file synthesized for helper-only field use")
+	}
+
+	optSpec := baseSpec
+	optSpec.Name = "helper-project-opt"
+	optSpec.OutputPath = filepath.Join(dir, "opt.kv")
+	optSpec.DisableOptimization = false
+	opt, report := submit(t, sys, optSpec)
+	if got := report.Inputs[0].Plan.Kind.String(); got != "recordfile" {
+		t.Fatalf("plan = %s, want recordfile; notes: %v", got, report.Inputs[0].Plan.Notes)
+	}
+	desc := report.Inputs[0].Descriptor
+	if desc.Project == nil || len(desc.Project.UsedFields) != 2 {
+		t.Fatalf("projection = %+v; notes: %v", desc.Project, desc.Notes)
+	}
+	if !reflect.DeepEqual(base, opt) {
+		t.Fatalf("pruned output differs from baseline: %d vs %d pairs", len(base), len(opt))
+	}
+}

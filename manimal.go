@@ -117,6 +117,9 @@ func (p *Program) Parsed() *lang.Program { return p.parsed }
 // Descriptor re-exports the analyzer's optimization descriptor.
 type Descriptor = analyzer.Descriptor
 
+// JoinDescriptor re-exports the analyzer's two-input join shape.
+type JoinDescriptor = analyzer.JoinDescriptor
+
 // Plan re-exports the optimizer's execution descriptor.
 type Plan = optimizer.Plan
 
@@ -224,13 +227,26 @@ func AnalyzeSchema(p *Program, schema *Schema) (*Descriptor, error) {
 	return analyzer.Analyze(p.parsed, schema)
 }
 
+// DetectJoin re-exports the analyzer's two-input join-shape detection for
+// tooling: nil unless both maps re-key on a plain field of their own input.
+func DetectJoin(left *Program, leftSchema *Schema, right *Program, rightSchema *Schema) *JoinDescriptor {
+	return analyzer.DetectJoin(left.parsed, leftSchema, right.parsed, rightSchema)
+}
+
 func schemaOf(path string) (*serde.Schema, error) {
+	s, _, err := inputInfo(path)
+	return s, err
+}
+
+// inputInfo reads an input file's footer metadata: its schema and record
+// count (the cardinality the join detector reports per side).
+func inputInfo(path string) (*serde.Schema, int64, error) {
 	r, err := storage.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer r.Close()
-	return r.Schema(), nil
+	return r.Schema(), r.NumRecords(), nil
 }
 
 // InputSpec names one input file and the program whose Map consumes it.
@@ -284,7 +300,10 @@ type InputReport struct {
 
 // JobReport is the outcome of a submission.
 type JobReport struct {
-	Inputs   []InputReport
+	Inputs []InputReport
+	// Join is set when a two-input submission matches the repartition-join
+	// shape (each map re-keys on a field of its own input); nil otherwise.
+	Join     *JoinDescriptor
 	Result   *mapreduce.Result
 	Duration time.Duration
 }
@@ -311,6 +330,10 @@ func (h *JobHandle) Name() string { return h.name }
 // Inputs returns the per-input analysis and planning reports, available
 // as soon as SubmitAsync returns.
 func (h *JobHandle) Inputs() []InputReport { return h.inputs }
+
+// Join returns the detected join shape (nil if none), available as soon as
+// SubmitAsync returns.
+func (h *JobHandle) Join() *JoinDescriptor { return h.report.Join }
 
 // Status snapshots the job's phase, task progress, and counters; safe to
 // call at any time from any goroutine.
@@ -363,12 +386,18 @@ func (s *System) SubmitAsync(ctx context.Context, spec JobSpec) (*JobHandle, err
 		s.releaseOutput(outputKey)
 	}
 
+	var (
+		schemas []*serde.Schema
+		counts  []int64
+	)
 	for _, ispec := range spec.Inputs {
-		schema, err := schemaOf(ispec.Path)
+		schema, records, err := inputInfo(ispec.Path)
 		if err != nil {
 			fail()
 			return nil, err
 		}
+		schemas = append(schemas, schema)
+		counts = append(counts, records)
 		ir := InputReport{Path: ispec.Path}
 		if !spec.DisableOptimization {
 			desc, err := analyzer.Analyze(ispec.Program.parsed, schema)
@@ -388,6 +417,23 @@ func (s *System) SubmitAsync(ctx context.Context, spec JobSpec) (*JobHandle, err
 			Mapper: fabric.MapperFactory(ispec.Program.parsed),
 		})
 		report.Inputs = append(report.Inputs, ir)
+	}
+
+	// Two-input jobs are checked for the repartition-join shape (paper
+	// Benchmark 3 / examples/join): both maps re-keying on a plain field of
+	// their own input. The detection is reported on the job and noted on
+	// each side's plan for explain output.
+	if len(spec.Inputs) == 2 && !spec.DisableOptimization {
+		if j := analyzer.DetectJoin(spec.Inputs[0].Program.parsed, schemas[0], spec.Inputs[1].Program.parsed, schemas[1]); j != nil {
+			j.Left.Records, j.Right.Records = counts[0], counts[1]
+			report.Join = j
+			note := fmt.Sprintf("join detected: %s (left %d records, right %d records)", j, j.Left.Records, j.Right.Records)
+			for i := range report.Inputs {
+				if report.Inputs[i].Plan != nil {
+					report.Inputs[i].Plan.Notes = append(report.Inputs[i].Plan.Notes, note)
+				}
+			}
+		}
 	}
 
 	out := &lazyKVOutput{path: spec.OutputPath}

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"manimal"
@@ -196,9 +197,31 @@ func TestEndToEndJoin(t *testing.T) {
 		OutputPath: filepath.Join(dir, "base.kv"),
 		Conf:       conf,
 	}
-	base, _ := submit(t, sys, baseSpec)
+	base, baseReport := submit(t, sys, baseSpec)
 	if len(base) == 0 {
 		t.Fatal("join produced no output")
+	}
+
+	// The submission must recognize the repartition-join shape: both maps
+	// re-key on a plain field of their own input.
+	j := baseReport.Join
+	if j == nil {
+		t.Fatal("two-input join shape not detected")
+	}
+	if j.Left.Field != "destURL" || j.Right.Field != "pageURL" {
+		t.Errorf("join keys = %q / %q, want destURL / pageURL", j.Left.Field, j.Right.Field)
+	}
+	if j.Left.Records != 4000 || j.Right.Records != 300 {
+		t.Errorf("join cardinalities = %d / %d, want 4000 / 300", j.Left.Records, j.Right.Records)
+	}
+	joinNoted := false
+	for _, n := range baseReport.Inputs[0].Plan.Notes {
+		if strings.Contains(n, "join detected") {
+			joinNoted = true
+		}
+	}
+	if !joinNoted {
+		t.Errorf("join not noted on plan; notes: %v", baseReport.Inputs[0].Plan.Notes)
 	}
 
 	if _, err := sys.BuildBestIndexes(uvProg, uv); err != nil {
