@@ -94,3 +94,24 @@ func (d *DeltaDecoder) Skip(buf []byte) (int, error) {
 	d.prev += delta
 	return n, nil
 }
+
+// DecodeColumn bulk-decodes len(dst) values of one contiguous delta chain
+// into dst as RAW int64s (a prefix sum over the varint deltas), returning
+// the bytes consumed. For float64 chains the raw values are IEEE-754 bit
+// patterns; callers convert with math.Float64frombits. The chain is reset
+// first: a column is always one whole per-block segment.
+func (d *DeltaDecoder) DecodeColumn(buf []byte, dst []int64) (int, error) {
+	pos := 0
+	prev := int64(0)
+	for i := range dst {
+		delta, n := binary.Varint(buf[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("compress: truncated delta column at row %d", i)
+		}
+		prev += delta
+		dst[i] = prev
+		pos += n
+	}
+	d.prev = prev
+	return pos, nil
+}

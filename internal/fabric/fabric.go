@@ -29,6 +29,13 @@ func (m *interpMapper) Map(k serde.Datum, rec *serde.Record, ctx *interp.Context
 	return m.ex.InvokeMap(k, rec, ctx)
 }
 
+// MapBatch implements mapreduce.BatchMapper: selected rows late-materialize
+// into one reused record and run through the same compiled map path, with
+// keys identical to the row-at-a-time scan's record indices.
+func (m *interpMapper) MapBatch(b *serde.Batch, ctx *interp.Context) error {
+	return m.ex.InvokeMapBatch(b, ctx)
+}
+
 // MapperFactory builds per-task interpreted mappers for the program. Each
 // task gets its own executor, so package-level variables behave like
 // per-task Java member variables — and each executor compiles the program
@@ -103,13 +110,25 @@ func (IdentityReducer) Reduce(key serde.Datum, values interp.ValueIter, ctx *int
 	return nil
 }
 
-// InputForPlan opens the physical input chosen by the optimizer.
+// InputForPlan opens the physical input chosen by the optimizer. Record-file
+// inputs additionally carry the plan's execution strategy: Vectorized plans
+// scan batch-at-a-time (on columnar files; earlier formats serve rows).
 func InputForPlan(plan *optimizer.Plan) (mapreduce.Input, error) {
 	switch plan.Kind {
 	case optimizer.PlanOriginal:
-		return mapreduce.OpenFileWith(plan.InputPath, false, plan.Pushdown)
+		in, err := mapreduce.OpenFileWith(plan.InputPath, false, plan.Pushdown)
+		if err != nil {
+			return nil, err
+		}
+		in.SetBatch(plan.Vectorized)
+		return in, nil
 	case optimizer.PlanRecordFile:
-		return mapreduce.OpenFileWith(plan.IndexPath, plan.DirectCodes, plan.Pushdown)
+		in, err := mapreduce.OpenFileWith(plan.IndexPath, plan.DirectCodes, plan.Pushdown)
+		if err != nil {
+			return nil, err
+		}
+		in.SetBatch(plan.Vectorized)
+		return in, nil
 	case optimizer.PlanBTree:
 		ranges := make([]mapreduce.ByteRange, 0, len(plan.Ranges))
 		for _, iv := range plan.Ranges {

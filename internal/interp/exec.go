@@ -26,6 +26,9 @@ type Executor struct {
 	globals  map[string]*Value
 	compiled map[string]*compiledFunc
 	fr       frame // reused invocation frame; see newFrame
+	// batchRec is the reused late-materialization record of InvokeMapBatch
+	// (see batch.go), created lazily against the first batch's schema.
+	batchRec *serde.Record
 }
 
 // New creates an executor for the program with freshly-initialized

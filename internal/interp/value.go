@@ -23,6 +23,16 @@
 // identical on both paths; differential_test.go holds them to that. To
 // force the tree-walker for debugging, set MANIMAL_TREEWALK=1 in the
 // environment or construct the executor with NewTreeWalker.
+//
+// # Batch entry point
+//
+// Executor.InvokeMapBatch (batch.go) is the vectorized scan pipeline's
+// door into the interpreter: it late-materializes each selected row of a
+// serde.Batch into one executor-owned record and runs the same InvokeMap
+// per row, keyed by Batch.Base()+row. It is observably identical to the
+// row-at-a-time path over the same rows — same keys, values, and emission
+// order — with MANIMAL_ROWSCAN=1 forcing the row path as the differential
+// oracle (mirroring MANIMAL_TREEWALK).
 package interp
 
 import (

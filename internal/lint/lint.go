@@ -4,7 +4,7 @@
 // precisely enough to run clean on compliant code and catch the known
 // hazard patterns, at the cost of being name-based rather than type-based.
 //
-// Two analyzers ship with it:
+// Three analyzers ship with it:
 //
 //   - recordclone: the storage layer's Scanner.Record and the engine's
 //     RecordIter.Record return a record borrowed from an internal buffer,
@@ -12,6 +12,12 @@
 //     to a slice, storing it in a map, field, or composite literal, or
 //     sending it on a channel — without an intervening Clone() aliases
 //     memory that the iterator will overwrite.
+//
+//   - vecborrow: the batch scan path's column-vector accessors
+//     (Vector.Ints/Floats/Strs/Raws/Bools, Batch.Sel, Batch.Col) borrow
+//     batch-owned storage valid only until the producer's next batch;
+//     retaining one of those slices is the column-vector form of the same
+//     use-after-overwrite hazard.
 //
 //   - ctxfirst: context.Context parameters come first (after any
 //     *testing.T/B/F), per standard Go style and the rest of this repo.
@@ -66,7 +72,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns every analyzer in the suite.
 func All() []*Analyzer {
-	return []*Analyzer{RecordClone, CtxFirst}
+	return []*Analyzer{RecordClone, VecBorrow, CtxFirst}
 }
 
 // LintFiles runs the analyzers over already-parsed files and returns the

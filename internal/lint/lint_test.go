@@ -47,6 +47,22 @@ func TestCtxFirstSeededViolations(t *testing.T) {
 	}
 }
 
+func TestVecBorrowSeededViolations(t *testing.T) {
+	diags := lintFile(t, filepath.Join("testdata", "src", "vecborrow_bad.go"), []*Analyzer{VecBorrow})
+	wantLines := []int{22, 23, 25, 27, 29}
+	if len(diags) != len(wantLines) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(wantLines), diags)
+	}
+	for i, d := range diags {
+		if d.Pos.Line != wantLines[i] {
+			t.Errorf("diag %d at line %d, want %d: %s", i, d.Pos.Line, wantLines[i], d)
+		}
+		if d.Analyzer != "vecborrow" {
+			t.Errorf("diag %d analyzer = %q", i, d.Analyzer)
+		}
+	}
+}
+
 // TestRepoIsClean runs the full suite over the repository itself: the
 // runtime must satisfy its own invariants.
 func TestRepoIsClean(t *testing.T) {

@@ -32,6 +32,26 @@ type Split interface {
 	Open() (RecordIter, error)
 }
 
+// BatchSplit is optionally implemented by splits that can serve decoded
+// column-vector batches instead of one record at a time. OpenBatch returns
+// (nil, nil) when the split cannot (or was not configured to) run in batch
+// mode — the engine then falls back to Open's row iterator. The two modes
+// are equivalent by contract: same records, same keys, same counters.
+type BatchSplit interface {
+	OpenBatch() (BatchIter, error)
+}
+
+// BatchIter iterates a split block-batch-wise. The batch (and everything
+// borrowed from it: column slices, selection vector, string/bytes values)
+// is reused across iterations — valid only until the next NextBatch — per
+// the package's buffer-ownership contract.
+type BatchIter interface {
+	NextBatch() bool
+	Batch() *serde.Batch
+	Err() error
+	Close() error
+}
+
 // RecordIter iterates a split's records. Implementations may reuse the
 // record across iterations: Record() is valid only until the next call to
 // Next(), and callers that retain it must Clone() it (see the package
@@ -48,9 +68,16 @@ type RecordIter interface {
 // optionally with a scan pushdown (zone-map block skipping, residual row
 // filtering, field-pruned decoding) chosen by the optimizer.
 type FileInput struct {
-	r  *storage.Reader
-	pd *storage.Pushdown
+	r     *storage.Reader
+	pd    *storage.Pushdown
+	batch bool
 }
+
+// SetBatch turns batch (vectorized) scanning on or off for splits produced
+// after the call. Batch mode requires a columnar (format v4) file; on
+// earlier formats the splits transparently serve rows. The planner owns
+// the choice (optimizer.Plan.Vectorized, MANIMAL_ROWSCAN=1 forces rows).
+func (f *FileInput) SetBatch(on bool) { f.batch = on }
 
 // OpenFile opens a record file as an input. directCodes enables
 // direct-operation mode on dictionary-compressed fields: codes are passed
@@ -135,7 +162,7 @@ func (f *FileInput) Splits(target int) ([]Split, error) {
 		// blocks are skipped (and counted) by the scanner itself.
 		lo, hi := chunk[0], chunk[len(chunk)-1]+1
 		covered += hi - lo
-		out = append(out, &fileSplit{r: f.r, lo: lo, hi: hi, pd: f.pd})
+		out = append(out, &fileSplit{r: f.r, lo: lo, hi: hi, pd: f.pd, batch: f.batch})
 	}
 	// Blocks outside every split never reach a scanner; count them here so
 	// blocks read + skipped always totals the blocks planned over.
@@ -147,6 +174,7 @@ type fileSplit struct {
 	r      *storage.Reader
 	lo, hi int
 	pd     *storage.Pushdown
+	batch  bool
 }
 
 func (s *fileSplit) Open() (RecordIter, error) {
@@ -156,6 +184,29 @@ func (s *fileSplit) Open() (RecordIter, error) {
 	}
 	return &fileIter{sc: sc}, nil
 }
+
+// OpenBatch implements BatchSplit: a vectorized scan over the split's block
+// range, or (nil, nil) when the split is in row mode or the file predates
+// the columnar format.
+func (s *fileSplit) OpenBatch() (BatchIter, error) {
+	if !s.batch || s.r.FormatVersion() < 4 {
+		return nil, nil
+	}
+	sc, err := s.r.ScanBatch(s.lo, s.hi, s.pd)
+	if err != nil {
+		return nil, err
+	}
+	return &fileBatchIter{sc: sc}, nil
+}
+
+type fileBatchIter struct {
+	sc *storage.BatchScanner
+}
+
+func (it *fileBatchIter) NextBatch() bool     { return it.sc.Next() }
+func (it *fileBatchIter) Batch() *serde.Batch { return it.sc.Batch() }
+func (it *fileBatchIter) Err() error          { return it.sc.Err() }
+func (it *fileBatchIter) Close() error        { return nil }
 
 type fileIter struct {
 	sc *storage.Scanner

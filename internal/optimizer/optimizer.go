@@ -63,6 +63,16 @@ type Plan struct {
 	// cannot change observable output, and the mask only drops fields the
 	// program provably never needs.
 	Pushdown *storage.Pushdown
+	// Vectorized selects batch-at-a-time execution for record-file scans
+	// (original or re-encoded): blocks decode into column vectors, the
+	// residual filter runs as vectorized kernels, and rows materialize
+	// late. It is an execution STRATEGY, not an optimization — outputs and
+	// counters are identical to the row-at-a-time path (the pushdown's
+	// legality gates are unchanged) — so it is on for every record-file
+	// plan, including unoptimized ones, unless MANIMAL_ROWSCAN=1 forces
+	// the row path as a differential/fallback oracle (mirroring
+	// MANIMAL_TREEWALK for the interpreter).
+	Vectorized bool
 	// Applied lists the optimizations in effect, e.g. ["selection",
 	// "projection"]. Empty for original scans.
 	Applied []string
@@ -94,7 +104,10 @@ type Options struct {
 // file's schema; entries are the catalog's indexes for that input; conf
 // binds config parameters referenced by the selection formula.
 func Choose(desc *analyzer.Descriptor, inputPath string, schema *serde.Schema, entries []catalog.Entry, conf predicate.Config, opts Options) *Plan {
-	plan := &Plan{Kind: PlanOriginal, InputPath: inputPath}
+	plan := &Plan{Kind: PlanOriginal, InputPath: inputPath, Vectorized: VectorizedEnabled()}
+	if !plan.Vectorized {
+		plan.notef("vectorized scan disabled (MANIMAL_ROWSCAN=1); row-at-a-time fallback")
+	}
 	if desc == nil {
 		plan.notef("no optimization descriptor; running unmodified")
 		return plan
@@ -360,6 +373,7 @@ func chooseRecordFile(desc *analyzer.Descriptor, schema *serde.Schema, entries [
 				InputPath:   base.InputPath,
 				IndexPath:   e.IndexPath,
 				DirectCodes: directCodes,
+				Vectorized:  base.Vectorized,
 				Applied:     applied,
 				Notes:       append([]string(nil), base.Notes...),
 			}
@@ -367,6 +381,16 @@ func chooseRecordFile(desc *analyzer.Descriptor, schema *serde.Schema, entries [
 		}
 	}
 	return best, bestFields
+}
+
+// VectorizedEnabled reports whether record-file scans run batch-at-a-time.
+// On by default; MANIMAL_ROWSCAN=1 forces the row-at-a-time path (the
+// differential/fallback oracle), mirroring MANIMAL_TREEWALK's treatment of
+// the interpreter's compiled closures. Checked at plan time so a plan's
+// explain output records the strategy actually used.
+func VectorizedEnabled() bool {
+	v := os.Getenv("MANIMAL_ROWSCAN")
+	return v == "" || v == "0"
 }
 
 func containsString(xs []string, s string) bool {

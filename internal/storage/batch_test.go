@@ -1,0 +1,419 @@
+package storage
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"manimal/internal/predicate"
+	"manimal/internal/serde"
+)
+
+// rowScanCollect runs a row-at-a-time pushdown scan on an already-open
+// reader, returning cloned surviving records, their whole-file indexes,
+// and the reader's counters afterwards.
+func rowScanCollect(t *testing.T, r *Reader, pd *Pushdown) ([]*serde.Record, []int64, ScanStats) {
+	t.Helper()
+	sc, err := r.ScanPushdown(0, r.NumBlocks(), pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []*serde.Record
+	var idx []int64
+	for sc.Next() {
+		recs = append(recs, sc.Record().Clone())
+		idx = append(idx, sc.RecordIndex())
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	return recs, idx, r.ScanStats()
+}
+
+// batchScanCollect runs a batch scan on an already-open reader,
+// materializing every selected row through one reused record (late
+// materialization, as the engine does), and returns the same triple as
+// rowScanCollect so the two paths compare field for field.
+func batchScanCollect(t *testing.T, r *Reader, pd *Pushdown) ([]*serde.Record, []int64, ScanStats) {
+	t.Helper()
+	sc, err := r.ScanBatch(0, r.NumBlocks(), pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := serde.NewRecord(r.Schema())
+	var recs []*serde.Record
+	var idx []int64
+	for sc.Next() {
+		b := sc.Batch()
+		for _, row := range b.Sel() {
+			b.MaterializeInto(rec, int(row))
+			recs = append(recs, rec.Clone())
+			idx = append(idx, b.Base()+int64(row))
+		}
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	return recs, idx, r.ScanStats()
+}
+
+// TestBatchRowScanDifferential is the batch path's equivalence gate:
+// across every encoding combination and pushdown shape, a batch scan
+// yields exactly the records, indexes, AND pruning counters of a
+// row-at-a-time scan over the same file — the contract the vectorized
+// execution path rests on.
+func TestBatchRowScanDifferential(t *testing.T) {
+	recs := makeRecords(4000, 31)
+	encodings := map[string]WriterOptions{
+		"plain": {BlockSize: 2 << 10},
+		"delta": {BlockSize: 2 << 10, Encodings: map[string]FieldEncoding{
+			"ts": EncodeDelta, "score": EncodeDelta}},
+		"dict": {BlockSize: 2 << 10, Encodings: map[string]FieldEncoding{"url": EncodeDict}},
+		"mixed": {BlockSize: 2 << 10, Encodings: map[string]FieldEncoding{
+			"ts": EncodeDelta, "url": EncodeDict}},
+	}
+	minTS := recs[0].Get("ts").I
+	maxTS := recs[len(recs)-1].Get("ts").I // ts is non-decreasing
+	midFilter := tsFilter(serde.Int((minTS+maxTS)/2), serde.Int((minTS+maxTS)/2+(maxTS-minTS)/20))
+	pushdowns := map[string]*Pushdown{
+		"nil":      nil,
+		"filter":   {Filter: midFilter},
+		"residual": {Filter: midFilter, Residual: true},
+		"fields":   {Fields: []string{"ts"}},
+		"combined": {Filter: midFilter, Residual: true, Fields: []string{"url"}},
+	}
+	for encName, opts := range encodings {
+		path := filepath.Join(t.TempDir(), encName+".rec")
+		writeFile(t, path, recs, opts)
+		for pdName, pd := range pushdowns {
+			t.Run(encName+"/"+pdName, func(t *testing.T) {
+				rr, err := Open(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer rr.Close()
+				br, err := Open(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer br.Close()
+				rowRecs, rowIdx, rowStats := rowScanCollect(t, rr, pd)
+				batchRecs, batchIdx, batchStats := batchScanCollect(t, br, pd)
+				requireEqual(t, rowRecs, batchRecs)
+				if len(rowIdx) != len(batchIdx) {
+					t.Fatalf("index count %d != %d", len(batchIdx), len(rowIdx))
+				}
+				for i := range rowIdx {
+					if rowIdx[i] != batchIdx[i] {
+						t.Fatalf("row %d: batch index %d != row index %d", i, batchIdx[i], rowIdx[i])
+					}
+				}
+				if rowStats != batchStats {
+					t.Fatalf("counters diverge: batch %+v != row %+v", batchStats, rowStats)
+				}
+				if pd != nil && pd.Filter != nil {
+					if batchStats.BlocksRead+batchStats.BlocksSkipped != int64(br.NumBlocks()) {
+						t.Fatalf("blocks read %d + skipped %d != total %d",
+							batchStats.BlocksRead, batchStats.BlocksSkipped, br.NumBlocks())
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBatchScanSkipsBoundaryStraddlingBlocks: a range whose endpoints land
+// mid-block must skip the blocks wholly outside it, read every straddling
+// block, and still match the oracle row for row — with the counters
+// agreeing with the row path.
+func TestBatchScanSkipsBoundaryStraddlingBlocks(t *testing.T) {
+	recs := makeRecords(4000, 32)
+	path := filepath.Join(t.TempDir(), "straddle.rec")
+	writeFile(t, path, recs, WriterOptions{BlockSize: 2 << 10})
+	minTS := recs[0].Get("ts").I
+	maxTS := recs[len(recs)-1].Get("ts").I
+	// Endpoints offset by +7 from the file minimum so they straddle block
+	// boundaries rather than aligning with them.
+	filter := tsFilter(serde.Int(minTS+7), serde.Int(minTS+7+(maxTS-minTS)/3))
+	pd := &Pushdown{Filter: filter, Residual: true}
+
+	br, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer br.Close()
+	got, gotIdx, st := batchScanCollect(t, br, pd)
+	want := oracleFilter(recs, filter)
+	requireEqual(t, want, got)
+	for i, idx := range gotIdx {
+		if !recs[idx].Equal(got[i]) {
+			t.Fatalf("index %d does not address its own record", idx)
+		}
+	}
+	if st.BlocksSkipped == 0 {
+		t.Fatalf("1/3-selectivity range skipped no blocks: %+v", st)
+	}
+	if st.BlocksRead+st.BlocksSkipped != int64(br.NumBlocks()) {
+		t.Fatalf("block accounting off: %+v over %d blocks", st, br.NumBlocks())
+	}
+	if st.RowsFiltered == 0 {
+		t.Fatal("straddling blocks should have residual-dropped rows")
+	}
+
+	rr, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rr.Close()
+	_, _, rowStats := rowScanCollect(t, rr, pd)
+	if rowStats != st {
+		t.Fatalf("counters diverge: batch %+v != row %+v", st, rowStats)
+	}
+}
+
+// TestBatchScanDirectCodes: under DirectCodes the batch path decodes dict
+// fields to the same injective code strings as the row path, and the
+// residual filter ignores dict-field bounds on both paths alike.
+func TestBatchScanDirectCodes(t *testing.T) {
+	schema := serde.MustSchema(
+		serde.Field{Name: "s", Kind: serde.KindString},
+		serde.Field{Name: "n", Kind: serde.KindInt64},
+	)
+	var recs []*serde.Record
+	for c := byte('a'); c <= 'z'; c++ {
+		r := serde.NewRecord(schema)
+		r.MustSet("s", serde.String(strings.Repeat(string(c), 2)))
+		r.MustSet("n", serde.Int(int64(c)))
+		recs = append(recs, r)
+	}
+	path := filepath.Join(t.TempDir(), "dc.rec")
+	w, err := NewWriter(path, schema, WriterOptions{
+		BlockSize: 8, Encodings: map[string]FieldEncoding{"s": EncodeDict}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	filter := predicate.ZoneFilter{{predicate.FieldInterval{Field: "s",
+		Iv: predicate.PointInterval(serde.String("mm"))}}}
+	pd := &Pushdown{Filter: filter, Residual: true}
+	rr, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rr.Close()
+	rr.DirectCodes = true
+	br, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer br.Close()
+	br.DirectCodes = true
+	rowRecs, _, rowStats := rowScanCollect(t, rr, pd)
+	batchRecs, _, batchStats := batchScanCollect(t, br, pd)
+	requireEqual(t, rowRecs, batchRecs)
+	if len(batchRecs) == 0 {
+		t.Fatal("residual filter dropped all rows under DirectCodes")
+	}
+	if rowStats != batchStats {
+		t.Fatalf("counters diverge: batch %+v != row %+v", batchStats, rowStats)
+	}
+	if batchStats.RowsFiltered != 0 {
+		t.Fatalf("residual filtered %d rows on code strings", batchStats.RowsFiltered)
+	}
+}
+
+// writeLegacyV3File writes a record file in the ROW-INTERLEAVED stats
+// format (version 3), replicating the pre-columnar Writer byte for byte:
+// plain encodings, per-block zone-map stats, MANIMAL3 footer, payloads
+// with fields interleaved row by row and no segment-length table. It
+// exists so compatibility with files written before the columnar layout
+// is pinned by construction.
+func writeLegacyV3File(t *testing.T, path string, schema *serde.Schema, recs []*serde.Record, blockSize int) {
+	t.Helper()
+	var out []byte
+	var hdr []byte
+	hdr = schema.AppendBinary(hdr)
+	for i := 0; i < schema.NumFields(); i++ {
+		hdr = append(hdr, byte(EncodePlain))
+	}
+	out = append(out, magicHeader...)
+	out = binary.AppendUvarint(out, uint64(len(hdr)))
+	out = append(out, hdr...)
+
+	type blk struct{ offset, length, records int64 }
+	var blocks []blk
+	var stats []byte
+	curStats := make([]FieldStats, schema.NumFields())
+	var buf []byte
+	var blockRecs int64
+	flush := func() {
+		if blockRecs == 0 {
+			return
+		}
+		var bh []byte
+		bh = binary.AppendUvarint(bh, uint64(len(buf)))
+		bh = binary.AppendUvarint(bh, uint64(blockRecs))
+		blocks = append(blocks, blk{offset: int64(len(out)), length: int64(len(bh) + len(buf)), records: blockRecs})
+		out = append(out, bh...)
+		out = append(out, buf...)
+		stats = appendBlockStats(stats, curStats)
+		for i := range curStats {
+			curStats[i].reset()
+		}
+		buf = buf[:0]
+		blockRecs = 0
+	}
+	for _, r := range recs {
+		for i := 0; i < schema.NumFields(); i++ {
+			curStats[i].update(r.At(i))
+			buf = r.At(i).AppendValue(buf)
+		}
+		blockRecs++
+		if len(buf) >= blockSize {
+			flush()
+		}
+	}
+	flush()
+
+	var ftr []byte
+	ftr = binary.AppendUvarint(ftr, uint64(len(blocks)))
+	for _, b := range blocks {
+		ftr = binary.AppendUvarint(ftr, uint64(b.offset))
+		ftr = binary.AppendUvarint(ftr, uint64(b.length))
+		ftr = binary.AppendUvarint(ftr, uint64(b.records))
+	}
+	ftr = append(ftr, stats...)
+	ftr = binary.LittleEndian.AppendUint64(ftr, uint64(len(ftr)))
+	ftr = append(ftr, magicFooterV3...)
+	out = append(out, ftr...)
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRowInterleavedV3Compat pins backward compatibility with the
+// row-interleaved stats format: a v3 file opens with stats, row scans
+// (plain and pruned) match the oracle exactly, and ScanBatch refuses it —
+// the engine's fallback to the row path for pre-columnar files.
+func TestRowInterleavedV3Compat(t *testing.T) {
+	recs := makeRecords(2000, 33)
+	path := filepath.Join(t.TempDir(), "legacy-v3.rec")
+	writeLegacyV3File(t, path, testSchema, recs, 2<<10)
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !r.HasStats() || r.FormatVersion() != 3 {
+		t.Fatalf("v3 file: HasStats=%v version=%d", r.HasStats(), r.FormatVersion())
+	}
+	requireEqual(t, recs, readBack(t, path))
+
+	// Pruned row scans still work: v3 stats drive block skipping.
+	minTS := recs[0].Get("ts").I
+	maxTS := recs[len(recs)-1].Get("ts").I
+	filter := tsFilter(serde.Int((minTS+maxTS)/2), serde.Int((minTS+maxTS)/2+50))
+	want := oracleFilter(recs, filter)
+	got, _, st := rowScanCollect(t, r, &Pushdown{Filter: filter, Residual: true})
+	requireEqual(t, want, got)
+	if st.BlocksSkipped == 0 {
+		t.Fatalf("v3 stats did not prune: %+v", st)
+	}
+
+	// Batch scans require the columnar layout.
+	if _, err := r.ScanBatch(0, r.NumBlocks(), nil); err == nil {
+		t.Fatal("ScanBatch accepted a row-interleaved v3 file")
+	}
+}
+
+// TestBatchScanRangeValidation mirrors the row scanner's block-range
+// checks.
+func TestBatchScanRangeValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rng.rec")
+	writeFile(t, path, makeRecords(500, 34), WriterOptions{BlockSize: 1 << 10})
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.ScanBatch(-1, 1, nil); err == nil {
+		t.Error("negative block range accepted")
+	}
+	if _, err := r.ScanBatch(0, r.NumBlocks()+1, nil); err == nil {
+		t.Error("out-of-range block accepted")
+	}
+	// Disjoint halves cover everything exactly once, as with row scans.
+	mid := r.NumBlocks() / 2
+	total := 0
+	rec := serde.NewRecord(r.Schema())
+	for _, rng := range [][2]int{{0, mid}, {mid, r.NumBlocks()}} {
+		sc, err := r.ScanBatch(rng[0], rng[1], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for sc.Next() {
+			b := sc.Batch()
+			for _, row := range b.Sel() {
+				if b.Base()+int64(row) != int64(total) {
+					t.Fatalf("row %d has index %d", total, b.Base()+int64(row))
+				}
+				b.MaterializeInto(rec, int(row))
+				total++
+			}
+		}
+		if sc.Err() != nil {
+			t.Fatal(sc.Err())
+		}
+	}
+	if total != 500 {
+		t.Fatalf("split batch scan covered %d records", total)
+	}
+}
+
+// TestBatchScanAllocs gates the zero-allocation batch path: after the
+// first block sizes the scanner's buffers, decoding and filtering further
+// blocks — string fields included — must not allocate per row.
+func TestBatchScanAllocs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "balloc.rec")
+	recs := makeRecords(20000, 35)
+	writeFile(t, path, recs, WriterOptions{BlockSize: 2 << 10})
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	minTS := recs[0].Get("ts").I
+	maxTS := recs[len(recs)-1].Get("ts").I
+	// Half-selectivity residual so the filter kernels run on every block.
+	pd := &Pushdown{Filter: tsFilter(serde.Int((minTS+maxTS)/2), serde.Datum{}), Residual: true}
+	sc, err := r.ScanBatch(0, r.NumBlocks(), pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Next() { // first Next sizes the vectors, masks, and block buffer
+		t.Fatal(sc.Err())
+	}
+	rows := 0
+	blocks := 40
+	allocs := testing.AllocsPerRun(blocks, func() {
+		if !sc.Next() {
+			t.Fatalf("scan exhausted early: %v", sc.Err())
+		}
+		rows += len(sc.Batch().Sel())
+	})
+	perRow := allocs * float64(blocks+1) / float64(rows)
+	if perRow > 0.05 {
+		t.Fatalf("batch scan allocates %.4f objects per row (%.2f per block); want ~0", perRow, allocs)
+	}
+}

@@ -91,10 +91,11 @@ func (r *Reader) readMeta() error {
 	}
 	r.dataStart = hdrOff + int64(hdrLen)
 
-	// Footer. The trailing magic selects the format version: MANIMAL3
+	// Footer. The trailing magic selects the format version: MANIMAL3/4
 	// footers carry per-block zone-map stats between the block index and
-	// the dictionaries; MANIMAL2 (pre-stats) footers remain readable and
-	// simply leave blockStats nil, so scans cannot prune but never fail.
+	// the dictionaries (v4 additionally marks columnar block payloads);
+	// MANIMAL2 (pre-stats) footers remain readable and simply leave
+	// blockStats nil, so scans cannot prune but never fail.
 	tail := make([]byte, 8+len(magicFooterV2))
 	if _, err := r.f.ReadAt(tail, r.fileSize-int64(len(tail))); err != nil {
 		return fmt.Errorf("read footer tail: %w", err)
@@ -104,6 +105,8 @@ func (r *Reader) readMeta() error {
 		r.version = 2
 	case magicFooterV3:
 		r.version = 3
+	case magicFooterV4:
+		r.version = 4
 	default:
 		return fmt.Errorf("bad footer magic: truncated record file")
 	}
@@ -226,7 +229,8 @@ type Scanner struct {
 	raw      []byte // reused block read buffer; buf points into it
 	buf      []byte
 	recsLeft int64
-	pos      int
+	pos      int   // v2/v3 row-interleaved payload cursor
+	fieldPos []int // v4 columnar payloads: one cursor per field segment
 	deltas   []*compress.DeltaDecoder
 	rec      *serde.Record // reused current record; see ownership note
 	valid    bool
@@ -283,22 +287,8 @@ func (r *Reader) ScanPushdown(lo, hi int, pd *Pushdown) (*Scanner, error) {
 				s.rowFilter = &rf
 			}
 		}
-		if pd.Fields != nil {
-			s.decode = make([]bool, r.schema.NumFields())
-			for _, name := range pd.Fields {
-				if i := r.schema.IndexOf(name); i >= 0 {
-					s.decode[i] = true
-				}
-			}
-			// The residual filter reads its fields off the decoded record,
-			// so they decode regardless of the mask.
-			if s.rowFilter != nil {
-				for _, c := range s.rowFilter.conjuncts {
-					for _, b := range c {
-						s.decode[b.field] = true
-					}
-				}
-			}
+		s.decode = r.decodeMaskFor(pd, s.rowFilter)
+		if s.decode != nil {
 			// Masked slots hold a deterministic zero value, not stale bytes.
 			for i := range s.decode {
 				if !s.decode[i] {
@@ -307,7 +297,34 @@ func (r *Reader) ScanPushdown(lo, hi int, pd *Pushdown) (*Scanner, error) {
 			}
 		}
 	}
+	if r.version >= 4 {
+		s.fieldPos = make([]int, r.schema.NumFields())
+	}
 	return s, nil
+}
+
+// decodeMaskFor computes the per-field decode mask a pushdown implies: the
+// masked field set, widened by every field the residual filter constrains
+// (the filter reads its fields off the decoded row, so they decode
+// regardless of the mask). Nil means decode everything.
+func (r *Reader) decodeMaskFor(pd *Pushdown, rowFilter *compiledFilter) []bool {
+	if pd == nil || pd.Fields == nil {
+		return nil
+	}
+	decode := make([]bool, r.schema.NumFields())
+	for _, name := range pd.Fields {
+		if i := r.schema.IndexOf(name); i >= 0 {
+			decode[i] = true
+		}
+	}
+	if rowFilter != nil {
+		for _, c := range rowFilter.conjuncts {
+			for _, b := range c {
+				decode[b.field] = true
+			}
+		}
+	}
+	return decode
 }
 
 // ScanAll returns a scanner over the entire file.
@@ -355,8 +372,12 @@ func (s *Scanner) Next() bool {
 }
 
 // decodeRow decodes (or skips, per the field mask) every field of the next
-// row in the loaded block.
+// row in the loaded block, dispatching on the block layout: columnar (v4,
+// one cursor per field segment) or row-interleaved (v2/v3, one cursor).
 func (s *Scanner) decodeRow() bool {
+	if s.r.version >= 4 {
+		return s.decodeRowColumnar()
+	}
 	for i := 0; i < s.r.schema.NumFields(); i++ {
 		var (
 			n   int
@@ -406,6 +427,50 @@ func (s *Scanner) decodeRow() bool {
 	return true
 }
 
+// decodeRowColumnar decodes the next row of a columnar (v4) block: each
+// field advances its own segment cursor, and masked fields are not touched
+// at all — their segments are simply never visited, which is the layout's
+// point. Delta chains are per-field within a segment, so skipping a masked
+// delta field costs nothing either.
+func (s *Scanner) decodeRowColumnar() bool {
+	for i := 0; i < s.r.schema.NumFields(); i++ {
+		if s.decode != nil && !s.decode[i] {
+			continue
+		}
+		var (
+			n   int
+			err error
+		)
+		slot := s.rec.Slot(i)
+		switch s.r.encodings[i] {
+		case EncodePlain:
+			n, err = serde.DecodeValueSharedInto(s.r.schema.Field(i).Kind, s.buf[s.fieldPos[i]:], slot)
+		case EncodeDelta:
+			*slot, n, err = s.deltas[i].Decode(s.buf[s.fieldPos[i]:])
+		case EncodeDict:
+			var code uint64
+			code, n = binary.Uvarint(s.buf[s.fieldPos[i]:])
+			if n <= 0 {
+				err = fmt.Errorf("truncated dict code")
+			} else if s.r.DirectCodes {
+				*slot = serde.String(compress.CodeString(code))
+			} else {
+				var term string
+				term, err = s.r.dicts[i].Decode(code)
+				*slot = serde.String(term)
+			}
+		default:
+			err = fmt.Errorf("unknown encoding %d", s.r.encodings[i])
+		}
+		if err != nil {
+			s.err = fmt.Errorf("storage: %s field %q: %w", s.r.path, s.r.schema.Field(i).Name, err)
+			return false
+		}
+		s.fieldPos[i] += n
+	}
+	return true
+}
+
 // skipField advances past one masked field without materializing a value:
 // plain fields skip at the encoding level, delta fields advance the chain
 // state (blocks are delta chains, so the running value must stay current),
@@ -442,37 +507,86 @@ func (s *Scanner) flushFiltered() {
 func (s *Scanner) RecordIndex() int64 { return s.curIdx }
 
 func (s *Scanner) loadBlock(i int) error {
-	b := s.r.blocks[i]
-	if int64(cap(s.raw)) < b.length {
-		s.raw = make([]byte, b.length)
-	}
-	raw := s.raw[:b.length]
-	if _, err := s.r.f.ReadAt(raw, b.offset); err != nil {
-		return fmt.Errorf("storage: read block %d: %w", i, err)
-	}
-	s.r.bytesRead.Add(b.length)
-	s.r.blocksRead.Add(1)
 	s.flushFiltered()
-	payloadLen, n1 := binary.Uvarint(raw)
-	if n1 <= 0 {
-		return fmt.Errorf("storage: block %d: truncated payload length", i)
+	payload, recs, raw, err := s.r.readBlockPayload(i, s.raw)
+	if err != nil {
+		return err
 	}
-	recs, n2 := binary.Uvarint(raw[n1:])
-	if n2 <= 0 {
-		return fmt.Errorf("storage: block %d: truncated record count", i)
-	}
-	if int64(n1+n2)+int64(payloadLen) != b.length {
-		return fmt.Errorf("storage: block %d: length mismatch", i)
-	}
-	s.buf = raw[n1+n2:]
+	s.raw = raw
+	s.buf = payload
 	s.pos = 0
-	s.recsLeft = int64(recs)
+	s.recsLeft = recs
+	if s.r.version >= 4 {
+		segStart, err := s.r.parseSegments(i, payload, s.fieldPos)
+		if err != nil {
+			return err
+		}
+		// fieldPos currently holds segment LENGTHS; turn them into each
+		// segment's starting cursor within the payload.
+		pos := segStart
+		for f, segLen := range s.fieldPos {
+			s.fieldPos[f] = pos
+			pos += segLen
+		}
+	}
 	for _, d := range s.deltas {
 		if d != nil {
 			d.Reset()
 		}
 	}
 	return nil
+}
+
+// readBlockPayload reads block i into raw (grown as needed) and parses the
+// block header, returning the payload, the record count, and the (possibly
+// reallocated) raw buffer. It accounts the read in the bytes/blocks-read
+// counters; both the row scanner and the batch scanner load blocks through
+// it, so their counter behavior is identical by construction.
+func (r *Reader) readBlockPayload(i int, raw []byte) ([]byte, int64, []byte, error) {
+	b := r.blocks[i]
+	if int64(cap(raw)) < b.length {
+		raw = make([]byte, b.length)
+	}
+	raw = raw[:b.length]
+	if _, err := r.f.ReadAt(raw, b.offset); err != nil {
+		return nil, 0, raw, fmt.Errorf("storage: read block %d: %w", i, err)
+	}
+	r.bytesRead.Add(b.length)
+	r.blocksRead.Add(1)
+	payloadLen, n1 := binary.Uvarint(raw)
+	if n1 <= 0 {
+		return nil, 0, raw, fmt.Errorf("storage: block %d: truncated payload length", i)
+	}
+	recs, n2 := binary.Uvarint(raw[n1:])
+	if n2 <= 0 {
+		return nil, 0, raw, fmt.Errorf("storage: block %d: truncated record count", i)
+	}
+	if int64(n1+n2)+int64(payloadLen) != b.length {
+		return nil, 0, raw, fmt.Errorf("storage: block %d: length mismatch", i)
+	}
+	return raw[n1+n2:], int64(recs), raw, nil
+}
+
+// parseSegments parses a columnar (v4) payload's segment-length table into
+// segLens (one entry per schema field), returning the offset of the first
+// segment within the payload. Segment lengths must exactly tile the rest of
+// the payload.
+func (r *Reader) parseSegments(i int, payload []byte, segLens []int) (int, error) {
+	pos := 0
+	total := 0
+	for f := range segLens {
+		v, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("storage: block %d: truncated segment table", i)
+		}
+		segLens[f] = int(v)
+		total += int(v)
+		pos += n
+	}
+	if pos+total != len(payload) {
+		return 0, fmt.Errorf("storage: block %d: segment lengths do not tile payload", i)
+	}
+	return pos, nil
 }
 
 // Record returns the current record after a successful Next. The returned

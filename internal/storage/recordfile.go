@@ -11,12 +11,20 @@
 //
 //	"MANIMAL1" | uvarint hdrLen | schema wire form | one encoding byte per field
 //	repeated blocks: uvarint payloadLen | uvarint records | payload
-//	footer | uint64le footerLen | "MANIMAL3"
+//	footer | uint64le footerLen | "MANIMAL4"
 //
-// Block payloads concatenate rows field by field in schema order: plain
-// fields use the kind-implied serde value encoding, delta fields a
-// zigzag-varint difference chain reset per block, dict fields a uvarint
-// dictionary code. The footer (located via the fixed-size trailer) holds:
+// Block payloads are COLUMNAR (format v4): one uvarint segment length per
+// schema field, then the fields' value segments concatenated in schema
+// order. Within its segment, plain fields use the kind-implied serde value
+// encoding, delta fields a zigzag-varint difference chain reset per block,
+// dict fields a uvarint dictionary code. Per-field segments are what make
+// batch scans cheap — a masked or filtered-on field is one contiguous
+// slice, bulk-decodable without stepping over its neighbors — and let row
+// scans skip masked fields entirely via the segment lengths. Files sealed
+// with the "MANIMAL3" trailer (format v3) interleave rows field by field
+// within one payload (no segment lengths) and remain fully readable by the
+// row-at-a-time scanner. The footer (located via the fixed-size trailer)
+// holds:
 //
 //	uvarint numBlocks
 //	per block:  uvarint offset | uvarint length | uvarint records
@@ -36,8 +44,21 @@
 // only "no value in this block can match", never the converse.
 //
 // Files sealed with the previous "MANIMAL2" trailer (format v2, no stats
-// section) remain fully readable: Reader reports FormatVersion 2 and
-// HasStats false, and every scan simply proceeds unpruned.
+// section, row-interleaved payloads) remain fully readable: Reader reports
+// FormatVersion 2 and HasStats false, and every scan simply proceeds
+// unpruned.
+//
+// # Batch scans
+//
+// Reader.ScanBatch is the batch-at-a-time counterpart of ScanPushdown for
+// v4 (columnar) files: each surviving block's unmasked fields bulk-decode
+// into one reused serde.Batch of flat column vectors, the residual filter
+// runs as vectorized kernels producing a selection vector, and rows are
+// only materialized (into a caller-reused record) on demand — late
+// materialization. The two paths are EQUIVALENT by contract: identical
+// surviving rows, values, record indices, and pruning counters; the
+// differential suites pin this. Everything borrowed from the batch is
+// valid only until the scanner's next batch (see serde.Vector).
 //
 // # Scan pushdown
 //
@@ -103,11 +124,16 @@ const (
 	// and dictionaries only. Still readable; scans simply cannot prune.
 	magicFooterV2 = "MANIMAL2"
 	// magicFooterV3 seals stats-bearing footers (format version 3): block
-	// index, per-block zone-map stats, then dictionaries.
+	// index, per-block zone-map stats, then dictionaries. Block payloads
+	// are row-interleaved.
 	magicFooterV3 = "MANIMAL3"
+	// magicFooterV4 seals columnar files (format version 4): the footer
+	// layout is identical to v3, but block payloads carry per-field
+	// segment lengths followed by contiguous per-field segments.
+	magicFooterV4 = "MANIMAL4"
 
 	// FormatVersion is the version new writers produce.
-	FormatVersion = 3
+	FormatVersion = 4
 
 	// DefaultBlockSize is the target uncompressed payload per block.
 	DefaultBlockSize = 256 << 10
@@ -137,7 +163,9 @@ type Writer struct {
 	deltas    []*compress.DeltaEncoder // per field, nil unless delta
 	dicts     []*compress.Dictionary   // per field, nil unless dict
 	blockSize int
-	buf       []byte // current block payload
+	fieldBufs [][]byte // current block's per-field value segments
+	fieldLen  int      // total bytes across fieldBufs
+	scratch   []byte   // reused block header assembly buffer
 	blockRecs int64
 	offset    int64
 	blocks    []blockInfo
@@ -169,6 +197,7 @@ func NewWriter(path string, schema *serde.Schema, opts WriterOptions) (*Writer, 
 		encodings: make([]FieldEncoding, schema.NumFields()),
 		deltas:    make([]*compress.DeltaEncoder, schema.NumFields()),
 		dicts:     make([]*compress.Dictionary, schema.NumFields()),
+		fieldBufs: make([][]byte, schema.NumFields()),
 		curStats:  make([]FieldStats, schema.NumFields()),
 		blockSize: opts.BlockSize,
 	}
@@ -237,24 +266,27 @@ func (w *Writer) Append(r *serde.Record) error {
 		}
 		// Zone-map stats accumulate on the LOGICAL value, before any
 		// encoding, so predicates over original values can prune blocks of
-		// delta- and dict-encoded fields alike.
+		// delta- and dict-encoded fields alike. Values append to the
+		// field's own segment (columnar v4 layout).
 		w.curStats[i].update(d)
+		was := len(w.fieldBufs[i])
 		switch w.encodings[i] {
 		case EncodePlain:
-			w.buf = d.AppendValue(w.buf)
+			w.fieldBufs[i] = d.AppendValue(w.fieldBufs[i])
 		case EncodeDelta:
 			var err error
-			w.buf, err = w.deltas[i].Append(w.buf, d)
+			w.fieldBufs[i], err = w.deltas[i].Append(w.fieldBufs[i], d)
 			if err != nil {
 				return err
 			}
 		case EncodeDict:
-			w.buf = binary.AppendUvarint(w.buf, w.dicts[i].Encode(d.S))
+			w.fieldBufs[i] = binary.AppendUvarint(w.fieldBufs[i], w.dicts[i].Encode(d.S))
 		}
+		w.fieldLen += len(w.fieldBufs[i]) - was
 	}
 	w.blockRecs++
 	w.records++
-	if len(w.buf) >= w.blockSize {
+	if w.fieldLen >= w.blockSize {
 		return w.flushBlock()
 	}
 	return nil
@@ -264,26 +296,44 @@ func (w *Writer) flushBlock() error {
 	if w.blockRecs == 0 {
 		return nil
 	}
-	var hdr []byte
-	hdr = binary.AppendUvarint(hdr, uint64(len(w.buf)))
+	// v4 block: uvarint payloadLen | uvarint records | per-field uvarint
+	// segment lengths | field segments in schema order. The segment-length
+	// table counts toward payloadLen.
+	hdr := w.scratch[:0]
+	segTab := 0
+	for _, fb := range w.fieldBufs {
+		segTab += uvarintLen(uint64(len(fb)))
+	}
+	hdr = binary.AppendUvarint(hdr, uint64(segTab+w.fieldLen))
 	hdr = binary.AppendUvarint(hdr, uint64(w.blockRecs))
+	for _, fb := range w.fieldBufs {
+		hdr = binary.AppendUvarint(hdr, uint64(len(fb)))
+	}
+	w.scratch = hdr
 	if _, err := w.f.Write(hdr); err != nil {
 		return fmt.Errorf("storage: write block header: %w", err)
 	}
-	if _, err := w.f.Write(w.buf); err != nil {
-		return fmt.Errorf("storage: write block: %w", err)
+	written := len(hdr)
+	for _, fb := range w.fieldBufs {
+		if _, err := w.f.Write(fb); err != nil {
+			return fmt.Errorf("storage: write block: %w", err)
+		}
+		written += len(fb)
 	}
 	w.blocks = append(w.blocks, blockInfo{
 		offset:  w.offset,
-		length:  int64(len(hdr) + len(w.buf)),
+		length:  int64(written),
 		records: w.blockRecs,
 	})
 	w.stats = appendBlockStats(w.stats, w.curStats)
 	for i := range w.curStats {
 		w.curStats[i].reset()
 	}
-	w.offset += int64(len(hdr) + len(w.buf))
-	w.buf = w.buf[:0]
+	w.offset += int64(written)
+	for i := range w.fieldBufs {
+		w.fieldBufs[i] = w.fieldBufs[i][:0]
+	}
+	w.fieldLen = 0
 	w.blockRecs = 0
 	for _, d := range w.deltas {
 		if d != nil {
@@ -291,6 +341,16 @@ func (w *Writer) flushBlock() error {
 		}
 	}
 	return nil
+}
+
+// uvarintLen returns the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 // NumRecords returns the number of records appended so far.
@@ -328,7 +388,7 @@ func (w *Writer) Close() error {
 		}
 	}
 	ftr = binary.LittleEndian.AppendUint64(ftr, uint64(len(ftr)))
-	ftr = append(ftr, magicFooterV3...)
+	ftr = append(ftr, magicFooterV4...)
 	if _, err := w.f.Write(ftr); err != nil {
 		return fail(fmt.Errorf("storage: write footer: %w", err))
 	}

@@ -365,7 +365,9 @@ func (r *Reader) BlockStats(i int) []FieldStats {
 func (r *Reader) HasStats() bool { return r.blockStats != nil }
 
 // FormatVersion returns the on-disk format version: 2 for pre-stats files
-// (MANIMAL2 footer), 3 for files with per-block stats (MANIMAL3 footer).
+// (MANIMAL2 footer), 3 for row-interleaved files with per-block stats
+// (MANIMAL3 footer), 4 for columnar files (MANIMAL4 footer) whose blocks
+// additionally support batch scans.
 func (r *Reader) FormatVersion() int { return r.version }
 
 // ScanStats aggregates scan-time pruning effect across all of a reader's

@@ -123,6 +123,13 @@ type JoinDescriptor = analyzer.JoinDescriptor
 // Plan re-exports the optimizer's execution descriptor.
 type Plan = optimizer.Plan
 
+// Plan kinds re-exported for tooling that inspects reports.
+const (
+	PlanOriginal   = optimizer.PlanOriginal
+	PlanBTree      = optimizer.PlanBTree
+	PlanRecordFile = optimizer.PlanRecordFile
+)
+
 // IndexSpec re-exports the synthesized index description.
 type IndexSpec = indexgen.Spec
 
@@ -410,7 +417,14 @@ func (s *System) SubmitAsync(ctx context.Context, spec JobSpec) (*JobHandle, err
 			ir.Plan = optimizer.Choose(desc, ispec.Path, schema, s.cat.ForInput(ispec.Path), spec.Conf,
 				optimizer.Options{SortedOutput: spec.SortedOutput, SafeMode: spec.SafeMode})
 		} else {
-			ir.Plan = &optimizer.Plan{Kind: optimizer.PlanOriginal, InputPath: ispec.Path}
+			// Unoptimized plans still pick the batch execution strategy:
+			// vectorization is how scans run, not an optimization, so
+			// -noopt keeps it (and MANIMAL_ROWSCAN=1 disables it here too).
+			ir.Plan = &optimizer.Plan{
+				Kind:       optimizer.PlanOriginal,
+				InputPath:  ispec.Path,
+				Vectorized: optimizer.VectorizedEnabled(),
+			}
 		}
 		inputs = append(inputs, mapreduce.MapInput{
 			Input:  &lazyInput{plan: ir.Plan},
