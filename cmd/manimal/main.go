@@ -420,6 +420,15 @@ func cmdRun(args []string) error {
 	}
 	fmt.Printf("done in %.3fs, %d output records\n",
 		report.Duration.Seconds(), report.Result.Counters.Get("output.records"))
+	ft := ""
+	for _, c := range []string{"manimal.tasks.retried", "manimal.tasks.speculative", "manimal.tasks.corrupt_blocks"} {
+		if v := report.Result.Counters.Get(c); v != 0 {
+			ft += fmt.Sprintf(" %s=%d", c, v)
+		}
+	}
+	if ft != "" {
+		fmt.Printf("fault tolerance:%s\n", ft)
+	}
 	if *show > 0 {
 		pairs, err := manimal.ReadOutput(*outPath)
 		if err != nil {
@@ -471,7 +480,8 @@ func watchProgress(h *manimal.JobHandle) {
 func progressLine(st manimal.JobStatus) string {
 	line := fmt.Sprintf("%-8s tasks %d/%d", st.Phase, st.TasksDone, st.TasksTotal)
 	for _, c := range []string{"map.input.records", "reduce.input.groups", "output.records",
-		"manimal.blocks.skipped", "manimal.rows.prefiltered"} {
+		"manimal.blocks.skipped", "manimal.rows.prefiltered",
+		"manimal.tasks.retried", "manimal.tasks.speculative", "manimal.tasks.corrupt_blocks"} {
 		if v, ok := st.Counters[c]; ok {
 			line += fmt.Sprintf("  %s=%d", c, v)
 		}
@@ -589,12 +599,24 @@ func cmdServe(args []string) error {
 	srv := service.New(sys)
 	fmt.Printf("manimal service: sys=%s slots=%d listening on %s\n",
 		*sysDir, sys.PoolStats().Slots, *addr)
-	return http.ListenAndServe(*addr, srv.Handler())
+	// Explicit server timeouts: a client that stalls mid-request (or never
+	// sends one) must not pin a connection forever. Handlers respond from
+	// in-memory state, so generous-but-bounded limits fit every endpoint.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return hs.ListenAndServe()
 }
 
 func cmdSubmit(args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	addr := fs.String("addr", "http://127.0.0.1:7070", "service base URL")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout (0 = none)")
 	progPath := fs.String("prog", "", "mapper-language program file")
 	inputPath := fs.String("input", "", "input record file (path on the server)")
 	outPath := fs.String("out", "out.kv", "output KV file (path on the server)")
@@ -614,7 +636,7 @@ func cmdSubmit(args []string) error {
 	if jobName == "" {
 		jobName = strings.TrimSuffix(filepath.Base(*progPath), ".go")
 	}
-	c := service.NewClient(*addr)
+	c := service.NewClientTimeout(*addr, *timeout)
 	info, err := c.Submit(service.SubmitRequest{
 		Name:                jobName,
 		Inputs:              []service.SubmitInput{{Path: *inputPath, Program: string(src), ProgramName: *progPath}},
@@ -640,8 +662,9 @@ func cmdSubmit(args []string) error {
 func cmdJobs(args []string) error {
 	fs := flag.NewFlagSet("jobs", flag.ExitOnError)
 	addr := fs.String("addr", "http://127.0.0.1:7070", "service base URL")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout (0 = none)")
 	fs.Parse(args)
-	infos, err := service.NewClient(*addr).Jobs()
+	infos, err := service.NewClientTimeout(*addr, *timeout).Jobs()
 	if err != nil {
 		return err
 	}
@@ -658,9 +681,10 @@ func cmdJobs(args []string) error {
 func cmdStatus(args []string) error {
 	fs := flag.NewFlagSet("status", flag.ExitOnError)
 	addr := fs.String("addr", "http://127.0.0.1:7070", "service base URL")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout (0 = none)")
 	id := fs.String("id", "", "job ID (from submit/jobs)")
 	fs.Parse(args)
-	info, err := service.NewClient(*addr).Job(*id)
+	info, err := service.NewClientTimeout(*addr, *timeout).Job(*id)
 	if err != nil {
 		return err
 	}
@@ -671,9 +695,10 @@ func cmdStatus(args []string) error {
 func cmdCancel(args []string) error {
 	fs := flag.NewFlagSet("cancel", flag.ExitOnError)
 	addr := fs.String("addr", "http://127.0.0.1:7070", "service base URL")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout (0 = none)")
 	id := fs.String("id", "", "job ID (from submit/jobs)")
 	fs.Parse(args)
-	info, err := service.NewClient(*addr).Cancel(*id)
+	info, err := service.NewClientTimeout(*addr, *timeout).Cancel(*id)
 	if err != nil {
 		return err
 	}
@@ -705,6 +730,33 @@ func printJobInfo(info service.JobInfo, verbose bool) {
 	sort.Strings(names)
 	for _, n := range names {
 		fmt.Printf("  %-28s %d\n", n, info.Counters[n])
+	}
+	// Attempt history only gets interesting when fault tolerance engaged;
+	// all-success histories are folded into one summary line.
+	interesting := false
+	for _, a := range info.Attempts {
+		if a.Outcome != "success" || a.Speculative {
+			interesting = true
+			break
+		}
+	}
+	if !interesting {
+		if n := len(info.Attempts); n > 0 {
+			fmt.Printf("  attempts: %d, all succeeded first try\n", n)
+		}
+		return
+	}
+	for _, a := range info.Attempts {
+		spec := ""
+		if a.Speculative {
+			spec = " speculative"
+		}
+		line := fmt.Sprintf("  attempt %s task %d #%d%s: %s (%.3fs)",
+			a.Phase, a.Task, a.Attempt, spec, a.Outcome, float64(a.DurationMS)/1000)
+		if a.Error != "" {
+			line += " error=" + a.Error
+		}
+		fmt.Println(line)
 	}
 }
 
@@ -749,6 +801,11 @@ func cmdCatalog(args []string) error {
 			if st, err := os.Stat(e.InputPath); err != nil || !e.MatchesInput(st.Size(), st.ModTime().UnixNano()) {
 				fmt.Print(" STALE (input rewritten since build)")
 			}
+		}
+		// Quarantined variants stay listed (the file is kept on disk for
+		// inspection) but the optimizer skips them until a rebuild.
+		if e.State != "" {
+			fmt.Printf(" %s (%s; rebuild to clear)", e.State, e.StateReason)
 		}
 		fmt.Println()
 	}

@@ -31,7 +31,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"manimal/internal/faultinject"
 	"manimal/internal/serde"
 )
 
@@ -56,7 +58,8 @@ type BuilderOptions struct {
 // Builder bulk-loads a B+Tree. Keys must be added in non-decreasing order.
 type Builder struct {
 	f        *os.File
-	path     string
+	path     string // final destination; the temp file renames onto it in Close
+	tmp      string // temp file actually being written
 	schema   *serde.Schema
 	keyExpr  string
 	pageSize int
@@ -86,12 +89,15 @@ type levelEntry struct {
 	offset int64
 }
 
-// NewBuilder creates (truncating) a B+Tree file at path. schema describes
-// the stored records and keyExpr is the canonical string form of the pure
-// expression that produced the keys (matched by the optimizer against the
-// program's selection descriptor).
+// NewBuilder creates a B+Tree file destined for path, writing into a
+// uniquely-named temp file in path's directory until Close fsyncs and
+// renames it into place (index paths are catalog-visible, so a partial
+// file must never appear at one). schema describes the stored records and
+// keyExpr is the canonical string form of the pure expression that
+// produced the keys (matched by the optimizer against the program's
+// selection descriptor).
 func NewBuilder(path string, schema *serde.Schema, keyExpr string, opts BuilderOptions) (*Builder, error) {
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return nil, fmt.Errorf("btree: create %s: %w", path, err)
 	}
@@ -103,9 +109,10 @@ func NewBuilder(path string, schema *serde.Schema, keyExpr string, opts BuilderO
 	// can serve as the "no next leaf" sentinel.
 	if _, err := f.WriteString(magicFooter); err != nil {
 		f.Close()
+		os.Remove(f.Name())
 		return nil, fmt.Errorf("btree: write header: %w", err)
 	}
-	return &Builder{f: f, path: path, schema: schema, keyExpr: keyExpr, pageSize: ps, offset: int64(len(magicFooter))}, nil
+	return &Builder{f: f, path: path, tmp: f.Name(), schema: schema, keyExpr: keyExpr, pageSize: ps, offset: int64(len(magicFooter))}, nil
 }
 
 // Add appends one (key, record) entry. Keys must arrive in non-decreasing
@@ -273,20 +280,42 @@ func (b *Builder) Close() error {
 	if err := b.f.Close(); err != nil {
 		return err
 	}
+	if err := faultinject.Fail(faultinject.PointCrashRename, filepath.Base(b.path)); err != nil {
+		os.Remove(b.tmp)
+		return err
+	}
+	if err := os.Rename(b.tmp, b.path); err != nil {
+		os.Remove(b.tmp)
+		return fmt.Errorf("btree: commit %s: %w", b.path, err)
+	}
+	syncDir(filepath.Dir(b.path))
 	b.finished = true
 	return nil
 }
 
-// Abort closes the builder and removes the partial index file; used when
-// the producing job — or a Close that failed midway, leaving a truncated
-// file — must be discarded. A no-op after a successful Close.
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Best-effort on filesystems that reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Abort closes the builder and removes the partial temp file; used when
+// the producing job — or a Close that failed midway — must be discarded.
+// The final path is never touched. A no-op after a successful Close, and
+// tolerant of the temp file already being gone.
 func (b *Builder) Abort() error {
 	if b.finished {
 		return nil
 	}
 	b.closed = true
 	b.f.Close()
-	return os.Remove(b.path)
+	if err := os.Remove(b.tmp); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
 }
 
 func compareBytes(a, b []byte) int {

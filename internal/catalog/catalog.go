@@ -60,7 +60,22 @@ type Entry struct {
 	// block-skipping scans; 0 marks entries built before stats existed —
 	// still scannable, never pruned.
 	StatsVersion int `json:"statsVersion,omitempty"`
+	// State marks unusable variants: "" (healthy) or StateCorrupt, set when
+	// a scan hit a checksum/decode failure in the index file. The optimizer
+	// never plans over a non-healthy entry; the file stays on disk for
+	// inspection until the entry is Removed or rebuilt (Add replaces it,
+	// clearing the state).
+	State string `json:"state,omitempty"`
+	// StateReason records why the state was set (e.g. the corrupt-block
+	// error text), for `manimal catalog` display.
+	StateReason string `json:"stateReason,omitempty"`
 }
+
+// StateCorrupt marks an entry quarantined after a corruption detection.
+const StateCorrupt = "CORRUPT"
+
+// Usable reports whether the optimizer may plan over this entry.
+func (e *Entry) Usable() bool { return e.State == "" }
 
 // MatchesInput reports whether the entry's recorded input fingerprint
 // still matches the given file stats; entries without a fingerprint match
@@ -149,6 +164,27 @@ func (c *Catalog) Remove(indexPath string) error {
 	return c.save()
 }
 
+// Quarantine marks the entry with the given index path as CORRUPT (with a
+// reason) and persists the catalog, so no later planning round selects the
+// damaged variant. Quarantining an unknown path is a no-op. The index file
+// itself is left on disk for inspection.
+func (c *Catalog) Quarantine(indexPath, reason string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	changed := false
+	for i := range c.entries {
+		if c.entries[i].IndexPath == indexPath && c.entries[i].State != StateCorrupt {
+			c.entries[i].State = StateCorrupt
+			c.entries[i].StateReason = reason
+			changed = true
+		}
+	}
+	if !changed {
+		return nil
+	}
+	return c.save()
+}
+
 // ForInput returns the entries built over the given input file, most
 // recent first.
 func (c *Catalog) ForInput(inputPath string) []Entry {
@@ -171,18 +207,40 @@ func (c *Catalog) All() []Entry {
 	return append([]Entry(nil), c.entries...)
 }
 
-// save persists atomically via a temp-file rename.
+// save persists atomically: temp file, fsync, rename, parent-dir fsync —
+// a crash mid-save leaves either the old catalog or the new one, never a
+// torn JSON file.
 func (c *Catalog) save() error {
 	raw, err := json.MarshalIndent(c.entries, "", "  ")
 	if err != nil {
 		return fmt.Errorf("catalog: %w", err)
 	}
-	tmp := c.path + ".tmp"
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+	dir := filepath.Dir(c.path)
+	f, err := os.CreateTemp(dir, fileName+".tmp-*")
+	if err != nil {
 		return fmt.Errorf("catalog: %w", err)
 	}
-	if err := os.Rename(tmp, c.path); err != nil {
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		os.Remove(f.Name())
 		return fmt.Errorf("catalog: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if err := os.Rename(f.Name(), c.path); err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
 	}
 	return nil
 }

@@ -1,0 +1,146 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	inj, err := Parse("read=0.05,straggle=0.1:200ms,corrupt=1.0@.idx0;seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.seed != 42 {
+		t.Fatalf("seed = %d, want 42", inj.seed)
+	}
+	if len(inj.rules[PointStorageRead]) != 1 || inj.rules[PointStorageRead][0].Prob != 0.05 {
+		t.Fatalf("read rule = %+v", inj.rules[PointStorageRead])
+	}
+	if d := inj.rules[PointStraggle][0].Delay; d != 200*time.Millisecond {
+		t.Fatalf("straggle delay = %v", d)
+	}
+	if sub := inj.rules[PointCorrupt][0].PathSub; sub != ".idx0" {
+		t.Fatalf("corrupt pathsub = %q", sub)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"bogus=0.5",
+		"read=1.5",
+		"read=-0.1",
+		"read=0.5;seed=x",
+		"read=0.5;sneed=3",
+		"straggle=0.5", // straggle without a delay
+		"read",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestDeterministicAcrossInstances(t *testing.T) {
+	a := MustParse("read=0.3;seed=7")
+	b := MustParse("read=0.3;seed=7")
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("file.rec#%d", i%10)
+		_, ha := a.fires(PointStorageRead, key)
+		_, hb := b.fires(PointStorageRead, key)
+		if ha != hb {
+			t.Fatalf("occurrence %d of %s: injectors disagree", i, key)
+		}
+	}
+}
+
+func TestOccurrenceAdvances(t *testing.T) {
+	// With prob 0.5 the same address must not fail on every occurrence —
+	// that is what makes injected read faults transient under retry.
+	inj := MustParse("read=0.5;seed=1")
+	failures := 0
+	for i := 0; i < 64; i++ {
+		if _, hit := inj.fires(PointStorageRead, "same.rec#0"); hit {
+			failures++
+		}
+	}
+	if failures == 0 || failures == 64 {
+		t.Fatalf("64 occurrences of one address: %d failures, want a mix", failures)
+	}
+}
+
+func TestRateRoughlyMatchesProbability(t *testing.T) {
+	inj := MustParse("read=0.05;seed=99")
+	hits := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if _, hit := inj.fires(PointStorageRead, fmt.Sprintf("k%d", i)); hit {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.02 || rate > 0.10 {
+		t.Fatalf("hit rate %.3f for prob 0.05", rate)
+	}
+}
+
+func TestDisabledIsInert(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("Enabled() after Reset")
+	}
+	if err := Fail(PointStorageRead, "x"); err != nil {
+		t.Fatalf("Fail with no injector: %v", err)
+	}
+	if CorruptBytes("x", []byte{1, 2, 3}) {
+		t.Fatal("CorruptBytes with no injector")
+	}
+	Sleep(context.Background(), "x") // must not block
+}
+
+func TestFailReturnsTypedError(t *testing.T) {
+	Set(MustParse("task=1.0;seed=1"))
+	defer Reset()
+	err := Fail(PointTask, "map:3:0")
+	if err == nil {
+		t.Fatal("Fail with prob 1.0 returned nil")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("errors.Is(%v, ErrInjected) = false", err)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Point != PointTask || ie.Key != "map:3:0" {
+		t.Fatalf("error = %#v", err)
+	}
+}
+
+func TestPathFilter(t *testing.T) {
+	inj := MustParse("corrupt=1.0@.idx0;seed=1")
+	buf := []byte{0, 0, 0, 0}
+	Set(inj)
+	defer Reset()
+	if CorruptBytes("data/visits.rec#1", buf) {
+		t.Fatal("corrupted a path outside the filter")
+	}
+	if !CorruptBytes("data/visits.rec.idx0#1", buf) {
+		t.Fatal("did not corrupt a matching path")
+	}
+	if buf[0] == 0 && buf[1] == 0 && buf[2] == 0 && buf[3] == 0 {
+		t.Fatal("CorruptBytes reported true but flipped nothing")
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	Set(MustParse("straggle=1.0:10s;seed=1"))
+	defer Reset()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	Sleep(ctx, "map:0:0")
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep ignored canceled context")
+	}
+}

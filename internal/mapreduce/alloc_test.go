@@ -22,7 +22,7 @@ func TestShuffleEmitAllocs(t *testing.T) {
 		"record": {Rec: rec},
 	} {
 		t.Run(name, func(t *testing.T) {
-			se := newShuffleEmitter(0, 4, t.TempDir(), 1<<30, nil, NewCounters(), nil, HashPartitioner{})
+			se := newShuffleEmitter(0, 0, 4, t.TempDir(), 1<<30, nil, NewCounters(), nil, HashPartitioner{})
 			defer se.release()
 			key := serde.String("alpha")
 			// Warm the slab and scratch buffers well past what the measured
@@ -52,7 +52,7 @@ func TestShuffleEmitAllocs(t *testing.T) {
 // spilled partition's scalar values must not allocate per value (the
 // cursor k/v buffers and the group key are reused).
 func TestMergeValueAllocsScalar(t *testing.T) {
-	se := newShuffleEmitter(0, 1, t.TempDir(), 1<<30, nil, NewCounters(), nil, HashPartitioner{})
+	se := newShuffleEmitter(0, 0, 1, t.TempDir(), 1<<30, nil, NewCounters(), nil, HashPartitioner{})
 	defer se.release()
 	for i := 0; i < 3000; i++ {
 		if err := se.emit(serde.Int(int64(i%7)), interp.EmitValue{D: serde.Int(int64(i))}); err != nil {
@@ -91,7 +91,7 @@ func TestMergeValueAllocsScalar(t *testing.T) {
 // checks that budget-closed spill files are transparently reopened by the
 // merge, and that per-partition consumption deletes every file.
 func TestSpillFdBudgetAndReopen(t *testing.T) {
-	se := newShuffleEmitter(0, 2, t.TempDir(), 1, nil, NewCounters(), nil, HashPartitioner{})
+	se := newShuffleEmitter(0, 0, 2, t.TempDir(), 1, nil, NewCounters(), nil, HashPartitioner{})
 	defer se.release()
 	total := spillKeepOpenPerTask + 8 // threshold 1 → one spill file per emit
 	for i := 0; i < total; i++ {

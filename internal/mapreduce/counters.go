@@ -25,6 +25,12 @@ const (
 	CtrBlocksRead    = "manimal.blocks.read"
 	CtrBlocksSkipped = "manimal.blocks.skipped"
 	CtrRowsFiltered  = "manimal.rows.prefiltered"
+	// Fault-tolerance counters: task attempts relaunched after a transient
+	// failure, duplicate (speculative) attempts launched for stragglers,
+	// and storage blocks that failed checksum/decode verification.
+	CtrTasksRetried     = "manimal.tasks.retried"
+	CtrTasksSpeculative = "manimal.tasks.speculative"
+	CtrCorruptBlocks    = "manimal.tasks.corrupt_blocks"
 )
 
 // Counters is a concurrency-safe named counter set. Every accessor copies

@@ -2,10 +2,12 @@ package mapreduce
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"time"
 
+	"manimal/internal/faultinject"
 	"manimal/internal/interp"
 	"manimal/internal/serde"
 )
@@ -35,6 +37,90 @@ func Run(job *Job) (*Result, error) {
 	return DefaultScheduler().Run(context.Background(), job)
 }
 
+// attemptCtr records one attempt's counter deltas on top of the shared
+// set: additions land in the live counters immediately (so progress
+// reporting keeps moving), and rollback negates them all if the attempt
+// fails or loses the commit race — a retried task's second attempt then
+// re-counts from zero instead of double-counting. Used by exactly one
+// attempt goroutine; no locking of its own.
+type attemptCtr struct {
+	base   *Counters
+	deltas map[string]int64
+}
+
+func newAttemptCtr(base *Counters) *attemptCtr {
+	return &attemptCtr{base: base, deltas: make(map[string]int64)}
+}
+
+// Add implements counterAdder.
+func (a *attemptCtr) Add(name string, delta int64) {
+	a.base.Add(name, delta)
+	a.deltas[name] += delta
+}
+
+// rollback withdraws every delta this attempt contributed.
+func (a *attemptCtr) rollback() {
+	for name, d := range a.deltas {
+		if d != 0 {
+			a.base.Add(name, -d)
+		}
+	}
+	clear(a.deltas)
+}
+
+// emitBuffer holds one attempt's direct-to-sink emissions, fully
+// serialized (the Emit contract lets callers reuse the backing record),
+// until the attempt wins its commit claim — only then do the pairs reach
+// the job's shared output, so a failed or losing attempt contributes
+// nothing and a retry cannot double-write. The buffer lives in memory:
+// jobs whose final output is too large for that route it through
+// OutputFor (per-task files) or a reduce phase instead.
+type emitBuffer struct {
+	enc     valueEncoder
+	scratch []byte
+	buf     []byte
+	n       int64
+}
+
+func (b *emitBuffer) emit(k serde.Datum, v interp.EmitValue) error {
+	b.scratch = k.AppendTagged(b.scratch[:0])
+	kl := len(b.scratch)
+	b.scratch = b.enc.appendValue(b.scratch, v)
+	var hdr [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(kl))
+	n += binary.PutUvarint(hdr[n:], uint64(len(b.scratch)-kl))
+	b.buf = append(b.buf, hdr[:n]...)
+	b.buf = append(b.buf, b.scratch...)
+	b.n++
+	return nil
+}
+
+// flushTo replays the buffered pairs into out, in emission order.
+func (b *emitBuffer) flushTo(out func(serde.Datum, interp.EmitValue) error) error {
+	var dec valueDecoder
+	pos := 0
+	for i := int64(0); i < b.n; i++ {
+		kl, n := binary.Uvarint(b.buf[pos:])
+		pos += n
+		vl, n := binary.Uvarint(b.buf[pos:])
+		pos += n
+		key, _, err := serde.DecodeTagged(b.buf[pos : pos+int(kl)])
+		if err != nil {
+			return err
+		}
+		pos += int(kl)
+		val, _, err := dec.decode(b.buf[pos : pos+int(vl)])
+		if err != nil {
+			return err
+		}
+		pos += int(vl)
+		if err := out(key, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // execute drives the job's task graph — admit → plan → map → (reduce) →
 // commit — with every task dispatched through the scheduler's slot pool.
 // It runs on the execution's controller goroutine.
@@ -53,9 +139,11 @@ func (e *Execution) execute() (*Result, error) {
 		sink = &syncOutput{out: job.Output}
 	}
 
-	// Spill files gathered after the map phase. Each holds every partition's
-	// sorted run for one spill and stays open until the reduce phase has
-	// merged it (reduce tasks read sections of the shared handles).
+	// Spill files gathered after the map phase: the COMMITTED spills only.
+	// Each holds every partition's sorted run for one spill of one winning
+	// map attempt and stays open until the reduce phase has merged it
+	// (reduce tasks read sections of the shared handles); failed and
+	// losing attempts delete their own spills before returning.
 	var spills []*spillFile
 	var segMu sync.Mutex
 	releaseSpills := func() {
@@ -67,8 +155,8 @@ func (e *Execution) execute() (*Result, error) {
 
 	// fail releases everything on an error exit: the partial final output
 	// is aborted, inputs are closed, and any spill files are removed. By
-	// the time a phase reports an error its tasks have drained, so nothing
-	// still writes to what is released here.
+	// the time a phase reports an error its attempts have drained, so
+	// nothing still writes to what is released here.
 	fail := func(phase string, err error) (*Result, error) {
 		if job.Output != nil {
 			abortOutput(job.Output)
@@ -85,13 +173,17 @@ func (e *Execution) execute() (*Result, error) {
 	}
 
 	// Plan phase (one task): split every input, each split bound to its
-	// input's mapper.
+	// input's mapper. Planning is idempotent — each attempt builds a local
+	// list and publishes it wholesale — so it retries like any map task.
 	type taskSpec struct {
 		split   Split
 		factory MapperFactory
 	}
 	var tasks []taskSpec
-	if err := sched.runPhase(e, PhasePlan, 1, func(context.Context, int) error {
+	if err := sched.runPhase(e, PhasePlan, 1, phaseOpts{retry: true}, func(ta *TaskAttempt) error {
+		if err := faultinject.Fail(faultinject.PointTask, fmt.Sprintf("plan:0:%d", ta.Attempt())); err != nil {
+			return err
+		}
 		// The job-wide task target is maxParallel*2; it is divided across
 		// inputs (rounding up) so an N-input job plans about the intended
 		// task count instead of N× it.
@@ -100,46 +192,51 @@ func (e *Execution) execute() (*Result, error) {
 		if perInput < 1 {
 			perInput = 1
 		}
+		var planned []taskSpec
 		for _, in := range job.Inputs {
 			splits, err := in.Input.Splits(perInput)
 			if err != nil {
 				return err
 			}
 			for _, s := range splits {
-				tasks = append(tasks, taskSpec{split: s, factory: in.Mapper})
+				planned = append(planned, taskSpec{split: s, factory: in.Mapper})
 			}
 		}
+		tasks = planned
 		counters.Add(CtrMapTasks, int64(len(tasks)))
 		return nil
 	}); err != nil {
 		return fail("plan", err)
 	}
 
-	runMapTask := func(ctx context.Context, taskID int, spec taskSpec) (err error) {
+	runMapTask := func(ta *TaskAttempt, spec taskSpec) (err error) {
+		ctx := ta.Context()
+		akey := fmt.Sprintf("map:%d:%d", ta.Index(), ta.Attempt())
+		if err := faultinject.Fail(faultinject.PointTask, akey); err != nil {
+			return err
+		}
+		faultinject.Sleep(ctx, akey)
+		ctr := newAttemptCtr(counters)
 		var se *shuffleEmitter
 		var taskOut Output
+		var outBuf *emitBuffer
 		var outRecs int64
+		committed := false
 		defer func() {
-			if outRecs > 0 {
-				counters.Add(CtrOutputRecords, outRecs)
+			if committed {
+				return
 			}
-			// Partial spills from a failed task still occupy WorkDir: merge
-			// them into the global list unconditionally so the phase-level
-			// cleanup sees them.
+			// The attempt failed, was canceled, or lost the commit race:
+			// its spill files, partial per-task output, and counter deltas
+			// all roll back, leaving no trace for the relaunch (or the
+			// winner) to collide with.
 			if se != nil {
-				segMu.Lock()
-				spills = append(spills, se.files...)
-				segMu.Unlock()
-				se.release()
+				se.discard()
 			}
 			if taskOut != nil {
-				if err != nil {
-					abortOutput(taskOut)
-				} else if cerr := taskOut.Close(); cerr != nil {
-					abortOutput(taskOut) // discard the truncated result
-					err = cerr
-				}
+				abortOutput(taskOut)
 			}
+			ctr.rollback()
 		}()
 		mapper, err := spec.factory()
 		if err != nil {
@@ -148,12 +245,12 @@ func (e *Execution) execute() (*Result, error) {
 		var emit func(serde.Datum, interp.EmitValue) error
 		switch {
 		case !mapOnly:
-			se = newShuffleEmitter(taskID, numReducers, job.Config.WorkDir,
-				job.Config.spillBuffer(), job.Combiner, counters, job.Config.Conf,
+			se = newShuffleEmitter(ta.Index(), ta.Attempt(), numReducers, job.Config.WorkDir,
+				job.Config.spillBuffer(), job.Combiner, ctr, job.Config.Conf,
 				job.Config.partitioner())
 			emit = se.emit
 		case job.OutputFor != nil:
-			taskOut, err = job.OutputFor(taskID)
+			taskOut, err = job.OutputFor(ta.Index())
 			if err != nil {
 				return err
 			}
@@ -163,117 +260,158 @@ func (e *Execution) execute() (*Result, error) {
 				return out.Write(k, v)
 			}
 		default:
-			emit = sink.Write
+			outBuf = &emitBuffer{}
+			emit = outBuf.emit
 		}
 		ictx := &interp.Context{
 			Conf: job.Config.Conf,
 			Emit: emit,
 			Counter: func(name string, delta int64) {
-				counters.Add("user."+name, delta)
+				ctr.Add("user."+name, delta)
 			},
 		}
-		// Batch (vectorized) path: when both the split and the mapper
-		// support batch-at-a-time execution AND the split was planned in
-		// batch mode, whole column-vector batches flow to the mapper, with
-		// cancellation checks and counter flushes per batch instead of per
-		// record. Either capability missing falls through to the row loop;
-		// both paths count CtrMapInputRecords identically (rows the
-		// residual filter dropped never reach either).
-		if bm, ok := mapper.(BatchMapper); ok {
-			if bs, ok := spec.split.(BatchSplit); ok {
-				bit, err := bs.OpenBatch()
-				if err != nil {
-					return err
-				}
-				if bit != nil {
-					defer bit.Close()
-					n, flushed := 0, 0
-					defer func() { counters.Add(CtrMapInputRecords, int64(n-flushed)) }()
-					for bit.NextBatch() {
-						if ctx.Err() != nil {
-							return ctx.Err()
-						}
-						b := bit.Batch()
-						n += len(b.Sel())
-						if n-flushed >= counterFlushEvery {
-							counters.Add(CtrMapInputRecords, int64(n-flushed))
-							flushed = n
-						}
-						if err := bm.MapBatch(b, ictx); err != nil {
-							return err
-						}
-					}
-					if err := bit.Err(); err != nil {
+		mapBody := func() error {
+			// Batch (vectorized) path: when both the split and the mapper
+			// support batch-at-a-time execution AND the split was planned in
+			// batch mode, whole column-vector batches flow to the mapper, with
+			// cancellation checks and counter flushes per batch instead of per
+			// record. Either capability missing falls through to the row loop;
+			// both paths count CtrMapInputRecords identically (rows the
+			// residual filter dropped never reach either).
+			if bm, ok := mapper.(BatchMapper); ok {
+				if bs, ok := spec.split.(BatchSplit); ok {
+					bit, err := bs.OpenBatch()
+					if err != nil {
 						return err
 					}
-					if se != nil {
-						return se.spill()
+					if bit != nil {
+						defer bit.Close()
+						n, flushed := 0, 0
+						defer func() { ctr.Add(CtrMapInputRecords, int64(n-flushed)) }()
+						for bit.NextBatch() {
+							if ctx.Err() != nil {
+								return ctx.Err()
+							}
+							b := bit.Batch()
+							n += len(b.Sel())
+							if n-flushed >= counterFlushEvery {
+								ctr.Add(CtrMapInputRecords, int64(n-flushed))
+								flushed = n
+							}
+							if err := bm.MapBatch(b, ictx); err != nil {
+								return err
+							}
+						}
+						return bit.Err()
 					}
-					return nil
 				}
 			}
-		}
-		it, err := spec.split.Open()
-		if err != nil {
-			return err
-		}
-		defer it.Close()
-		// Input records are counted locally and flushed in batches (plus a
-		// final flush): live enough for progress reporting, cheap enough
-		// for the per-record hot path.
-		n, flushed := 0, 0
-		defer func() { counters.Add(CtrMapInputRecords, int64(n-flushed)) }()
-		for it.Next() {
-			if n%cancelCheckEvery == 0 && ctx.Err() != nil {
-				return ctx.Err()
-			}
-			n++
-			if n-flushed >= counterFlushEvery {
-				counters.Add(CtrMapInputRecords, int64(n-flushed))
-				flushed = n
-			}
-			if err := mapper.Map(it.Key(), it.Record(), ictx); err != nil {
+			it, err := spec.split.Open()
+			if err != nil {
 				return err
 			}
+			defer it.Close()
+			// Input records are counted locally and flushed in batches (plus a
+			// final flush): live enough for progress reporting, cheap enough
+			// for the per-record hot path.
+			n, flushed := 0, 0
+			defer func() { ctr.Add(CtrMapInputRecords, int64(n-flushed)) }()
+			for it.Next() {
+				if n%cancelCheckEvery == 0 && ctx.Err() != nil {
+					return ctx.Err()
+				}
+				n++
+				if n-flushed >= counterFlushEvery {
+					ctr.Add(CtrMapInputRecords, int64(n-flushed))
+					flushed = n
+				}
+				if err := mapper.Map(it.Key(), it.Record(), ictx); err != nil {
+					return err
+				}
+			}
+			return it.Err()
 		}
-		if err := it.Err(); err != nil {
+		if err := mapBody(); err != nil {
 			return err
 		}
 		if se != nil {
-			return se.spill()
+			if err := se.spill(); err != nil {
+				return err
+			}
+		}
+		// Commit: publish this attempt's side effects under the task's
+		// commit claim — spills join the global list, the per-task output
+		// seals (atomic rename), buffered sink emissions flush. Exactly
+		// one attempt per task gets here successfully.
+		if err := ta.Commit(func() error {
+			if se != nil {
+				segMu.Lock()
+				spills = append(spills, se.files...)
+				segMu.Unlock()
+				se.files = nil // ownership transferred to the job
+			}
+			if taskOut != nil {
+				if cerr := taskOut.Close(); cerr != nil {
+					abortOutput(taskOut) // discard the truncated result
+					taskOut = nil
+					return cerr
+				}
+				taskOut = nil
+			}
+			if outBuf != nil {
+				if ferr := outBuf.flushTo(sink.Write); ferr != nil {
+					return ferr
+				}
+			}
+			if outRecs > 0 {
+				ctr.Add(CtrOutputRecords, outRecs)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		committed = true
+		if se != nil {
+			se.release()
 		}
 		return nil
 	}
 
-	if err := sched.runPhase(e, PhaseMap, len(tasks), func(ctx context.Context, i int) error {
-		return runMapTask(ctx, i, tasks[i])
+	if err := sched.runPhase(e, PhaseMap, len(tasks), phaseOpts{retry: true, speculate: true}, func(ta *TaskAttempt) error {
+		return runMapTask(ta, tasks[ta.Index()])
 	}); err != nil {
 		return fail("map phase", err)
 	}
 
 	if !mapOnly {
 		counters.Add(CtrReduceTasks, int64(numReducers))
-		reduceTask := func(ctx context.Context, p int) (err error) {
+		reduceTask := func(ta *TaskAttempt) (err error) {
+			ctx := ta.Context()
+			p := ta.Index()
+			akey := fmt.Sprintf("reduce:%d:%d", p, ta.Attempt())
+			if err := faultinject.Fail(faultinject.PointTask, akey); err != nil {
+				return err
+			}
+			faultinject.Sleep(ctx, akey)
+			ctr := newAttemptCtr(counters)
 			var taskOut Output
+			var outBuf *emitBuffer
 			var outRecs int64
+			committed := false
 			defer func() {
-				if outRecs > 0 {
-					counters.Add(CtrOutputRecords, outRecs)
+				if committed {
+					return
 				}
 				if taskOut != nil {
-					if err != nil {
-						abortOutput(taskOut)
-					} else if cerr := taskOut.Close(); cerr != nil {
-						abortOutput(taskOut) // discard the truncated result
-						err = cerr
-					}
+					abortOutput(taskOut)
 				}
+				ctr.rollback()
 			}()
 			reducer, err := job.Reducer()
 			if err != nil {
 				return err
 			}
-			emit := sink.Write
+			var emit func(serde.Datum, interp.EmitValue) error
 			if job.OutputFor != nil {
 				taskOut, err = job.OutputFor(p)
 				if err != nil {
@@ -284,6 +422,9 @@ func (e *Execution) execute() (*Result, error) {
 					outRecs++
 					return out.Write(k, v)
 				}
+			} else {
+				outBuf = &emitBuffer{}
+				emit = outBuf.emit
 			}
 			m, err := newMergeIter(spills, p)
 			if err != nil {
@@ -294,14 +435,14 @@ func (e *Execution) execute() (*Result, error) {
 				Conf: job.Config.Conf,
 				Emit: emit,
 				Counter: func(name string, delta int64) {
-					counters.Add("user."+name, delta)
+					ctr.Add("user."+name, delta)
 				},
 			}
 			for m.nextGroup() {
 				if ctx.Err() != nil {
 					return ctx.Err()
 				}
-				counters.Add(CtrReduceInputGroups, 1)
+				ctr.Add(CtrReduceInputGroups, 1)
 				key, _, err := serde.DecodeSortKey(m.groupKey)
 				if err != nil {
 					return err
@@ -311,7 +452,7 @@ func (e *Execution) execute() (*Result, error) {
 					return err
 				}
 				m.drainGroup()
-				counters.Add(CtrReduceInputRecords, g.n)
+				ctr.Add(CtrReduceInputRecords, g.n)
 				if m.err != nil {
 					return m.err
 				}
@@ -319,16 +460,41 @@ func (e *Execution) execute() (*Result, error) {
 			if m.err != nil {
 				return m.err
 			}
-			// This partition is fully merged: close its cursors and drop its
-			// spill-file references, so files whose every partition has been
-			// consumed are deleted while the reduce phase is still running.
+			// This attempt is fully merged: close its cursors before the
+			// commit claim decides whether it may consume spill references.
 			m.closeAll()
-			for _, sf := range spills {
-				sf.consumed(p)
+			if err := ta.Commit(func() error {
+				if taskOut != nil {
+					if cerr := taskOut.Close(); cerr != nil {
+						abortOutput(taskOut) // discard the truncated result
+						taskOut = nil
+						return cerr
+					}
+					taskOut = nil
+				}
+				if outBuf != nil {
+					if ferr := outBuf.flushTo(sink.Write); ferr != nil {
+						return ferr
+					}
+				}
+				if outRecs > 0 {
+					ctr.Add(CtrOutputRecords, outRecs)
+				}
+				// Drop this partition's spill-file references (exactly once
+				// per partition — the commit claim guarantees it), so files
+				// whose every partition has been consumed are deleted while
+				// the reduce phase is still running.
+				for _, sf := range spills {
+					sf.consumed(p)
+				}
+				return nil
+			}); err != nil {
+				return err
 			}
+			committed = true
 			return nil
 		}
-		if err := sched.runPhase(e, PhaseReduce, numReducers, reduceTask); err != nil {
+		if err := sched.runPhase(e, PhaseReduce, numReducers, phaseOpts{retry: true, speculate: true}, reduceTask); err != nil {
 			return fail("reduce phase", err)
 		}
 		// Spill files are shared across reduce partitions (each holds every
@@ -337,8 +503,10 @@ func (e *Execution) execute() (*Result, error) {
 	}
 
 	// Commit phase (one task): account input bytes, flush the shared sink,
-	// and seal the final output.
-	if err := sched.runPhase(e, PhaseCommit, 1, func(context.Context, int) error {
+	// and seal the final output. The commit task flushes the job's ONE
+	// shared sink, which has no per-attempt isolation to roll back to —
+	// so it gets neither retries nor speculation.
+	if err := sched.runPhase(e, PhaseCommit, 1, phaseOpts{}, func(*TaskAttempt) error {
 		for _, in := range job.Inputs {
 			counters.Add(CtrInputBytesRead, in.Input.BytesRead())
 			if st := in.Input.ScanStats(); st != (ScanStats{}) {

@@ -22,6 +22,28 @@
 // context (or the handle) halts dispatch, stops in-flight tasks at their
 // next check, and releases every partial output and spill file.
 //
+// # Fault tolerance
+//
+// Every task attempt is a retryable, verifiable, isolated unit. A failed
+// attempt's error is CLASSIFIED: transient errors (I/O hiccups, injected
+// faults) relaunch the task after exponential backoff with jitter, up to
+// Config.MaxTaskRetries times; permanent errors (storage corruption —
+// errors.Is(err, storage.ErrCorruptBlock) — cancellation, and exhausted
+// retry budgets) fail the job. Attempts are ISOLATED: each writes spill
+// files and temp outputs under attempt-qualified names, so a retry never
+// collides with its failed predecessor's files, and a failed attempt's
+// partial spills, buffered emissions, and counter deltas are all rolled
+// back. When a task runs longer than Config.SpeculativeSlowdown times the
+// median duration of its completed siblings and slots are idle, the
+// scheduler launches one duplicate (speculative) attempt; whichever
+// attempt finishes first COMMITS — publishes its spills or flushes its
+// buffered output under the scheduler's commit claim, which is idempotent
+// per task, not per attempt — and the loser is canceled and its partial
+// outputs aborted. The counters manimal.tasks.retried,
+// manimal.tasks.speculative, and manimal.tasks.corrupt_blocks report what
+// the machinery did; Status.Attempts carries the per-task attempt
+// history. Package faultinject exercises all of it deterministically.
+//
 // # Buffer ownership
 //
 // The per-record hot paths run without allocations by reusing buffers, so
@@ -122,6 +144,22 @@ type Config struct {
 	// HashPartitioner. Sharded index builds install a RangePartitioner so
 	// each reduce task receives one contiguous slice of the key space.
 	Partitioner Partitioner
+	// MaxTaskRetries caps how many times one task is relaunched after a
+	// TRANSIENT failure (so a task gets up to 1+MaxTaskRetries attempts).
+	// 0 means DefaultMaxTaskRetries; negative disables retries. Permanent
+	// failures (corruption, cancellation, malformed programs) never retry.
+	MaxTaskRetries int
+	// RetryBackoff is the base delay before the first retry; each further
+	// retry doubles it, with jitter. 0 means DefaultRetryBackoff; it is
+	// capped at maxRetryBackoff.
+	RetryBackoff time.Duration
+	// SpeculativeSlowdown triggers speculative execution: when a running
+	// task's elapsed time exceeds this multiple of the median duration of
+	// its completed sibling tasks (and slots are idle), the scheduler
+	// launches one duplicate attempt; the first finisher commits and the
+	// loser is canceled. 0 means DefaultSpeculativeSlowdown; negative
+	// disables speculation.
+	SpeculativeSlowdown float64
 	// Conf carries the job parameters programs read via ctx.Conf*.
 	Conf map[string]serde.Datum
 }
@@ -131,6 +169,16 @@ const (
 	DefaultNumReducers      = 4
 	DefaultMaxParallelTasks = 4
 	DefaultSpillBufferBytes = 32 << 20
+	// DefaultMaxTaskRetries relaunches a transiently failed task up to
+	// this many times before the job fails.
+	DefaultMaxTaskRetries = 3
+	// DefaultRetryBackoff is the base delay before the first retry.
+	DefaultRetryBackoff = 10 * time.Millisecond
+	// maxRetryBackoff caps the exponential growth of retry delays.
+	maxRetryBackoff = 2 * time.Second
+	// DefaultSpeculativeSlowdown launches a duplicate attempt once a task
+	// runs this multiple of its completed siblings' median duration.
+	DefaultSpeculativeSlowdown = 3.0
 )
 
 func (c *Config) numReducers() int {
@@ -159,6 +207,35 @@ func (c *Config) partitioner() Partitioner {
 		return c.Partitioner
 	}
 	return HashPartitioner{}
+}
+
+func (c *Config) maxRetries() int {
+	switch {
+	case c.MaxTaskRetries > 0:
+		return c.MaxTaskRetries
+	case c.MaxTaskRetries < 0:
+		return 0
+	default:
+		return DefaultMaxTaskRetries
+	}
+}
+
+func (c *Config) retryBackoff() time.Duration {
+	if c.RetryBackoff > 0 {
+		return c.RetryBackoff
+	}
+	return DefaultRetryBackoff
+}
+
+func (c *Config) speculativeSlowdown() float64 {
+	switch {
+	case c.SpeculativeSlowdown > 0:
+		return c.SpeculativeSlowdown
+	case c.SpeculativeSlowdown < 0:
+		return 0 // disabled
+	default:
+		return DefaultSpeculativeSlowdown
+	}
 }
 
 // Job describes one MapReduce execution.

@@ -465,7 +465,9 @@ func TestCancellationStopsSiblings(t *testing.T) {
 			{Input: slowIn, Mapper: func() (Mapper, error) { return slowCountingMapper{n: &invoked}, nil }},
 		},
 		Output: &DiscardOutput{},
-		Config: Config{MaxParallelTasks: 2},
+		// Retries disabled: this test is about how fast a PERMANENT failure
+		// cancels siblings, not about the retry budget delaying the verdict.
+		Config: Config{MaxParallelTasks: 2, MaxTaskRetries: -1},
 	}
 	if _, err := Run(job); err == nil {
 		t.Fatal("failing job reported success")

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"manimal/internal/btree"
+	"manimal/internal/faultinject"
 	"manimal/internal/interp"
 	"manimal/internal/serde"
 	"manimal/internal/storage"
@@ -34,25 +36,30 @@ func abortOutput(o Output) {
 }
 
 // KVFileOutput writes the job's (key, value) pairs to a simple streaming
-// container: the default final-output format.
+// container: the default final-output format. Pairs stream into a temp
+// file that Close fsyncs and renames onto the final path, so a crashed
+// or canceled job never leaves a partial output where the caller's path
+// points.
 type KVFileOutput struct {
 	f     *os.File
-	path  string
+	path  string // final destination; the temp file renames onto it in Close
 	w     *bufio.Writer
 	count uint64
 	buf   []byte // reused per-write encoding buffer
 	enc   valueEncoder
 }
 
-// NewKVFileOutput creates (truncating) a KV output file.
+// NewKVFileOutput creates a KV output file destined for path (committed
+// by Close).
 func NewKVFileOutput(path string) (*KVFileOutput, error) {
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: create output %s: %w", path, err)
 	}
 	w := bufio.NewWriterSize(f, 256<<10)
 	if _, err := w.WriteString(kvMagic); err != nil {
 		f.Close()
+		os.Remove(f.Name())
 		return nil, err
 	}
 	return &KVFileOutput{f: f, path: path, w: w}, nil
@@ -77,26 +84,57 @@ func (o *KVFileOutput) Write(k serde.Datum, v interp.EmitValue) error {
 	return nil
 }
 
-// Close writes the trailer and closes the file.
+// Close writes the trailer, then commits: fsync, rename onto the final
+// path, fsync the parent directory.
 func (o *KVFileOutput) Close() error {
+	fail := func(err error) error {
+		o.f.Close()
+		os.Remove(o.f.Name())
+		return err
+	}
 	var tr [8]byte
 	binary.LittleEndian.PutUint64(tr[:], o.count)
 	if _, err := o.w.Write(tr[:]); err != nil {
-		return err
+		return fail(err)
 	}
 	if _, err := o.w.WriteString(kvMagic); err != nil {
-		return err
+		return fail(err)
 	}
 	if err := o.w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := o.f.Sync(); err != nil {
+		return fail(err)
+	}
+	tmp := o.f.Name()
+	if err := o.f.Close(); err != nil {
+		os.Remove(tmp)
 		return err
 	}
-	return o.f.Close()
+	if err := faultinject.Fail(faultinject.PointCrashRename, filepath.Base(o.path)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, o.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("mapreduce: commit output %s: %w", o.path, err)
+	}
+	if d, err := os.Open(filepath.Dir(o.path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
-// Abort implements Abortable: the partial output file is removed.
+// Abort implements Abortable: the partial temp file is removed; the final
+// path is never touched.
 func (o *KVFileOutput) Abort() error {
+	tmp := o.f.Name()
 	o.f.Close()
-	return os.Remove(o.path)
+	if err := os.Remove(tmp); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
 }
 
 // KVPair is one read-back output pair.

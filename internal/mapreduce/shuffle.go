@@ -13,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"manimal/internal/faultinject"
 	"manimal/internal/interp"
 	"manimal/internal/serde"
 )
@@ -272,6 +273,7 @@ var emitterBufsPool = sync.Pool{New: func() any { return new(emitterBufs) }}
 // the backing record.
 type shuffleEmitter struct {
 	taskID    int
+	attempt   int // task attempt; spill names embed it so retried and speculative attempts never collide
 	workDir   string
 	parts     []partBuf
 	comb      partBuf // combiner output buffer, reused across groups
@@ -281,7 +283,7 @@ type shuffleEmitter struct {
 	bytes     int
 	threshold int
 	combiner  ReducerFactory
-	counters  *Counters
+	counters  counterAdder
 	conf      map[string]serde.Datum
 	part      Partitioner
 	files     []*spillFile // one per spill
@@ -294,7 +296,14 @@ type shuffleEmitter struct {
 	pendBytes   int64
 }
 
-func newShuffleEmitter(taskID, numParts int, workDir string, threshold int, combiner ReducerFactory, counters *Counters, conf map[string]serde.Datum, part Partitioner) *shuffleEmitter {
+// counterAdder is the counter sink the shuffle writes through: the shared
+// job Counters directly, or a per-attempt delta recorder whose additions
+// roll back if the attempt loses or fails.
+type counterAdder interface {
+	Add(name string, delta int64)
+}
+
+func newShuffleEmitter(taskID, attempt, numParts int, workDir string, threshold int, combiner ReducerFactory, counters counterAdder, conf map[string]serde.Datum, part Partitioner) *shuffleEmitter {
 	bufs := emitterBufsPool.Get().(*emitterBufs)
 	if cap(bufs.parts) < numParts {
 		bufs.parts = make([]partBuf, numParts)
@@ -306,6 +315,7 @@ func newShuffleEmitter(taskID, numParts int, workDir string, threshold int, comb
 	bufs.comb.reset()
 	return &shuffleEmitter{
 		taskID:    taskID,
+		attempt:   attempt,
 		workDir:   workDir,
 		parts:     bufs.parts,
 		comb:      bufs.comb,
@@ -318,6 +328,17 @@ func newShuffleEmitter(taskID, numParts int, workDir string, threshold int, comb
 		conf:      conf,
 		part:      part,
 	}
+}
+
+// discard deletes the attempt's spill files and returns the emitter's
+// buffers to the pool: the cleanup for an attempt that failed or lost the
+// commit race, whose spills must never reach the reduce phase.
+func (se *shuffleEmitter) discard() {
+	for _, sf := range se.files {
+		sf.release()
+	}
+	se.files = nil
+	se.release()
 }
 
 // release returns the emitter's backing buffers to the pool. Called once,
@@ -390,7 +411,7 @@ func (se *shuffleEmitter) spill() error {
 	if len(buf) == 0 {
 		return nil
 	}
-	path := filepath.Join(se.workDir, fmt.Sprintf("map%06d_s%03d.spill", se.taskID, len(se.files)))
+	path := filepath.Join(se.workDir, fmt.Sprintf("map%06d_a%02d_s%03d.spill", se.taskID, se.attempt, len(se.files)))
 	sf, err := writeSpillFile(path, buf, spans)
 	if err != nil {
 		return err
@@ -472,20 +493,31 @@ func (it *slabValueIter) Next() bool {
 
 func (it *slabValueIter) Value() interp.EmitValue { return it.cur }
 
-// writeSpillFile writes a serialized spill image with a single syscall and
-// returns the open handle for the reduce phase to read through (os.Create
-// opens read-write, so no reopen is needed). On any error the partial file
-// is closed and removed so a failed task never leaks spill files into
-// WorkDir.
+// writeSpillFile writes a serialized spill image into a temp file renamed
+// onto path once complete, and returns the open handle for the reduce
+// phase to read through (os.CreateTemp opens read-write, so no reopen is
+// needed; the handle survives the rename). No fsync: spills are transient
+// intermediate state whose loss just fails the attempt, and syncing every
+// spill would tax the shuffle benchmarks for no durability the job needs.
+// On any error the partial temp file is closed and removed so a failed
+// task never leaks spill files into WorkDir.
 func writeSpillFile(path string, image []byte, spans []span) (*spillFile, error) {
-	f, err := os.Create(path)
+	if err := faultinject.Fail(faultinject.PointSpill, filepath.Base(path)); err != nil {
+		return nil, err
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: create spill file: %w", err)
 	}
 	if _, err := f.Write(image); err != nil {
 		f.Close()
-		os.Remove(path)
+		os.Remove(f.Name())
 		return nil, err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, fmt.Errorf("mapreduce: commit spill file: %w", err)
 	}
 	sf := &spillFile{f: f, path: path, parts: spans}
 	for _, sp := range spans {
@@ -521,6 +553,9 @@ type segCursor struct {
 }
 
 func newSegCursor(sf *spillFile, sp span) (*segCursor, error) {
+	if err := faultinject.Fail(faultinject.PointSpill, filepath.Base(sf.path)); err != nil {
+		return nil, err
+	}
 	c := &segCursor{}
 	ra := io.ReaderAt(sf.f)
 	if sf.f == nil {

@@ -226,10 +226,12 @@ func applyPushdown(plan *Plan, path string, desc *analyzer.Descriptor, conf pred
 		skip, r.NumBlocks(), pct, total)
 }
 
-// freshEntries drops catalog entries whose recorded input fingerprint no
-// longer matches the input file: the input was rewritten after the index
-// was built, and using the index would silently serve stale results.
-// Entries without a fingerprint (older catalogs) are kept.
+// freshEntries drops catalog entries the planner must not touch: entries
+// quarantined as CORRUPT (a scan detected checksum/decode failures in the
+// variant), and entries whose recorded input fingerprint no longer matches
+// the input file — the input was rewritten after the index was built, and
+// using the index would silently serve stale results. Entries without a
+// fingerprint (older catalogs) are kept.
 func freshEntries(inputPath string, entries []catalog.Entry, plan *Plan) []catalog.Entry {
 	var (
 		statted bool
@@ -239,6 +241,10 @@ func freshEntries(inputPath string, entries []catalog.Entry, plan *Plan) []catal
 	)
 	kept := entries[:0:0]
 	for _, e := range entries {
+		if !e.Usable() {
+			plan.notef("%s %s: %s (%s); skipping", e.Kind, e.IndexPath, e.State, e.StateReason)
+			continue
+		}
 		if e.InputSizeBytes == 0 && e.InputModTimeNanos == 0 {
 			kept = append(kept, e)
 			continue

@@ -20,9 +20,19 @@ type Client struct {
 }
 
 // NewClient creates a client for the service at base (e.g.
-// "http://127.0.0.1:7070").
+// "http://127.0.0.1:7070") with a 30-second per-request timeout.
 func NewClient(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{Timeout: 30 * time.Second}}
+	return NewClientTimeout(base, 30*time.Second)
+}
+
+// NewClientTimeout is NewClient with an explicit per-request timeout; a
+// non-positive timeout disables the limit (callers waiting on long jobs
+// should prefer WaitJob's polling over one unbounded request).
+func NewClientTimeout(base string, timeout time.Duration) *Client {
+	if timeout < 0 {
+		timeout = 0
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{Timeout: timeout}}
 }
 
 // Submit posts a job and returns its service-side record.

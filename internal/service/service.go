@@ -72,6 +72,20 @@ type PlanInfo struct {
 	Notes   []string `json:"notes,omitempty"`
 }
 
+// AttemptInfo is one task attempt in a job's fault-tolerance history.
+// Jobs where fault tolerance never engaged show one succeeded attempt per
+// task; retries, speculative duplicates, and losers of speculative races
+// each add a record.
+type AttemptInfo struct {
+	Phase       string `json:"phase"`
+	Task        int    `json:"task"`
+	Attempt     int    `json:"attempt"`
+	Speculative bool   `json:"speculative,omitempty"`
+	DurationMS  int64  `json:"duration_ms"`
+	Outcome     string `json:"outcome"`
+	Error       string `json:"error,omitempty"`
+}
+
 // JobInfo is the service's view of one job: identity, live status, and —
 // once terminal — the outcome.
 type JobInfo struct {
@@ -85,6 +99,7 @@ type JobInfo struct {
 	DurationMS  int64            `json:"duration_ms"`
 	Counters    map[string]int64 `json:"counters,omitempty"`
 	Plans       []PlanInfo       `json:"plans,omitempty"`
+	Attempts    []AttemptInfo    `json:"attempts,omitempty"`
 	Error       string           `json:"error,omitempty"`
 }
 
@@ -397,6 +412,17 @@ func (t *tracked) info() JobInfo {
 		TasksTotal:  st.TasksTotal,
 		DurationMS:  st.Duration.Milliseconds(),
 		Counters:    st.Counters,
+	}
+	for _, a := range st.Attempts {
+		info.Attempts = append(info.Attempts, AttemptInfo{
+			Phase:       string(a.Phase),
+			Task:        a.Task,
+			Attempt:     a.Attempt,
+			Speculative: a.Speculative,
+			DurationMS:  a.Duration.Milliseconds(),
+			Outcome:     a.Outcome,
+			Error:       a.Error,
+		})
 	}
 	for _, ir := range t.handle.Inputs() {
 		pi := PlanInfo{Input: ir.Path}

@@ -157,7 +157,7 @@ func (s *BatchScanner) loadColumns(bi int, base int64) error {
 			continue
 		}
 		if err := s.decodeColumn(i, seg, n); err != nil {
-			return fmt.Errorf("storage: %s field %q: %w", s.r.path, s.r.schema.Field(i).Name, err)
+			return s.r.corruptBlock(bi, fmt.Errorf("field %q: %w", s.r.schema.Field(i).Name, err))
 		}
 		s.batch.SetDecoded(i)
 	}

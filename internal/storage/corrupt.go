@@ -1,0 +1,48 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorruptBlock is the sentinel all block-corruption errors wrap. Match
+// with errors.Is; the carrying CorruptBlockError (errors.As) names the
+// file, block, and offset. The engine classifies corruption as PERMANENT —
+// re-reading flipped bits yields the same flipped bits — and, when the
+// corrupt file is a derived index variant, quarantines it in the catalog
+// and re-plans on the original input.
+var ErrCorruptBlock = errors.New("corrupt block")
+
+// CorruptBlockError reports that a block of a record file failed its
+// CRC32C verification or could not be decoded. It wraps ErrCorruptBlock
+// (and the underlying decode error, if any).
+type CorruptBlockError struct {
+	// Path is the record file.
+	Path string
+	// Block is the zero-based block index within the file.
+	Block int
+	// Offset is the block's byte offset within the file.
+	Offset int64
+	// Err is the underlying decoder error; nil for pure checksum mismatches.
+	Err error
+}
+
+func (e *CorruptBlockError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("storage: %s: corrupt block %d at offset %d: %v", e.Path, e.Block, e.Offset, e.Err)
+	}
+	return fmt.Sprintf("storage: %s: corrupt block %d at offset %d: checksum mismatch", e.Path, e.Block, e.Offset)
+}
+
+// Unwrap exposes the underlying cause chain. errors.Is(err,
+// ErrCorruptBlock) matches regardless of cause via Is.
+func (e *CorruptBlockError) Unwrap() error { return e.Err }
+
+// Is matches the ErrCorruptBlock sentinel.
+func (e *CorruptBlockError) Is(target error) bool { return target == ErrCorruptBlock }
+
+// corruptBlock wraps err (which may be nil for checksum mismatches) as a
+// CorruptBlockError for block i of r.
+func (r *Reader) corruptBlock(i int, err error) error {
+	return &CorruptBlockError{Path: r.path, Block: i, Offset: r.blocks[i].offset, Err: err}
+}

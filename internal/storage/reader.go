@@ -3,11 +3,14 @@ package storage
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sync/atomic"
 
 	"manimal/internal/compress"
+	"manimal/internal/faultinject"
 	"manimal/internal/serde"
 )
 
@@ -24,10 +27,21 @@ type Reader struct {
 	// blockStats holds per-block zone-map stats (schema field order), nil
 	// for pre-stats (version 2) files.
 	blockStats [][]FieldStats
-	version    int
-	dataStart  int64
-	fileSize   int64
-	bytesRead  atomic.Int64
+	// crcs holds per-block CRC32C checksums from the footer's "CRC1"
+	// section; nil for files sealed before the section existed, which
+	// verify nothing. Checksums are verified only when a block is READ —
+	// skipped blocks are never hashed — and only the FIRST time this
+	// reader reads the block (verified[i] below): the integrity check is
+	// against on-disk corruption, which is caught when the bytes first
+	// enter the process; re-reads through the same open reader come from
+	// the page cache. When a fault injector is installed every read
+	// re-verifies, so injected corruption stays deterministic.
+	crcs      []uint32
+	verified  []atomic.Bool
+	version   int
+	dataStart int64
+	fileSize  int64
+	bytesRead atomic.Int64
 	// Pruning-effect counters aggregated across scanners and split planning.
 	blocksRead    atomic.Int64
 	blocksSkipped atomic.Int64
@@ -157,6 +171,21 @@ func (r *Reader) readMeta() error {
 		r.dicts[i] = d
 		pos += used
 	}
+	// Optional per-block checksum section ("CRC1" + one uint32le per
+	// block). Files sealed before the section existed end here; their
+	// blocks verify nothing.
+	if pos+len(magicChecksums) <= len(ftr) && string(ftr[pos:pos+len(magicChecksums)]) == magicChecksums {
+		pos += len(magicChecksums)
+		if len(ftr)-pos < 4*len(r.blocks) {
+			return fmt.Errorf("truncated checksum section")
+		}
+		r.crcs = make([]uint32, len(r.blocks))
+		r.verified = make([]atomic.Bool, len(r.blocks))
+		for i := range r.crcs {
+			r.crcs[i] = binary.LittleEndian.Uint32(ftr[pos:])
+			pos += 4
+		}
+	}
 	return nil
 }
 
@@ -226,6 +255,7 @@ type Scanner struct {
 	r        *Reader
 	blockLo  int    // next block to load
 	blockHi  int    // one past last block
+	curBlock int    // block currently decoding (for corruption reports)
 	raw      []byte // reused block read buffer; buf points into it
 	buf      []byte
 	recsLeft int64
@@ -386,7 +416,7 @@ func (s *Scanner) decodeRow() bool {
 		if s.decode != nil && !s.decode[i] {
 			n, err = s.skipField(i)
 			if err != nil {
-				s.err = fmt.Errorf("storage: %s field %q: %w", s.r.path, s.r.schema.Field(i).Name, err)
+				s.err = s.fieldCorrupt(i, err)
 				return false
 			}
 			s.pos += n
@@ -419,7 +449,7 @@ func (s *Scanner) decodeRow() bool {
 			err = fmt.Errorf("unknown encoding %d", s.r.encodings[i])
 		}
 		if err != nil {
-			s.err = fmt.Errorf("storage: %s field %q: %w", s.r.path, s.r.schema.Field(i).Name, err)
+			s.err = s.fieldCorrupt(i, err)
 			return false
 		}
 		s.pos += n
@@ -463,7 +493,7 @@ func (s *Scanner) decodeRowColumnar() bool {
 			err = fmt.Errorf("unknown encoding %d", s.r.encodings[i])
 		}
 		if err != nil {
-			s.err = fmt.Errorf("storage: %s field %q: %w", s.r.path, s.r.schema.Field(i).Name, err)
+			s.err = s.fieldCorrupt(i, err)
 			return false
 		}
 		s.fieldPos[i] += n
@@ -492,6 +522,13 @@ func (s *Scanner) skipField(i int) (int, error) {
 	}
 }
 
+// fieldCorrupt reports a decode failure for field i of the current block
+// as a CorruptBlockError: the block's bytes could not be interpreted, so
+// retrying the read cannot help (the error classifies permanent).
+func (s *Scanner) fieldCorrupt(i int, err error) error {
+	return s.r.corruptBlock(s.curBlock, fmt.Errorf("field %q: %w", s.r.schema.Field(i).Name, err))
+}
+
 // flushFiltered publishes the per-block residual-drop count to the reader.
 func (s *Scanner) flushFiltered() {
 	if s.filtered > 0 {
@@ -512,6 +549,7 @@ func (s *Scanner) loadBlock(i int) error {
 	if err != nil {
 		return err
 	}
+	s.curBlock = i
 	s.raw = raw
 	s.buf = payload
 	s.pos = 0
@@ -544,6 +582,16 @@ func (s *Scanner) loadBlock(i int) error {
 // it, so their counter behavior is identical by construction.
 func (r *Reader) readBlockPayload(i int, raw []byte) ([]byte, int64, []byte, error) {
 	b := r.blocks[i]
+	// The injection key is only materialized when an injector is installed:
+	// this runs once per block read, and a disabled hook must stay at one
+	// atomic load with no formatting or allocation.
+	blockKey := ""
+	if faultinject.Enabled() {
+		blockKey = fmt.Sprintf("%s#%d", filepath.Base(r.path), i)
+		if err := faultinject.Fail(faultinject.PointStorageRead, blockKey); err != nil {
+			return nil, 0, raw, fmt.Errorf("storage: read block %d: %w", i, err)
+		}
+	}
 	if int64(cap(raw)) < b.length {
 		raw = make([]byte, b.length)
 	}
@@ -551,18 +599,34 @@ func (r *Reader) readBlockPayload(i int, raw []byte) ([]byte, int64, []byte, err
 	if _, err := r.f.ReadAt(raw, b.offset); err != nil {
 		return nil, 0, raw, fmt.Errorf("storage: read block %d: %w", i, err)
 	}
+	if blockKey != "" {
+		faultinject.CorruptBytes(blockKey, raw)
+	}
 	r.bytesRead.Add(b.length)
 	r.blocksRead.Add(1)
+	// Verify before parsing anything out of the block: a checksum mismatch
+	// is a definitive corruption signal (classified permanent), whereas a
+	// parse failure downstream of a passing checksum is a reader bug.
+	// Once a block has verified clean it is not re-hashed on later reads
+	// through this reader (see the verified field doc) — unless a fault
+	// injector is installed (blockKey != ""), where every read may have
+	// been corrupted in flight and must be re-checked.
+	if r.crcs != nil && (blockKey != "" || !r.verified[i].Load()) {
+		if crc32.Checksum(raw, castagnoli) != r.crcs[i] {
+			return nil, 0, raw, r.corruptBlock(i, nil)
+		}
+		r.verified[i].Store(true)
+	}
 	payloadLen, n1 := binary.Uvarint(raw)
 	if n1 <= 0 {
-		return nil, 0, raw, fmt.Errorf("storage: block %d: truncated payload length", i)
+		return nil, 0, raw, r.corruptBlock(i, fmt.Errorf("truncated payload length"))
 	}
 	recs, n2 := binary.Uvarint(raw[n1:])
 	if n2 <= 0 {
-		return nil, 0, raw, fmt.Errorf("storage: block %d: truncated record count", i)
+		return nil, 0, raw, r.corruptBlock(i, fmt.Errorf("truncated record count"))
 	}
 	if int64(n1+n2)+int64(payloadLen) != b.length {
-		return nil, 0, raw, fmt.Errorf("storage: block %d: length mismatch", i)
+		return nil, 0, raw, r.corruptBlock(i, fmt.Errorf("block length mismatch"))
 	}
 	return raw[n1+n2:], int64(recs), raw, nil
 }
@@ -577,14 +641,14 @@ func (r *Reader) parseSegments(i int, payload []byte, segLens []int) (int, error
 	for f := range segLens {
 		v, n := binary.Uvarint(payload[pos:])
 		if n <= 0 {
-			return 0, fmt.Errorf("storage: block %d: truncated segment table", i)
+			return 0, r.corruptBlock(i, fmt.Errorf("truncated segment table"))
 		}
 		segLens[f] = int(v)
 		total += int(v)
 		pos += n
 	}
 	if pos+total != len(payload) {
-		return 0, fmt.Errorf("storage: block %d: segment lengths do not tile payload", i)
+		return 0, r.corruptBlock(i, fmt.Errorf("segment lengths do not tile payload"))
 	}
 	return pos, nil
 }

@@ -33,6 +33,16 @@
 //	    uvarint null count
 //	    [min value] [max value]   — kind-implied encodings
 //	per dict field: term count + length-prefixed terms in code order
+//	optional trailing section: "CRC1" + one uint32le CRC32C per block
+//
+// The checksum section (a v4 footer extension) carries one CRC32C
+// (Castagnoli) checksum over each block's full on-disk bytes, verified
+// the first time a Reader reads the block — skipped blocks are never
+// hashed and re-reads through the same reader skip the hash, so pruned
+// and repeated scans pay nothing. Files sealed before the section
+// existed (and all v2/v3 files) simply lack it and verify nothing. A
+// mismatch surfaces as a CorruptBlockError (wrapping ErrCorruptBlock),
+// which the engine classifies as permanent.
 //
 // Stats are computed on LOGICAL values before encoding, so predicates over
 // original values prune delta- and dict-encoded blocks too. Numeric and
@@ -86,11 +96,18 @@ package storage
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
+	"path/filepath"
 
 	"manimal/internal/compress"
+	"manimal/internal/faultinject"
 	"manimal/internal/serde"
 )
+
+// castagnoli is the CRC32C polynomial table used for block checksums
+// (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // FieldEncoding selects how one field's values are stored within a block.
 type FieldEncoding uint8
@@ -131,6 +148,10 @@ const (
 	// layout is identical to v3, but block payloads carry per-field
 	// segment lengths followed by contiguous per-field segments.
 	magicFooterV4 = "MANIMAL4"
+	// magicChecksums introduces the optional per-block CRC32C section at
+	// the end of a v4 footer (after the dictionaries). Files without it
+	// remain readable and verify nothing.
+	magicChecksums = "CRC1"
 
 	// FormatVersion is the version new writers produce.
 	FormatVersion = 4
@@ -154,10 +175,16 @@ type WriterOptions struct {
 	BlockSize int
 }
 
-// Writer writes a record file.
+// Writer writes a record file. The writer streams into a uniquely-named
+// temp file next to the destination and COMMITS it — fsync, rename onto
+// the final path, fsync the parent directory — only in Close: a crash (or
+// abort) mid-write can never leave a partial file at a path the catalog
+// fingerprints as valid, and concurrent task attempts writing the same
+// destination never collide (the first Close wins the rename).
 type Writer struct {
 	f         *os.File
-	path      string
+	path      string // final destination; the temp file renames onto it in Close
+	tmp       string // temp file actually being written
 	schema    *serde.Schema
 	encodings []FieldEncoding
 	deltas    []*compress.DeltaEncoder // per field, nil unless delta
@@ -171,28 +198,30 @@ type Writer struct {
 	blocks    []blockInfo
 	curStats  []FieldStats // zone-map accumulator for the open block
 	stats     []byte       // encoded per-block stats, appended per flush
+	crcs      []uint32     // per-block CRC32C over the full on-disk block bytes
 	records   int64
 	closed    bool
-	finished  bool // Close completed; Abort must not remove the file
+	finished  bool // Close committed the file; Abort must not remove it
 }
 
-// NewWriter creates (truncating) a record file at path. Construction
-// errors remove the just-created file: by then any prior file at path is
-// already truncated, so leaving the stub would present a corrupt record
-// file where the caller expects either the old data or nothing.
+// NewWriter creates a record file destined for path, writing into a
+// uniquely-named temp file in path's directory until Close renames it
+// into place. Any file already at path is untouched until then.
+// Construction errors remove only the temp file.
 func NewWriter(path string, schema *serde.Schema, opts WriterOptions) (*Writer, error) {
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return nil, fmt.Errorf("storage: create %s: %w", path, err)
 	}
 	fail := func(err error) (*Writer, error) {
 		f.Close()
-		os.Remove(path)
+		os.Remove(f.Name())
 		return nil, err
 	}
 	w := &Writer{
 		f:         f,
 		path:      path,
+		tmp:       f.Name(),
 		schema:    schema,
 		encodings: make([]FieldEncoding, schema.NumFields()),
 		deltas:    make([]*compress.DeltaEncoder, schema.NumFields()),
@@ -310,16 +339,27 @@ func (w *Writer) flushBlock() error {
 		hdr = binary.AppendUvarint(hdr, uint64(len(fb)))
 	}
 	w.scratch = hdr
+	// Key materialized only when an injector is installed: this is the
+	// per-block write path, and a disabled hook must cost one atomic load.
+	if faultinject.Enabled() {
+		if err := faultinject.Fail(faultinject.PointStorageWrite,
+			fmt.Sprintf("%s#%d", filepath.Base(w.path), len(w.blocks))); err != nil {
+			return err
+		}
+	}
 	if _, err := w.f.Write(hdr); err != nil {
 		return fmt.Errorf("storage: write block header: %w", err)
 	}
 	written := len(hdr)
+	crc := crc32.Update(0, castagnoli, hdr)
 	for _, fb := range w.fieldBufs {
 		if _, err := w.f.Write(fb); err != nil {
 			return fmt.Errorf("storage: write block: %w", err)
 		}
 		written += len(fb)
+		crc = crc32.Update(crc, castagnoli, fb)
 	}
+	w.crcs = append(w.crcs, crc)
 	w.blocks = append(w.blocks, blockInfo{
 		offset:  w.offset,
 		length:  int64(written),
@@ -356,11 +396,13 @@ func uvarintLen(v uint64) int {
 // NumRecords returns the number of records appended so far.
 func (w *Writer) NumRecords() int64 { return w.records }
 
-// Close flushes the final block, writes the stats-bearing footer, and
-// closes the file. Any failure — block flush, stats/footer write, sync, or
-// the final close — removes the partial file before returning the error
-// (matching the spill-writer guarantee): a truncated record file must
-// never be left where a reader could mistake it for a complete one.
+// Close flushes the final block, writes the stats-bearing footer (with
+// the per-block checksum section), then COMMITS: fsync the temp file,
+// rename it onto the final path, fsync the parent directory. Any failure
+// before the rename — block flush, footer write, sync — removes the temp
+// file and leaves the final path untouched, so a crash mid-commit can
+// never present a partial record file where a reader (or the catalog's
+// fingerprinting) expects a complete one.
 func (w *Writer) Close() error {
 	if w.closed {
 		return nil
@@ -368,7 +410,7 @@ func (w *Writer) Close() error {
 	w.closed = true
 	fail := func(err error) error {
 		w.f.Close()
-		os.Remove(w.path)
+		os.Remove(w.tmp)
 		return err
 	}
 	if err := w.flushBlock(); err != nil {
@@ -387,6 +429,10 @@ func (w *Writer) Close() error {
 			ftr = d.AppendBinary(ftr)
 		}
 	}
+	ftr = append(ftr, magicChecksums...)
+	for _, crc := range w.crcs {
+		ftr = binary.LittleEndian.AppendUint32(ftr, crc)
+	}
 	ftr = binary.LittleEndian.AppendUint64(ftr, uint64(len(ftr)))
 	ftr = append(ftr, magicFooterV4...)
 	if _, err := w.f.Write(ftr); err != nil {
@@ -396,23 +442,46 @@ func (w *Writer) Close() error {
 		return fail(fmt.Errorf("storage: sync: %w", err))
 	}
 	if err := w.f.Close(); err != nil {
-		os.Remove(w.path)
+		os.Remove(w.tmp)
 		return err
 	}
+	// Crash-before-rename injection point: the temp file is complete and
+	// durable, but the commit has not happened. The contract under test is
+	// that the final path is untouched.
+	if err := faultinject.Fail(faultinject.PointCrashRename, filepath.Base(w.path)); err != nil {
+		os.Remove(w.tmp)
+		return err
+	}
+	if err := os.Rename(w.tmp, w.path); err != nil {
+		os.Remove(w.tmp)
+		return fmt.Errorf("storage: commit %s: %w", w.path, err)
+	}
+	syncDir(filepath.Dir(w.path))
 	w.finished = true
 	return nil
 }
 
-// Abort closes the writer and removes the partial file; used when the
-// producing job must be discarded. A no-op after a successful Close, and
-// tolerant of the file already being gone (a failed Close removes it).
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Best-effort on filesystems that reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Abort closes the writer and removes the partial temp file; used when
+// the producing job (or a losing task attempt) must be discarded. The
+// final path is never touched. A no-op after a successful Close, and
+// tolerant of the temp file already being gone (a failed Close removes
+// it).
 func (w *Writer) Abort() error {
 	if w.finished {
 		return nil
 	}
 	w.closed = true
 	w.f.Close()
-	if err := os.Remove(w.path); err != nil && !os.IsNotExist(err) {
+	if err := os.Remove(w.tmp); err != nil && !os.IsNotExist(err) {
 		return err
 	}
 	return nil

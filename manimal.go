@@ -51,9 +51,11 @@ package manimal
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -321,14 +323,39 @@ type JobStatus = mapreduce.Status
 
 // JobHandle tracks one asynchronously submitted job. The analysis and
 // planning results are available immediately (Inputs); the execution
-// result arrives through Wait.
+// result arrives through Wait. A job that hits index corruption may be
+// transparently resubmitted with a fresh plan (see SubmitAsync), so the
+// underlying execution can change over the handle's lifetime.
 type JobHandle struct {
 	name   string
 	inputs []InputReport
-	exec   *mapreduce.Execution
 	report *JobReport
 	err    error
 	done   chan struct{}
+
+	mu       sync.Mutex
+	exec     *mapreduce.Execution
+	canceled bool
+}
+
+// current returns the execution the handle presently tracks.
+func (h *JobHandle) current() *mapreduce.Execution {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.exec
+}
+
+// swap installs a replanned execution. It refuses (returning false) when
+// the job was already canceled, so a cancellation can never be outrun by
+// a concurrent replan resubmission.
+func (h *JobHandle) swap(e *mapreduce.Execution) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.canceled {
+		return false
+	}
+	h.exec = e
+	return true
 }
 
 // Name returns the submitted job's name.
@@ -344,11 +371,17 @@ func (h *JobHandle) Join() *JoinDescriptor { return h.report.Join }
 
 // Status snapshots the job's phase, task progress, and counters; safe to
 // call at any time from any goroutine.
-func (h *JobHandle) Status() JobStatus { return h.exec.Status() }
+func (h *JobHandle) Status() JobStatus { return h.current().Status() }
 
 // Cancel asks the job to stop; partial outputs and scratch space are
 // cleaned up, and Wait returns a context.Canceled error.
-func (h *JobHandle) Cancel() { h.exec.Cancel() }
+func (h *JobHandle) Cancel() {
+	h.mu.Lock()
+	h.canceled = true
+	e := h.exec
+	h.mu.Unlock()
+	e.Cancel()
+}
 
 // Done is closed once the job is terminal (result published, scratch
 // space removed).
@@ -383,13 +416,10 @@ func (s *System) SubmitAsync(ctx context.Context, spec JobSpec) (*JobHandle, err
 	}
 
 	report := &JobReport{}
-	var inputs []mapreduce.MapInput
-	// fail undoes everything a refused submission reserved: the output
-	// claim and any input that was (lazily or not) opened.
+	// fail undoes what a refused submission reserved. Inputs are opened
+	// lazily by the execution's plan phase, so before Submit succeeds the
+	// only reservation is the output claim.
 	fail := func() {
-		for _, in := range inputs {
-			in.Input.Close()
-		}
 		s.releaseOutput(outputKey)
 	}
 
@@ -426,10 +456,6 @@ func (s *System) SubmitAsync(ctx context.Context, spec JobSpec) (*JobHandle, err
 				Vectorized: optimizer.VectorizedEnabled(),
 			}
 		}
-		inputs = append(inputs, mapreduce.MapInput{
-			Input:  &lazyInput{plan: ir.Plan},
-			Mapper: fabric.MapperFactory(ispec.Program.parsed),
-		})
 		report.Inputs = append(report.Inputs, ir)
 	}
 
@@ -450,18 +476,70 @@ func (s *System) SubmitAsync(ctx context.Context, spec JobSpec) (*JobHandle, err
 		}
 	}
 
-	out := &lazyKVOutput{path: spec.OutputPath}
-
 	jobWork, err := os.MkdirTemp(s.workDir, "job-*")
 	if err != nil {
 		fail()
 		return nil, fmt.Errorf("manimal: %w", err)
 	}
 
+	// From here the execution owns the inputs and output on every path.
+	exec, err := s.sched.Submit(ctx, buildJob(spec, report, jobWork))
+	if err != nil {
+		fail()
+		os.RemoveAll(jobWork)
+		return nil, err
+	}
+	h := &JobHandle{name: spec.Name, inputs: report.Inputs, exec: exec, report: report, done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		defer s.releaseOutput(outputKey)
+		defer os.RemoveAll(jobWork)
+		cur := exec
+		for replans := 0; ; replans++ {
+			res, err := cur.Wait()
+			if err == nil {
+				report.Result = res
+				report.Duration = res.Duration
+				return
+			}
+			// A checksum failure inside a planned index variant is
+			// recoverable: quarantine the variant in the catalog and replan
+			// — the optimizer now skips it and falls back to the next
+			// variant or the original file, whose fingerprint was checked
+			// at planning time. Corruption in the original input itself has
+			// no healthy replacement and fails the job.
+			next := s.replanAfterCorruption(ctx, spec, report, cur, err, jobWork, replans)
+			if next == nil {
+				h.err = err
+				return
+			}
+			if !h.swap(next) { // canceled while the replan was resubmitting
+				next.Cancel()
+				next.Wait()
+				h.err = err
+				return
+			}
+			cur = next
+		}
+	}()
+	return h, nil
+}
+
+// buildJob assembles the engine job from the spec and the current plans.
+// lazyInput and lazyKVOutput are single-use (an execution consumes them),
+// so every submission — initial or corruption replan — builds fresh ones.
+func buildJob(spec JobSpec, report *JobReport, jobWork string) *mapreduce.Job {
+	inputs := make([]mapreduce.MapInput, len(spec.Inputs))
+	for i, ispec := range spec.Inputs {
+		inputs[i] = mapreduce.MapInput{
+			Input:  &lazyInput{plan: report.Inputs[i].Plan},
+			Mapper: fabric.MapperFactory(ispec.Program.parsed),
+		}
+	}
 	job := &mapreduce.Job{
 		Name:   spec.Name,
 		Inputs: inputs,
-		Output: out,
+		Output: &lazyKVOutput{path: spec.OutputPath},
 		Config: mapreduce.Config{
 			NumReducers:      spec.NumReducers,
 			MaxParallelTasks: spec.MaxParallelTasks,
@@ -476,28 +554,81 @@ func (s *System) SubmitAsync(ctx context.Context, spec JobSpec) (*JobHandle, err
 		job.Reducer = fabric.ReducerFactory(lead)
 		job.Combiner = fabric.CombinerFactory(lead)
 	}
+	return job
+}
 
-	// From here the execution owns the inputs and output on every path.
-	exec, err := s.sched.Submit(ctx, job)
-	if err != nil {
-		fail()
-		os.RemoveAll(jobWork)
-		return nil, err
+// maxCorruptReplans bounds quarantine-and-replan rounds per job. Every
+// round must quarantine a distinct variant (the catalog skips CORRUPT
+// entries on the next planning pass), and a plan reads at most one variant
+// per input, so a small bound is plenty.
+const maxCorruptReplans = 4
+
+// replanAfterCorruption handles a job failure caused by a detected
+// corruption in a derived index variant: it quarantines the variant,
+// re-runs the optimizer for every input against the updated catalog, and
+// resubmits the job with fresh plans. It returns nil when the failure is
+// not a recoverable corruption — wrong error type, corruption in an
+// original input, optimization disabled, replan budget exhausted, or the
+// resubmission itself failed — and the caller reports the original error.
+func (s *System) replanAfterCorruption(ctx context.Context, spec JobSpec, report *JobReport,
+	failed *mapreduce.Execution, jobErr error, jobWork string, replans int) *mapreduce.Execution {
+	if replans >= maxCorruptReplans || spec.DisableOptimization {
+		return nil
 	}
-	h := &JobHandle{name: spec.Name, inputs: report.Inputs, exec: exec, report: report, done: make(chan struct{})}
-	go func() {
-		res, err := exec.Wait()
-		os.RemoveAll(jobWork)
-		s.releaseOutput(outputKey)
-		if err != nil {
-			h.err = err
-		} else {
-			report.Result = res
-			report.Duration = res.Duration
+	var cbe *storage.CorruptBlockError
+	if !errors.As(jobErr, &cbe) {
+		return nil
+	}
+	// The corrupt file must be a derived variant some input's plan reads.
+	// Sharded indexes report the shard file's path, not the manifest the
+	// plan names, so match by manifest-path prefix too.
+	target := ""
+	for i := range report.Inputs {
+		p := report.Inputs[i].Plan
+		if p == nil || p.Kind == optimizer.PlanOriginal || p.IndexPath == "" {
+			continue
 		}
-		close(h.done)
-	}()
-	return h, nil
+		if cbe.Path == p.IndexPath || strings.HasPrefix(cbe.Path, p.IndexPath) {
+			target = p.IndexPath
+			break
+		}
+	}
+	if target == "" {
+		return nil
+	}
+	if err := s.cat.Quarantine(target, cbe.Error()); err != nil {
+		return nil
+	}
+	for i := range report.Inputs {
+		ir := &report.Inputs[i]
+		if ir.Descriptor == nil {
+			continue
+		}
+		schema, _, err := inputInfo(ir.Path)
+		if err != nil {
+			return nil
+		}
+		plan := optimizer.Choose(ir.Descriptor, ir.Path, schema, s.cat.ForInput(ir.Path), spec.Conf,
+			optimizer.Options{SortedOutput: spec.SortedOutput, SafeMode: spec.SafeMode})
+		plan.Notes = append(plan.Notes, fmt.Sprintf(
+			"replanned (round %d): quarantined corrupt variant %s (%v)", replans+1, target, cbe))
+		ir.Plan = plan
+	}
+	next, err := s.sched.Submit(ctx, buildJob(spec, report, jobWork))
+	if err != nil {
+		return nil
+	}
+	// Fault-tolerance counters carry across the replan so the final report
+	// covers the whole job, failed round included.
+	prev := failed.Counters()
+	for _, name := range []string{
+		mapreduce.CtrTasksRetried, mapreduce.CtrTasksSpeculative, mapreduce.CtrCorruptBlocks,
+	} {
+		if n := prev.Get(name); n != 0 {
+			next.Counters().Add(name, n)
+		}
+	}
+	return next
 }
 
 // Submit analyzes, optimizes, and executes a job to completion: the thin
