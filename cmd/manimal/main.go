@@ -13,6 +13,7 @@
 //	manimal run     -sys DIR -prog prog.go -input data.rec -out out.kv \
 //	                [-conf threshold=10] [-noopt] [-maponly] [-progress]
 //	manimal catalog -sys DIR
+//	manimal cache   -sys DIR [-evict] [-stale]
 //	manimal inspect -file data.rec [-blocks]
 //	manimal serve   -sys DIR -addr 127.0.0.1:7070 [-slots N]
 //	manimal submit  -addr URL -prog prog.go -input data.rec -out out.kv \
@@ -59,6 +60,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "catalog":
 		err = cmdCatalog(os.Args[2:])
+	case "cache":
+		err = cmdCache(os.Args[2:])
 	case "inspect":
 		err = cmdInspect(os.Args[2:])
 	case "serve":
@@ -81,7 +84,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: manimal {analyze|explain|index|run|catalog|inspect|serve|submit|jobs|status|cancel} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: manimal {analyze|explain|index|run|catalog|cache|inspect|serve|submit|jobs|status|cancel} [flags]")
 	os.Exit(2)
 }
 
@@ -429,6 +432,15 @@ func cmdRun(args []string) error {
 	if ft != "" {
 		fmt.Printf("fault tolerance:%s\n", ft)
 	}
+	mqo := ""
+	for _, c := range []string{"manimal.cache.hits", "manimal.cache.misses", "manimal.scans.shared"} {
+		if v := report.Result.Counters.Get(c); v != 0 {
+			mqo += fmt.Sprintf(" %s=%d", c, v)
+		}
+	}
+	if mqo != "" {
+		fmt.Printf("multi-query optimization:%s\n", mqo)
+	}
 	if *show > 0 {
 		pairs, err := manimal.ReadOutput(*outPath)
 		if err != nil {
@@ -481,7 +493,8 @@ func progressLine(st manimal.JobStatus) string {
 	line := fmt.Sprintf("%-8s tasks %d/%d", st.Phase, st.TasksDone, st.TasksTotal)
 	for _, c := range []string{"map.input.records", "reduce.input.groups", "output.records",
 		"manimal.blocks.skipped", "manimal.rows.prefiltered",
-		"manimal.tasks.retried", "manimal.tasks.speculative", "manimal.tasks.corrupt_blocks"} {
+		"manimal.tasks.retried", "manimal.tasks.speculative", "manimal.tasks.corrupt_blocks",
+		"manimal.cache.hits", "manimal.cache.misses", "manimal.scans.shared"} {
 		if v, ok := st.Counters[c]; ok {
 			line += fmt.Sprintf("  %s=%d", c, v)
 		}
@@ -774,6 +787,10 @@ func cmdCatalog(args []string) error {
 		return nil
 	}
 	for _, e := range entries {
+		if e.Kind == catalog.KindResultCache {
+			printCacheEntry(e)
+			continue
+		}
 		fmt.Printf("%-12s %s -> %s fields=%v", e.Kind, e.InputPath, e.IndexPath, e.Fields)
 		if e.KeyExpr != "" {
 			fmt.Printf(" key=%s", e.KeyExpr)
@@ -808,6 +825,56 @@ func cmdCatalog(args []string) error {
 			fmt.Printf(" %s (%s; rebuild to clear)", e.State, e.StateReason)
 		}
 		fmt.Println()
+	}
+	return nil
+}
+
+// printCacheEntry renders one result-cache entry: the key it serves
+// under, how often it was hit, and whether it can still be hit at all.
+func printCacheEntry(e catalog.Entry) {
+	fmt.Printf("%-12s %s -> %s key=%.12s… hits=%d records=%d (%d bytes)",
+		e.Kind, e.InputPath, e.IndexPath, e.CacheKey, e.Hits, e.OutputRecords, e.SizeBytes)
+	if !e.CacheFresh() {
+		fmt.Print(" STALE (input rewritten; `manimal cache -evict -stale` reclaims it)")
+	}
+	if e.State != "" {
+		fmt.Printf(" %s (%s)", e.State, e.StateReason)
+	}
+	fmt.Println()
+}
+
+// cmdCache lists the result cache — committed job outputs that identical
+// re-submissions are served from — and evicts entries on request.
+func cmdCache(args []string) error {
+	fs := flag.NewFlagSet("cache", flag.ExitOnError)
+	sysDir := fs.String("sys", "manimal-sys", "system/catalog directory")
+	evict := fs.Bool("evict", false, "remove cache entries and delete their artifact files")
+	stale := fs.Bool("stale", false, "with -evict: only entries whose inputs were rewritten (or that are quarantined)")
+	fs.Parse(args)
+	sys, err := manimal.NewSystem(*sysDir)
+	if err != nil {
+		return err
+	}
+	if *evict {
+		evicted, err := sys.EvictResultCache(*stale)
+		for _, e := range evicted {
+			fmt.Printf("evicted %.12s… -> %s (%d hits)\n", e.CacheKey, e.IndexPath, e.Hits)
+		}
+		if len(evicted) == 0 {
+			fmt.Println("nothing to evict")
+		}
+		return err
+	}
+	n := 0
+	for _, e := range sys.Catalog().All() {
+		if e.Kind != catalog.KindResultCache {
+			continue
+		}
+		printCacheEntry(e)
+		n++
+	}
+	if n == 0 {
+		fmt.Println("result cache is empty")
 	}
 	return nil
 }

@@ -61,7 +61,7 @@ func TestDifferentialOptimizedPlans(t *testing.T) {
 			if err := tc.genData(data); err != nil {
 				t.Fatal(err)
 			}
-			sys, err := manimal.NewSystem(filepath.Join(dir, "sys"))
+			sys, err := manimal.NewSystemWith(filepath.Join(dir, "sys"), manimal.Options{DisableResultCache: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -116,7 +116,7 @@ func TestStaleIndexNotChosenEndToEnd(t *testing.T) {
 	if err := workload.NewGen(13).WriteRankingsOpaque(data, 3000); err != nil {
 		t.Fatal(err)
 	}
-	sys, err := manimal.NewSystem(filepath.Join(dir, "sys"))
+	sys, err := manimal.NewSystemWith(filepath.Join(dir, "sys"), manimal.Options{DisableResultCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestDifferentialZoneMapPruning(t *testing.T) {
 	if err := workload.NewGen(17).WriteUserVisits(data, 8000, 300); err != nil {
 		t.Fatal(err)
 	}
-	sys, err := manimal.NewSystem(filepath.Join(dir, "sys"))
+	sys, err := manimal.NewSystemWith(filepath.Join(dir, "sys"), manimal.Options{DisableResultCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,7 @@ func TestDifferentialVectorizedScan(t *testing.T) {
 	if err := workload.NewGen(19).WriteUserVisits(data, 8000, 300); err != nil {
 		t.Fatal(err)
 	}
-	sys, err := manimal.NewSystem(filepath.Join(dir, "sys"))
+	sys, err := manimal.NewSystemWith(filepath.Join(dir, "sys"), manimal.Options{DisableResultCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,7 +25,7 @@ func TestCorruptIndexQuarantineAndReplan(t *testing.T) {
 	if err := workload.NewGen(12).WriteUserVisits(data, 3000, 200); err != nil {
 		t.Fatal(err)
 	}
-	sys, err := manimal.NewSystem(filepath.Join(dir, "sys"))
+	sys, err := manimal.NewSystemWith(filepath.Join(dir, "sys"), manimal.Options{DisableResultCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestCorruptIndexQuarantineAndReplan(t *testing.T) {
 
 	// The quarantine is durable: a fresh System over the same catalog
 	// directory must keep avoiding the corrupt variant.
-	sys2, err := manimal.NewSystem(filepath.Join(dir, "sys"))
+	sys2, err := manimal.NewSystemWith(filepath.Join(dir, "sys"), manimal.Options{DisableResultCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,6 +23,19 @@ const (
 	// shard manifest (ordered shard files plus key boundaries) that package
 	// btree opens as one logical tree.
 	KindBTreeSharded = "btree-shards"
+	// KindResultCache is a committed job output registered for reuse:
+	// IndexPath is the cached KV artifact, CacheKey the identity under
+	// which a re-submitted job is served from it without executing. The
+	// key covers everything that determines a job's output — the hash of
+	// each input program's canonicalized AST, each input file's
+	// fingerprint (path, size, mtime), the job conf, output-shape knobs
+	// (map-only, sorted output, reducer count), and the storage format
+	// version — and nothing that doesn't (job name, output path,
+	// parallelism, startup delay). A rewritten input changes the
+	// fingerprint and thus the key, so stale entries are simply never hit
+	// again (and show as STALE until evicted); a damaged artifact is
+	// quarantined through the same CORRUPT path as index variants.
+	KindResultCache = "result-cache"
 )
 
 // Entry describes one index built over an input file.
@@ -69,6 +82,23 @@ type Entry struct {
 	// StateReason records why the state was set (e.g. the corrupt-block
 	// error text), for `manimal catalog` display.
 	StateReason string `json:"stateReason,omitempty"`
+	// Result-cache fields (KindResultCache only): the cache key the entry
+	// is served under, the fingerprints of every input at commit time
+	// (multi-input jobs record all of them; InputSizeBytes/InputModTimeNanos
+	// above carry the first for the shared staleness display), the number
+	// of times a submission was served from this entry, and the cached
+	// output's record count (replayed into the served job's counters).
+	CacheKey      string       `json:"cacheKey,omitempty"`
+	CacheInputs   []CacheInput `json:"cacheInputs,omitempty"`
+	Hits          int64        `json:"hits,omitempty"`
+	OutputRecords int64        `json:"outputRecords,omitempty"`
+}
+
+// CacheInput fingerprints one input file of a cached job result.
+type CacheInput struct {
+	Path         string `json:"path"`
+	SizeBytes    int64  `json:"sizeBytes"`
+	ModTimeNanos int64  `json:"modTimeNanos"`
 }
 
 // StateCorrupt marks an entry quarantined after a corruption detection.
@@ -205,6 +235,70 @@ func (c *Catalog) All() []Entry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return append([]Entry(nil), c.entries...)
+}
+
+// CacheFresh reports whether every input fingerprint recorded on a
+// result-cache entry still matches the file on disk. A false result means
+// the entry can never be hit again (the key embeds the fingerprints) and
+// only awaits eviction.
+func (e *Entry) CacheFresh() bool {
+	for _, in := range e.CacheInputs {
+		st, err := os.Stat(in.Path)
+		if err != nil || st.Size() != in.SizeBytes || st.ModTime().UnixNano() != in.ModTimeNanos {
+			return false
+		}
+	}
+	return true
+}
+
+// FindCache returns the usable result-cache entry registered under key.
+func (c *Catalog) FindCache(key string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := len(c.entries) - 1; i >= 0; i-- {
+		e := c.entries[i]
+		if e.Kind == KindResultCache && e.CacheKey == key && e.Usable() {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// TouchCache increments the hit count of the entry registered under key
+// and persists the catalog.
+func (c *Catalog) TouchCache(key string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.entries {
+		if c.entries[i].Kind == KindResultCache && c.entries[i].CacheKey == key {
+			c.entries[i].Hits++
+			return c.save()
+		}
+	}
+	return nil
+}
+
+// EvictCache removes result-cache entries — all of them, or with staleOnly
+// just those whose input fingerprints no longer match (plus quarantined
+// ones) — and returns the removed entries so the caller can delete their
+// artifact files.
+func (c *Catalog) EvictCache(staleOnly bool) ([]Entry, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var evicted []Entry
+	kept := c.entries[:0]
+	for _, e := range c.entries {
+		if e.Kind == KindResultCache && (!staleOnly || !e.Usable() || !e.CacheFresh()) {
+			evicted = append(evicted, e)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	c.entries = kept
+	if len(evicted) == 0 {
+		return nil, nil
+	}
+	return evicted, c.save()
 }
 
 // save persists atomically: temp file, fsync, rename, parent-dir fsync —

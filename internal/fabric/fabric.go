@@ -20,6 +20,7 @@ import (
 	"manimal/internal/optimizer"
 	"manimal/internal/predicate"
 	"manimal/internal/serde"
+	"manimal/internal/storage"
 )
 
 // interpMapper adapts one interpreter executor to mapreduce.Mapper.
@@ -114,6 +115,15 @@ func (IdentityReducer) Reduce(key serde.Datum, values interp.ValueIter, ctx *int
 // inputs additionally carry the plan's execution strategy: Vectorized plans
 // scan batch-at-a-time (on columnar files; earlier formats serve rows).
 func InputForPlan(plan *optimizer.Plan) (mapreduce.Input, error) {
+	return InputForPlanShared(plan, nil)
+}
+
+// InputForPlanShared is InputForPlan with a scan-sharing registry: plans
+// marked SharedScan get it installed on their record-file input, so the
+// execution's batch scans can ride shared physical scans with other
+// in-flight jobs of the same System. A nil registry (or an unmarked plan)
+// scans privately.
+func InputForPlanShared(plan *optimizer.Plan, share *storage.ScanShare) (mapreduce.Input, error) {
 	switch plan.Kind {
 	case optimizer.PlanOriginal:
 		in, err := mapreduce.OpenFileWith(plan.InputPath, false, plan.Pushdown)
@@ -121,6 +131,9 @@ func InputForPlan(plan *optimizer.Plan) (mapreduce.Input, error) {
 			return nil, err
 		}
 		in.SetBatch(plan.Vectorized)
+		if plan.SharedScan {
+			in.SetShare(share)
+		}
 		return in, nil
 	case optimizer.PlanRecordFile:
 		in, err := mapreduce.OpenFileWith(plan.IndexPath, plan.DirectCodes, plan.Pushdown)
@@ -128,6 +141,9 @@ func InputForPlan(plan *optimizer.Plan) (mapreduce.Input, error) {
 			return nil, err
 		}
 		in.SetBatch(plan.Vectorized)
+		if plan.SharedScan {
+			in.SetShare(share)
+		}
 		return in, nil
 	case optimizer.PlanBTree:
 		ranges := make([]mapreduce.ByteRange, 0, len(plan.Ranges))

@@ -33,9 +33,11 @@
 package lang
 
 import (
+	"bytes"
 	"fmt"
 	"go/ast"
 	"go/parser"
+	"go/printer"
 	"go/token"
 	"sort"
 )
@@ -301,6 +303,24 @@ func (p *Program) IsGlobal(name string) bool {
 
 // Pos renders a token position within the program source for errors.
 func (p *Program) Pos(pos token.Pos) string { return p.Fset.Position(pos).String() }
+
+// Canonical renders the program in canonical form: the parsed AST printed
+// back by go/printer against an EMPTY file set, so the printer's own
+// formatting rules decide every space and line break — source positions
+// (blank lines, intra-line spacing) cannot leak into the output, and
+// comments never reach the AST at all (Parse does not retain them). Two
+// sources that differ only in formatting or comments canonicalize
+// identically; declaration order, names, and every semantic token are
+// preserved. The result cache keys program identity on a hash of this
+// text, so the canonicalization may only merge programs with identical
+// behavior — formatting is the only thing it erases.
+func (p *Program) Canonical() (string, error) {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), p.File); err != nil {
+		return "", fmt.Errorf("lang: canonicalize: %w", err)
+	}
+	return buf.String(), nil
+}
 
 // Parse parses and validates mapper-language source. The source contains
 // top-level func and var declarations only (no package clause or imports;

@@ -31,6 +31,12 @@ const (
 	CtrTasksRetried     = "manimal.tasks.retried"
 	CtrTasksSpeculative = "manimal.tasks.speculative"
 	CtrCorruptBlocks    = "manimal.tasks.corrupt_blocks"
+	// Multi-query optimization counters: submissions served from (or denied
+	// by) the result cache, and map-task scans that rode a shared physical
+	// scan with at least one other in-flight subscriber.
+	CtrCacheHits   = "manimal.cache.hits"
+	CtrCacheMisses = "manimal.cache.misses"
+	CtrScansShared = "manimal.scans.shared"
 )
 
 // Counters is a concurrency-safe named counter set. Every accessor copies

@@ -513,6 +513,7 @@ func (e *Execution) execute() (*Result, error) {
 				counters.Add(CtrBlocksRead, st.BlocksRead)
 				counters.Add(CtrBlocksSkipped, st.BlocksSkipped)
 				counters.Add(CtrRowsFiltered, st.RowsFiltered)
+				counters.Add(CtrScansShared, st.SharedScans)
 			}
 			in.Input.Close()
 		}

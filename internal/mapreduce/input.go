@@ -71,6 +71,7 @@ type FileInput struct {
 	r     *storage.Reader
 	pd    *storage.Pushdown
 	batch bool
+	share *storage.ScanShare
 }
 
 // SetBatch turns batch (vectorized) scanning on or off for splits produced
@@ -78,6 +79,13 @@ type FileInput struct {
 // earlier formats the splits transparently serve rows. The planner owns
 // the choice (optimizer.Plan.Vectorized, MANIMAL_ROWSCAN=1 forces rows).
 func (f *FileInput) SetBatch(on bool) { f.batch = on }
+
+// SetShare installs a scan-sharing registry consulted by batch-mode splits:
+// a split whose file and block range match another in-flight subscribed
+// scan (typically the same split of an identical concurrent job) rides one
+// shared physical scan instead of decoding privately (see
+// storage.ScanShare). Nil — the default — keeps every scan private.
+func (f *FileInput) SetShare(sh *storage.ScanShare) { f.share = sh }
 
 // OpenFile opens a record file as an input. directCodes enables
 // direct-operation mode on dictionary-compressed fields: codes are passed
@@ -162,7 +170,7 @@ func (f *FileInput) Splits(target int) ([]Split, error) {
 		// blocks are skipped (and counted) by the scanner itself.
 		lo, hi := chunk[0], chunk[len(chunk)-1]+1
 		covered += hi - lo
-		out = append(out, &fileSplit{r: f.r, lo: lo, hi: hi, pd: f.pd, batch: f.batch})
+		out = append(out, &fileSplit{r: f.r, lo: lo, hi: hi, pd: f.pd, batch: f.batch, share: f.share})
 	}
 	// Blocks outside every split never reach a scanner; count them here so
 	// blocks read + skipped always totals the blocks planned over.
@@ -175,6 +183,7 @@ type fileSplit struct {
 	lo, hi int
 	pd     *storage.Pushdown
 	batch  bool
+	share  *storage.ScanShare
 }
 
 func (s *fileSplit) Open() (RecordIter, error) {
@@ -187,10 +196,18 @@ func (s *fileSplit) Open() (RecordIter, error) {
 
 // OpenBatch implements BatchSplit: a vectorized scan over the split's block
 // range, or (nil, nil) when the split is in row mode or the file predates
-// the columnar format.
+// the columnar format. With a share registry installed the scan first tries
+// to subscribe to (or found) a shared physical scan of the same range;
+// subscription can be refused (e.g. an existing group too far ahead), in
+// which case the split scans privately as before.
 func (s *fileSplit) OpenBatch() (BatchIter, error) {
 	if !s.batch || s.r.FormatVersion() < 4 {
 		return nil, nil
+	}
+	if s.share != nil {
+		if m, ok := s.share.Subscribe(s.r, s.lo, s.hi, s.pd); ok {
+			return &sharedBatchIter{m: m}, nil
+		}
 	}
 	sc, err := s.r.ScanBatch(s.lo, s.hi, s.pd)
 	if err != nil {
@@ -198,6 +215,15 @@ func (s *fileSplit) OpenBatch() (BatchIter, error) {
 	}
 	return &fileBatchIter{sc: sc}, nil
 }
+
+type sharedBatchIter struct {
+	m *storage.SharedScanner
+}
+
+func (it *sharedBatchIter) NextBatch() bool     { return it.m.Next() }
+func (it *sharedBatchIter) Batch() *serde.Batch { return it.m.Batch() }
+func (it *sharedBatchIter) Err() error          { return it.m.Err() }
+func (it *sharedBatchIter) Close() error        { return it.m.Close() }
 
 type fileBatchIter struct {
 	sc *storage.BatchScanner

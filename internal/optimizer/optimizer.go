@@ -4,6 +4,19 @@
 // heuristics: a simple hard-coded ranking of applicable optimizations, with
 // selection favored over delta-compression when the two conflict
 // (paper footnote 3).
+//
+// Two multi-query execution strategies sit alongside the per-job plan
+// kinds. PlanCached marks a submission served from the catalog's result
+// cache — a prior identical job's committed output, where "identical" is
+// the cache-key contract (canonicalized program AST, input fingerprints,
+// conf, and output-shape knobs; see package catalog) — synthesized by the
+// System's cache lookup rather than by Choose. Plan.SharedScan opts a
+// record-file scan into the scan-sharing registry, where concurrent scans
+// of one block range run as a single physical scan under the union of the
+// subscribers' pushdown filters with per-job residuals re-applied (see
+// storage.ScanShare). Both preserve output equivalence: caching replays a
+// byte-identical committed output, sharing re-selects every block under
+// each job's own filter.
 package optimizer
 
 import (
@@ -28,6 +41,11 @@ const (
 	// PlanRecordFile scans a re-encoded record file (projection and/or
 	// compression index).
 	PlanRecordFile
+	// PlanCached serves a registered result-cache artifact: no scan, no
+	// tasks — the committed output of a previous identical job (same
+	// canonical program, input fingerprints, and conf) is returned as-is.
+	// Synthesized by the System's cache lookup, never by Choose.
+	PlanCached
 )
 
 // String names the plan kind for reports.
@@ -39,6 +57,8 @@ func (k PlanKind) String() string {
 		return "btree"
 	case PlanRecordFile:
 		return "recordfile"
+	case PlanCached:
+		return "cached"
 	default:
 		return "unknown"
 	}
@@ -63,6 +83,14 @@ type Plan struct {
 	// cannot change observable output, and the mask only drops fields the
 	// program provably never needs.
 	Pushdown *storage.Pushdown
+	// SharedScan opts the plan's record-file scan into the System's
+	// scan-sharing registry: map tasks whose file and block range match
+	// another in-flight subscribed scan ride one shared physical scan, with
+	// the block-skip pushdown relaxed to the union of the subscribers'
+	// filters and each job's residual re-applied per batch. Like Vectorized
+	// it is an execution strategy with identical output; the System sets it
+	// (it owns the registry), and MANIMAL_NOSHARE=1 disables it globally.
+	SharedScan bool
 	// Vectorized selects batch-at-a-time execution for record-file scans
 	// (original or re-encoded): blocks decode into column vectors, the
 	// residual filter runs as vectorized kernels, and rows materialize
@@ -396,6 +424,23 @@ func chooseRecordFile(desc *analyzer.Descriptor, schema *serde.Schema, entries [
 // explain output records the strategy actually used.
 func VectorizedEnabled() bool {
 	v := os.Getenv("MANIMAL_ROWSCAN")
+	return v == "" || v == "0"
+}
+
+// ScanSharingEnabled reports whether concurrent scans of the same input
+// range may share one physical scan (storage.ScanShare). On by default;
+// MANIMAL_NOSHARE=1 forces every scan private — the differential oracle
+// and the unshared benchmark baseline.
+func ScanSharingEnabled() bool {
+	v := os.Getenv("MANIMAL_NOSHARE")
+	return v == "" || v == "0"
+}
+
+// ResultCacheEnabled reports whether committed job outputs are registered
+// in (and re-submissions served from) the catalog's result cache. On by
+// default; MANIMAL_NOCACHE=1 disables both lookup and store.
+func ResultCacheEnabled() bool {
+	v := os.Getenv("MANIMAL_NOCACHE")
 	return v == "" || v == "0"
 }
 

@@ -42,8 +42,16 @@ type BatchScanner struct {
 	tmp         []bool  // reused per-conjunct mask
 	raws        []int64 // reused delta/dict raw value scratch
 	nextIdx     int64
+	blockIdx    int
 	valid       bool
 	err         error
+	// publishEmpty makes Next return blocks whose every row the residual
+	// filter dropped (empty selection) instead of passing them over. Shared
+	// scans need them: the producer's filter is the relaxed union of its
+	// subscribers', so a union-empty block may still hold rows some
+	// subscriber's own residual admits, and per-subscriber read accounting
+	// wants every non-skipped block delivered exactly once.
+	publishEmpty bool
 }
 
 // ScanBatch returns a batch scanner over blocks [lo, hi) with the given
@@ -113,9 +121,10 @@ func (s *BatchScanner) Next() bool {
 			s.err = err
 			return false
 		}
-		if len(s.batch.Sel()) == 0 {
+		if len(s.batch.Sel()) == 0 && !s.publishEmpty {
 			continue
 		}
+		s.blockIdx = b
 		s.valid = true
 		return true
 	}
@@ -130,6 +139,11 @@ func (s *BatchScanner) Batch() *serde.Batch {
 	}
 	return &s.batch
 }
+
+// BlockIndex returns the file block index of the current batch, valid after
+// a successful Next. Shared-scan producers use it to track the publication
+// frontier across scanner reopens.
+func (s *BatchScanner) BlockIndex() int { return s.blockIdx }
 
 // Err returns the first error encountered while scanning.
 func (s *BatchScanner) Err() error { return s.err }
@@ -263,51 +277,67 @@ func (s *BatchScanner) selectRows(n int) {
 		s.batch.SelectAll()
 		return
 	}
-	s.tmp = growBool(s.tmp, n)
+	s.mask, s.tmp = applyFilterSel(s.rowFilter, &s.batch, &s.batch, s.mask, s.tmp)
+	// Per-block counter flush, same cadence as the row scanner.
+	if dropped := int64(n - len(s.batch.Sel())); dropped > 0 {
+		s.r.rowsFiltered.Add(dropped)
+	}
+}
+
+// applyFilterSel evaluates rf's DNF over src's decoded columns and compacts
+// the surviving rows into dst's selection vector; src and dst may be the
+// same batch (the private-scan case) or dst may be a column-aliased view of
+// src (a shared-scan subscriber re-selecting a shared block). A nil rf
+// selects every row. mask and tmp are caller-owned scratch, returned after
+// possible growth.
+func applyFilterSel(rf *compiledFilter, src, dst *serde.Batch, mask, tmp []bool) ([]bool, []bool) {
+	if rf == nil {
+		dst.SelectAll()
+		return mask, tmp
+	}
+	n := src.Len()
+	tmp = growBool(tmp, n)
 	// A single-conjunct filter (the common shape: one range predicate) needs
 	// no DNF accumulator — its conjunct mask IS the row mask.
-	single := len(s.rowFilter.conjuncts) == 1
+	single := len(rf.conjuncts) == 1
 	if !single {
-		s.mask = growBool(s.mask, n)
-		for i := range s.mask {
-			s.mask[i] = false
+		mask = growBool(mask, n)
+		for i := range mask {
+			mask[i] = false
 		}
 	}
-	for _, bounds := range s.rowFilter.conjuncts {
-		for i := range s.tmp {
-			s.tmp[i] = true
+	for _, bounds := range rf.conjuncts {
+		for i := range tmp {
+			tmp[i] = true
 		}
 		for _, b := range bounds {
-			col := s.batch.Col(b.field)
+			col := src.Col(b.field)
 			switch col.Kind() {
 			case serde.KindInt64:
-				b.iv.FilterInt64(col.Ints(), s.tmp)
+				b.iv.FilterInt64(col.Ints(), tmp)
 			case serde.KindFloat64:
-				b.iv.FilterFloat64(col.Floats(), s.tmp)
+				b.iv.FilterFloat64(col.Floats(), tmp)
 			case serde.KindString:
-				b.iv.FilterString(col.Strs(), s.tmp)
+				b.iv.FilterString(col.Strs(), tmp)
 			case serde.KindBytes:
-				b.iv.FilterBytes(col.Raws(), s.tmp)
+				b.iv.FilterBytes(col.Raws(), tmp)
 			case serde.KindBool:
-				b.iv.FilterBool(col.Bools(), s.tmp)
+				b.iv.FilterBool(col.Bools(), tmp)
 			}
 		}
 		if single {
 			break
 		}
-		for i := range s.mask {
-			s.mask[i] = s.mask[i] || s.tmp[i]
+		for i := range mask {
+			mask[i] = mask[i] || tmp[i]
 		}
 	}
 	if single {
-		s.batch.SetSelMask(s.tmp)
+		dst.SetSelMask(tmp)
 	} else {
-		s.batch.SetSelMask(s.mask)
+		dst.SetSelMask(mask)
 	}
-	// Per-block counter flush, same cadence as the row scanner.
-	if dropped := int64(n - len(s.batch.Sel())); dropped > 0 {
-		s.r.rowsFiltered.Add(dropped)
-	}
+	return mask, tmp
 }
 
 func growBool(s []bool, n int) []bool {

@@ -46,6 +46,9 @@ type Reader struct {
 	blocksRead    atomic.Int64
 	blocksSkipped atomic.Int64
 	rowsFiltered  atomic.Int64
+	// sharedScans counts split scans this reader served through a shared
+	// physical scan with at least one other subscriber (see ScanShare).
+	sharedScans atomic.Int64
 	// DirectCodes controls dictionary-field materialization: when false
 	// (default) codes are decoded back to the original strings (lossless
 	// compression); when true, the fabric operates directly on compact

@@ -1,0 +1,76 @@
+package storage
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"manimal/internal/serde"
+)
+
+// TestSharedScanTwoSubscribers drives the share registry directly: two
+// concurrent subscribers over the same range must each see every row and
+// record one shared scan apiece.
+func TestSharedScanTwoSubscribers(t *testing.T) {
+	schema := serde.MustSchema(
+		serde.Field{Name: "a", Kind: serde.KindInt64},
+		serde.Field{Name: "s", Kind: serde.KindString},
+	)
+	path := filepath.Join(t.TempDir(), "d.rec")
+	w, err := NewWriter(path, schema, WriterOptions{BlockSize: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := serde.NewRecord(schema)
+	const rows = 100000
+	for i := 0; i < rows; i++ {
+		rec.MustSet("a", serde.Int(int64(i)))
+		rec.MustSet("s", serde.String("padding-padding-padding-padding"))
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := Open(path)
+	r2, _ := Open(path)
+	defer r1.Close()
+	defer r2.Close()
+	n := r1.NumBlocks()
+	t.Logf("blocks=%d size=%d", n, r1.Size())
+	sh := NewScanShare()
+	var wg sync.WaitGroup
+	counts := make([]int64, 2)
+	// Subscribe both before either drains: a solo subscriber could otherwise
+	// race the whole scan to completion before the second arrives.
+	subs := make([]*SharedScanner, 2)
+	for i, r := range []*Reader{r1, r2} {
+		m, ok := sh.Subscribe(r, 0, n, nil)
+		if !ok {
+			t.Fatalf("sub %d refused", i)
+		}
+		subs[i] = m
+	}
+	for i := range subs {
+		wg.Add(1)
+		go func(i int, m *SharedScanner) {
+			defer wg.Done()
+			for m.Next() {
+				counts[i] += int64(len(m.Batch().Sel()))
+			}
+			if err := m.Err(); err != nil {
+				t.Errorf("sub %d: %v", i, err)
+			}
+			m.Close()
+		}(i, subs[i])
+	}
+	wg.Wait()
+	t.Logf("counts=%v stats1=%+v stats2=%+v", counts, r1.ScanStats(), r2.ScanStats())
+	if counts[0] != rows || counts[1] != rows {
+		t.Errorf("row counts = %v, want %d each", counts, rows)
+	}
+	if r1.ScanStats().SharedScans+r2.ScanStats().SharedScans == 0 {
+		t.Errorf("no shared scans recorded")
+	}
+}

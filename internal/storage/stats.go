@@ -372,12 +372,14 @@ func (r *Reader) FormatVersion() int { return r.version }
 
 // ScanStats aggregates scan-time pruning effect across all of a reader's
 // scanners (and split planning): blocks whose payload was read, blocks
-// skipped without I/O, and rows dropped by the residual filter before
-// reaching the caller.
+// skipped without I/O, rows dropped by the residual filter before reaching
+// the caller, and split scans that rode a shared physical scan (a scan
+// subscribed to a ScanShare group that had two or more subscribers).
 type ScanStats struct {
 	BlocksRead    int64
 	BlocksSkipped int64
 	RowsFiltered  int64
+	SharedScans   int64
 }
 
 // AddBlocksSkipped accounts blocks pruned outside any scanner (split
@@ -394,5 +396,6 @@ func (r *Reader) ScanStats() ScanStats {
 		BlocksRead:    r.blocksRead.Load(),
 		BlocksSkipped: r.blocksSkipped.Load(),
 		RowsFiltered:  r.rowsFiltered.Load(),
+		SharedScans:   r.sharedScans.Load(),
 	}
 }

@@ -51,10 +51,14 @@ package manimal
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -130,6 +134,7 @@ const (
 	PlanOriginal   = optimizer.PlanOriginal
 	PlanBTree      = optimizer.PlanBTree
 	PlanRecordFile = optimizer.PlanRecordFile
+	PlanCached     = optimizer.PlanCached
 )
 
 // IndexSpec re-exports the synthesized index description.
@@ -149,6 +154,13 @@ type System struct {
 	workDir string
 	cat     *catalog.Catalog
 	sched   *mapreduce.Scheduler
+	// share is the scan-sharing registry concurrently running jobs of this
+	// System use to ride one physical scan per input block range; nil when
+	// sharing is disabled (Options or MANIMAL_NOSHARE=1).
+	share *storage.ScanShare
+	// noCache disables the fingerprint-keyed result cache (Options or
+	// MANIMAL_NOCACHE=1).
+	noCache bool
 
 	mu          sync.Mutex
 	liveOutputs map[string]string // normalized output path -> job name
@@ -160,6 +172,12 @@ type Options struct {
 	// many task slots. 0 (the default) shares the process-wide scheduler,
 	// so every System in the process draws from one slot budget.
 	SchedulerSlots int
+	// DisableScanSharing turns off shared physical scans: every map task
+	// scans its input privately, as before multi-query optimization.
+	DisableScanSharing bool
+	// DisableResultCache turns off the fingerprint-keyed result cache:
+	// identical re-submissions re-execute.
+	DisableResultCache bool
 }
 
 // NewSystem opens (or initializes) a Manimal system rooted at dir: the
@@ -183,7 +201,13 @@ func NewSystemWith(dir string, opts Options) (*System, error) {
 	if opts.SchedulerSlots > 0 {
 		sched = mapreduce.NewScheduler(opts.SchedulerSlots)
 	}
+	var share *storage.ScanShare
+	if !opts.DisableScanSharing && optimizer.ScanSharingEnabled() {
+		share = storage.NewScanShare()
+	}
 	return &System{dir: dir, workDir: workDir, cat: cat, sched: sched,
+		share:       share,
+		noCache:     opts.DisableResultCache || !optimizer.ResultCacheEnabled(),
 		liveOutputs: make(map[string]string)}, nil
 }
 
@@ -370,17 +394,31 @@ func (h *JobHandle) Inputs() []InputReport { return h.inputs }
 func (h *JobHandle) Join() *JoinDescriptor { return h.report.Join }
 
 // Status snapshots the job's phase, task progress, and counters; safe to
-// call at any time from any goroutine.
-func (h *JobHandle) Status() JobStatus { return h.current().Status() }
+// call at any time from any goroutine. A job served from the result cache
+// never executed: its status is synthesized as already done, with the
+// replayed counters.
+func (h *JobHandle) Status() JobStatus {
+	if e := h.current(); e != nil {
+		return e.Status()
+	}
+	st := JobStatus{Job: h.name, Phase: mapreduce.PhaseDone, Duration: h.report.Duration}
+	if h.report.Result != nil && h.report.Result.Counters != nil {
+		st.Counters = h.report.Result.Counters.Snapshot()
+	}
+	return st
+}
 
 // Cancel asks the job to stop; partial outputs and scratch space are
-// cleaned up, and Wait returns a context.Canceled error.
+// cleaned up, and Wait returns a context.Canceled error. Canceling a job
+// served from the result cache is a no-op (it was terminal at submission).
 func (h *JobHandle) Cancel() {
 	h.mu.Lock()
 	h.canceled = true
 	e := h.exec
 	h.mu.Unlock()
-	e.Cancel()
+	if e != nil {
+		e.Cancel()
+	}
 }
 
 // Done is closed once the job is terminal (result published, scratch
@@ -446,6 +484,7 @@ func (s *System) SubmitAsync(ctx context.Context, spec JobSpec) (*JobHandle, err
 			ir.IndexPrograms = indexgen.Synthesize(desc, schema)
 			ir.Plan = optimizer.Choose(desc, ispec.Path, schema, s.cat.ForInput(ispec.Path), spec.Conf,
 				optimizer.Options{SortedOutput: spec.SortedOutput, SafeMode: spec.SafeMode})
+			s.markSharedScan(ir.Plan)
 		} else {
 			// Unoptimized plans still pick the batch execution strategy:
 			// vectorization is how scans run, not an optimization, so
@@ -476,6 +515,23 @@ func (s *System) SubmitAsync(ctx context.Context, spec JobSpec) (*JobHandle, err
 		}
 	}
 
+	// Result cache (multi-query optimization): an optimized submission whose
+	// identity — canonicalized programs, input fingerprints, conf, output
+	// shape — matches a committed prior output is served from the cached
+	// artifact without occupying any scheduler slot. -noopt and SafeMode
+	// submissions never consult (or feed) the cache: they must execute
+	// conventionally.
+	var cacheK string
+	var cacheInputs []catalog.CacheInput
+	if !spec.DisableOptimization && !spec.SafeMode && !s.noCache {
+		cacheK, cacheInputs = s.cacheKey(spec)
+		if cacheK != "" {
+			if h := s.serveCached(cacheK, spec, report, outputKey); h != nil {
+				return h, nil
+			}
+		}
+	}
+
 	jobWork, err := os.MkdirTemp(s.workDir, "job-*")
 	if err != nil {
 		fail()
@@ -483,11 +539,14 @@ func (s *System) SubmitAsync(ctx context.Context, spec JobSpec) (*JobHandle, err
 	}
 
 	// From here the execution owns the inputs and output on every path.
-	exec, err := s.sched.Submit(ctx, buildJob(spec, report, jobWork))
+	exec, err := s.sched.Submit(ctx, buildJob(spec, report, jobWork, s.share))
 	if err != nil {
 		fail()
 		os.RemoveAll(jobWork)
 		return nil, err
+	}
+	if cacheK != "" {
+		exec.Counters().Add(mapreduce.CtrCacheMisses, 1)
 	}
 	h := &JobHandle{name: spec.Name, inputs: report.Inputs, exec: exec, report: report, done: make(chan struct{})}
 	go func() {
@@ -500,6 +559,9 @@ func (s *System) SubmitAsync(ctx context.Context, spec JobSpec) (*JobHandle, err
 			if err == nil {
 				report.Result = res
 				report.Duration = res.Duration
+				if cacheK != "" {
+					s.storeCache(cacheK, cacheInputs, spec, res)
+				}
 				return
 			}
 			// A checksum failure inside a planned index variant is
@@ -528,11 +590,11 @@ func (s *System) SubmitAsync(ctx context.Context, spec JobSpec) (*JobHandle, err
 // buildJob assembles the engine job from the spec and the current plans.
 // lazyInput and lazyKVOutput are single-use (an execution consumes them),
 // so every submission — initial or corruption replan — builds fresh ones.
-func buildJob(spec JobSpec, report *JobReport, jobWork string) *mapreduce.Job {
+func buildJob(spec JobSpec, report *JobReport, jobWork string, share *storage.ScanShare) *mapreduce.Job {
 	inputs := make([]mapreduce.MapInput, len(spec.Inputs))
 	for i, ispec := range spec.Inputs {
 		inputs[i] = mapreduce.MapInput{
-			Input:  &lazyInput{plan: report.Inputs[i].Plan},
+			Input:  &lazyInput{plan: report.Inputs[i].Plan, share: share},
 			Mapper: fabric.MapperFactory(ispec.Program.parsed),
 		}
 	}
@@ -610,11 +672,12 @@ func (s *System) replanAfterCorruption(ctx context.Context, spec JobSpec, report
 		}
 		plan := optimizer.Choose(ir.Descriptor, ir.Path, schema, s.cat.ForInput(ir.Path), spec.Conf,
 			optimizer.Options{SortedOutput: spec.SortedOutput, SafeMode: spec.SafeMode})
+		s.markSharedScan(plan)
 		plan.Notes = append(plan.Notes, fmt.Sprintf(
 			"replanned (round %d): quarantined corrupt variant %s (%v)", replans+1, target, cbe))
 		ir.Plan = plan
 	}
-	next, err := s.sched.Submit(ctx, buildJob(spec, report, jobWork))
+	next, err := s.sched.Submit(ctx, buildJob(spec, report, jobWork, s.share))
 	if err != nil {
 		return nil
 	}
@@ -629,6 +692,202 @@ func (s *System) replanAfterCorruption(ctx context.Context, spec JobSpec, report
 		}
 	}
 	return next
+}
+
+// markSharedScan flags a freshly chosen plan as eligible for shared
+// physical scans. Only vectorized block-range scans can share (B+Tree
+// range reads and row-at-a-time scans keep private readers), and only
+// when the System has a sharing registry; -noopt plans are never marked,
+// so the conventional baseline stays fully conventional.
+func (s *System) markSharedScan(plan *optimizer.Plan) {
+	if s.share == nil || plan == nil || !plan.Vectorized || plan.Kind == optimizer.PlanBTree {
+		return
+	}
+	plan.SharedScan = true
+	plan.Notes = append(plan.Notes,
+		"scan sharing: map tasks may ride one physical scan with concurrent jobs over the same file")
+}
+
+// cacheKey derives the result-cache identity of a submission (the contract
+// is documented on catalog.KindResultCache). It covers exactly what
+// determines the job's output — storage format version, output shape
+// (map-only, sorted, reducer count), each input's fingerprint (path, size,
+// mtime) paired with the sha256 of its program's canonicalized AST, and
+// the conf in sorted key order — and excludes what doesn't (job name,
+// output path, parallelism, startup delay). An empty key marks the
+// submission uncacheable (an input could not be fingerprinted or a
+// program not canonicalized).
+func (s *System) cacheKey(spec JobSpec) (string, []catalog.CacheInput) {
+	h := sha256.New()
+	fmt.Fprintf(h, "manimal-result-cache-v1\n")
+	fmt.Fprintf(h, "format=%d\n", storage.FormatVersion)
+	fmt.Fprintf(h, "maponly=%t sorted=%t reducers=%d\n", spec.MapOnly, spec.SortedOutput, spec.NumReducers)
+	var fps []catalog.CacheInput
+	for _, ispec := range spec.Inputs {
+		st, err := os.Stat(ispec.Path)
+		if err != nil {
+			return "", nil
+		}
+		canon, err := ispec.Program.parsed.Canonical()
+		if err != nil {
+			return "", nil
+		}
+		progHash := sha256.Sum256([]byte(canon))
+		fp := catalog.CacheInput{Path: ispec.Path, SizeBytes: st.Size(), ModTimeNanos: st.ModTime().UnixNano()}
+		fps = append(fps, fp)
+		fmt.Fprintf(h, "input=%s|%d|%d|%x\n", fp.Path, fp.SizeBytes, fp.ModTimeNanos, progHash)
+	}
+	keys := make([]string, 0, len(spec.Conf))
+	for k := range spec.Conf {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		d := spec.Conf[k]
+		fmt.Fprintf(h, "conf=%s=%d:%s\n", k, d.Kind, d.String())
+	}
+	return hex.EncodeToString(h.Sum(nil)), fps
+}
+
+// serveCached serves a submission from the result cache when a usable
+// entry exists under key: the cached artifact is copied to the output
+// path and a terminal handle is returned, with no scheduler involvement.
+// A damaged artifact (missing file or size mismatch) is quarantined
+// through the catalog's CORRUPT path and nil is returned, so the caller
+// falls through to normal execution (which re-populates the cache on
+// commit). Nil is also returned on a plain miss.
+func (s *System) serveCached(key string, spec JobSpec, report *JobReport, outputKey string) *JobHandle {
+	entry, ok := s.cat.FindCache(key)
+	if !ok {
+		return nil
+	}
+	if st, err := os.Stat(entry.IndexPath); err != nil || st.Size() != entry.SizeBytes {
+		reason := "cached artifact size mismatch"
+		if err != nil {
+			reason = err.Error()
+		}
+		s.cat.Quarantine(entry.IndexPath, reason)
+		return nil
+	}
+	// A copy failure is not evidence against the artifact (the output path
+	// may be unwritable) — fall through to normal execution, which surfaces
+	// the real error.
+	if err := copyFile(entry.IndexPath, spec.OutputPath); err != nil {
+		return nil
+	}
+	s.cat.TouchCache(key)
+	entry.Hits++ // reflect this hit in the notes below
+	counters := mapreduce.NewCounters()
+	counters.Add(mapreduce.CtrCacheHits, 1)
+	counters.Add(mapreduce.CtrOutputRecords, entry.OutputRecords)
+	for i := range report.Inputs {
+		report.Inputs[i].Plan = &optimizer.Plan{
+			Kind:      optimizer.PlanCached,
+			InputPath: report.Inputs[i].Path,
+			Applied:   []string{"result-cache"},
+			Notes: []string{
+				fmt.Sprintf("result cache hit: key %.12s…, served %d time(s) from %s",
+					key, entry.Hits, entry.IndexPath),
+			},
+		}
+	}
+	report.Result = &mapreduce.Result{Counters: counters}
+	h := &JobHandle{name: spec.Name, inputs: report.Inputs, report: report, done: make(chan struct{})}
+	close(h.done)
+	s.releaseOutput(outputKey)
+	return h
+}
+
+// storeCache registers a just-committed job output in the result cache:
+// the output KV file is copied into the catalog directory's cache area
+// (temp file + rename, so a crash never leaves a torn artifact behind)
+// and a result-cache entry is added under the submission's key. Inputs
+// rewritten while the job ran are detected by re-checking the fingerprints
+// captured at submission — a mismatch skips the store, since the key
+// would promise a result the current file contents never produced.
+// Failures here are silently dropped: caching is an optimization, never a
+// correctness dependency of the job that just succeeded.
+func (s *System) storeCache(key string, fps []catalog.CacheInput, spec JobSpec, res *mapreduce.Result) {
+	for _, fp := range fps {
+		st, err := os.Stat(fp.Path)
+		if err != nil || st.Size() != fp.SizeBytes || st.ModTime().UnixNano() != fp.ModTimeNanos {
+			return
+		}
+	}
+	cacheDir := filepath.Join(s.dir, "cache")
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return
+	}
+	dst := filepath.Join(cacheDir, key+".kv")
+	if err := copyFile(spec.OutputPath, dst); err != nil {
+		return
+	}
+	st, err := os.Stat(dst)
+	if err != nil {
+		return
+	}
+	entry := catalog.Entry{
+		InputPath:     spec.Inputs[0].Path,
+		IndexPath:     dst,
+		Kind:          catalog.KindResultCache,
+		Fields:        nil,
+		SizeBytes:     st.Size(),
+		BuildDuration: res.Duration,
+		CreatedAt:     time.Now(),
+		CacheKey:      key,
+		CacheInputs:   fps,
+		OutputRecords: res.Counters.Get(mapreduce.CtrOutputRecords),
+	}
+	if len(fps) > 0 {
+		entry.InputSizeBytes = fps[0].SizeBytes
+		entry.InputModTimeNanos = fps[0].ModTimeNanos
+	}
+	s.cat.Add(entry)
+}
+
+// EvictResultCache removes result-cache entries — every entry, or with
+// staleOnly just those whose recorded input fingerprints no longer match
+// the files on disk (plus quarantined ones) — and deletes their artifact
+// files. It returns the evicted entries.
+func (s *System) EvictResultCache(staleOnly bool) ([]CatalogEntry, error) {
+	evicted, err := s.cat.EvictCache(staleOnly)
+	for _, e := range evicted {
+		os.Remove(e.IndexPath)
+	}
+	return evicted, err
+}
+
+// copyFile copies src over dst through a temp file in dst's directory,
+// renamed into place so readers never observe a partial copy.
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	tmp, err := os.CreateTemp(filepath.Dir(dst), filepath.Base(dst)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(tmp, in); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 // Submit analyzes, optimizes, and executes a job to completion: the thin
@@ -715,7 +974,8 @@ func ReadOutput(path string) ([]mapreduce.KVPair, error) { return mapreduce.Read
 // the running jobs. Open errors surface from the plan phase (Splits)
 // instead of from SubmitAsync.
 type lazyInput struct {
-	plan *optimizer.Plan
+	plan  *optimizer.Plan
+	share *storage.ScanShare
 
 	mu  sync.Mutex
 	in  mapreduce.Input
@@ -726,7 +986,7 @@ func (l *lazyInput) open() (mapreduce.Input, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.in == nil && l.err == nil {
-		l.in, l.err = fabric.InputForPlan(l.plan)
+		l.in, l.err = fabric.InputForPlanShared(l.plan, l.share)
 	}
 	return l.in, l.err
 }

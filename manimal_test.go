@@ -47,7 +47,7 @@ func TestEndToEndSelection(t *testing.T) {
 	if err := workload.NewGen(1).WriteRankingsOpaque(data, 5000); err != nil {
 		t.Fatalf("generate: %v", err)
 	}
-	sys, err := manimal.NewSystem(filepath.Join(dir, "sys"))
+	sys, err := manimal.NewSystemWith(filepath.Join(dir, "sys"), manimal.Options{DisableResultCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestEndToEndAggregation(t *testing.T) {
 	if err := workload.NewGen(2).WriteUserVisits(data, 4000, 500); err != nil {
 		t.Fatalf("generate: %v", err)
 	}
-	sys, err := manimal.NewSystem(filepath.Join(dir, "sys"))
+	sys, err := manimal.NewSystemWith(filepath.Join(dir, "sys"), manimal.Options{DisableResultCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestEndToEndJoin(t *testing.T) {
 	if err := gen.WriteRankings(rank, 300); err != nil {
 		t.Fatal(err)
 	}
-	sys, err := manimal.NewSystem(filepath.Join(dir, "sys"))
+	sys, err := manimal.NewSystemWith(filepath.Join(dir, "sys"), manimal.Options{DisableResultCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +251,7 @@ func TestEndToEndDirectOperation(t *testing.T) {
 	if err := workload.NewGen(4).WriteUserVisits(data, 3000, 200); err != nil {
 		t.Fatal(err)
 	}
-	sys, err := manimal.NewSystem(filepath.Join(dir, "sys"))
+	sys, err := manimal.NewSystemWith(filepath.Join(dir, "sys"), manimal.Options{DisableResultCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +305,7 @@ func TestBenchmark4Unoptimizable(t *testing.T) {
 	if err := workload.NewGen(5).WriteDocuments(data, 500, 200, 100); err != nil {
 		t.Fatal(err)
 	}
-	sys, err := manimal.NewSystem(filepath.Join(dir, "sys"))
+	sys, err := manimal.NewSystemWith(filepath.Join(dir, "sys"), manimal.Options{DisableResultCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
