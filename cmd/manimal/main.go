@@ -15,31 +15,37 @@
 //	manimal catalog -sys DIR
 //	manimal cache   -sys DIR [-evict] [-stale]
 //	manimal inspect -file data.rec [-blocks]
-//	manimal serve   -sys DIR -addr 127.0.0.1:7070 [-slots N]
+//	manimal serve   -sys DIR -addr 127.0.0.1:7070 [-slots N] [-recover] \
+//	                [-drain 30s] [-max-jobs N] [-tenant-slots N]
 //	manimal submit  -addr URL -prog prog.go -input data.rec -out out.kv \
-//	                [-conf k=v] [-noopt] [-maponly] [-wait]
-//	manimal jobs    -addr URL
-//	manimal status  -addr URL -id j0001
-//	manimal cancel  -addr URL -id j0001
+//	                [-conf k=v] [-noopt] [-maponly] [-wait] [-retries N] \
+//	                [-tenant NAME]
+//	manimal jobs    -addr URL | -sys DIR
+//	manimal status  -addr URL -id j00000001
+//	manimal cancel  -addr URL -id j00000001
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"manimal"
 	"manimal/internal/catalog"
 	"manimal/internal/cfg"
 	"manimal/internal/dataflow"
+	"manimal/internal/journal"
 	"manimal/internal/service"
 	"manimal/internal/storage"
 )
@@ -604,12 +610,35 @@ func cmdServe(args []string) error {
 	// explicit operator decision.
 	addr := fs.String("addr", "127.0.0.1:7070", "listen address (unauthenticated; bind non-loopback deliberately)")
 	slots := fs.Int("slots", 0, "scheduler task slots (0 = max(4, NumCPU))")
+	doRecover := fs.Bool("recover", false, "replay the job journal at startup, resubmitting jobs a previous coordinator left unfinished")
+	drain := fs.Duration("drain", 30*time.Second, "on SIGTERM/SIGINT, let running jobs finish for this long before canceling them (0 = cancel immediately)")
+	maxJobs := fs.Int("max-jobs", 0, "admission cap: reject new submissions with 429 while this many jobs are active (0 = unlimited)")
+	tenantSlots := fs.Int("tenant-slots", 0, "task-slot quota applied to every tenant named via the "+service.TenantHeader+" header (0 = unlimited)")
 	fs.Parse(args)
-	sys, err := manimal.NewSystemWith(*sysDir, manimal.Options{SchedulerSlots: *slots})
+	// The service always journals: a coordinator worth restarting is one
+	// whose accepted jobs survive the restart.
+	sys, err := manimal.NewSystemWith(*sysDir, manimal.Options{SchedulerSlots: *slots, Journal: true})
 	if err != nil {
 		return err
 	}
-	srv := service.New(sys)
+	srv := service.NewWith(sys, service.ServerConfig{
+		MaxActiveJobs: *maxJobs,
+		TenantSlots:   *tenantSlots,
+	})
+	if *doRecover {
+		recovered, err := sys.Recover(context.Background())
+		if err != nil {
+			return err
+		}
+		srv.Adopt(recovered)
+		for _, r := range recovered {
+			if r.Err != nil {
+				fmt.Printf("recover: %s %s: failed to resubmit: %v\n", r.ID, r.Name, r.Err)
+				continue
+			}
+			fmt.Printf("recover: %s %s resubmitted -> %s\n", r.ID, r.Name, r.OutputPath)
+		}
+	}
 	fmt.Printf("manimal service: sys=%s slots=%d listening on %s\n",
 		*sysDir, sys.PoolStats().Slots, *addr)
 	// Explicit server timeouts: a client that stalls mid-request (or never
@@ -623,7 +652,30 @@ func cmdServe(args []string) error {
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	return hs.ListenAndServe()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.ListenAndServe() }()
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-sigCtx.Done():
+		stop() // a second signal kills the process the default way
+	}
+	fmt.Printf("manimal service: draining (deadline %s)\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	rep := srv.Drain(dctx)
+	fmt.Printf("manimal service: drained: finished=%d canceled=%d\n", rep.Finished, rep.Canceled)
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }
 
 func cmdSubmit(args []string) error {
@@ -637,6 +689,8 @@ func cmdSubmit(args []string) error {
 	noopt := fs.Bool("noopt", false, "disable optimization (conventional MapReduce)")
 	mapOnly := fs.Bool("maponly", false, "skip the reduce phase")
 	wait := fs.Bool("wait", false, "poll until the job is terminal and print the outcome")
+	retries := fs.Int("retries", 0, "retry a 429-rejected submission up to N times, honoring Retry-After (0 = fail fast)")
+	tenant := fs.String("tenant", "", "tenant name for the server's pool-share quota ("+service.TenantHeader+" header)")
 	var conf confFlag
 	fs.Var(&conf, "conf", "job parameter key=value (repeatable)")
 	fs.Parse(args)
@@ -650,6 +704,8 @@ func cmdSubmit(args []string) error {
 		jobName = strings.TrimSuffix(filepath.Base(*progPath), ".go")
 	}
 	c := service.NewClientTimeout(*addr, *timeout)
+	c.SetRetry(*retries, 0)
+	c.SetTenant(*tenant)
 	info, err := c.Submit(service.SubmitRequest{
 		Name:                jobName,
 		Inputs:              []service.SubmitInput{{Path: *inputPath, Program: string(src), ProgramName: *progPath}},
@@ -676,18 +732,78 @@ func cmdJobs(args []string) error {
 	fs := flag.NewFlagSet("jobs", flag.ExitOnError)
 	addr := fs.String("addr", "http://127.0.0.1:7070", "service base URL")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout (0 = none)")
+	retries := fs.Int("retries", 0, "retry transient failures up to N times with backoff (0 = fail fast)")
+	sysDir := fs.String("sys", "", "list the job journal of this system directory instead of asking a live service")
 	fs.Parse(args)
-	infos, err := service.NewClientTimeout(*addr, *timeout).Jobs()
+	if *sysDir != "" {
+		return journalJobs(*sysDir)
+	}
+	c := service.NewClientTimeout(*addr, *timeout)
+	c.SetRetry(*retries, 0)
+	infos, err := c.Jobs()
 	if err != nil {
 		return err
 	}
 	if len(infos) == 0 {
 		fmt.Println("no jobs submitted")
-		return nil
 	}
 	for _, info := range infos {
 		printJobInfo(info, false)
 	}
+	// Operational summary; a service old enough to lack /v1/stats still
+	// answered /v1/jobs above, so a stats failure is not worth erroring on.
+	if st, err := c.Stats(); err == nil {
+		fmt.Printf("pool: %d/%d slots busy, %d jobs active (%d tracked, %d terminal)",
+			st.Pool.Running, st.Pool.Slots, st.JobsActive, st.JobsTracked, st.JobsTerminal)
+		if st.Draining {
+			fmt.Print(", DRAINING")
+		}
+		if st.RejectedFull+st.RejectedDraining > 0 {
+			fmt.Printf(", rejected %d full / %d draining", st.RejectedFull, st.RejectedDraining)
+		}
+		if st.Journal != nil {
+			fmt.Printf("; journal: %d jobs, %d incomplete", st.Journal.Jobs, st.Journal.Incomplete)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// journalJobs lists jobs straight from a system directory's on-disk
+// journal — works with no service running, e.g. to inspect what a crashed
+// coordinator had accepted before restarting it with `serve -recover`.
+func journalJobs(sysDir string) error {
+	jnl, err := journal.Open(filepath.Join(sysDir, "journal"))
+	if err != nil {
+		return err
+	}
+	entries, err := jnl.Replay()
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		fmt.Println("journal is empty")
+		return nil
+	}
+	for _, e := range entries {
+		fmt.Printf("%s  %-12s %-10s out=%s", e.Sub.ID, e.Sub.Name, e.State(), e.Sub.OutputPath)
+		if e.Sub.Tenant != "" {
+			fmt.Printf("  tenant=%s", e.Sub.Tenant)
+		}
+		if e.End != nil && e.End.Error != "" {
+			fmt.Printf("  error=%s", e.End.Error)
+		}
+		if e.Mark != nil {
+			fmt.Printf("  note=%q", e.Mark.Note)
+		}
+		fmt.Println()
+	}
+	st, err := jnl.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("journal: %d jobs (%d incomplete), %d segments, %d bytes\n",
+		st.Jobs, st.Incomplete, st.Segments, st.Bytes)
 	return nil
 }
 
@@ -696,8 +812,11 @@ func cmdStatus(args []string) error {
 	addr := fs.String("addr", "http://127.0.0.1:7070", "service base URL")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout (0 = none)")
 	id := fs.String("id", "", "job ID (from submit/jobs)")
+	retries := fs.Int("retries", 0, "retry transient failures up to N times with backoff (0 = fail fast)")
 	fs.Parse(args)
-	info, err := service.NewClientTimeout(*addr, *timeout).Job(*id)
+	c := service.NewClientTimeout(*addr, *timeout)
+	c.SetRetry(*retries, 0)
+	info, err := c.Job(*id)
 	if err != nil {
 		return err
 	}

@@ -1,8 +1,10 @@
 // Package faultinject is Manimal's deterministic fault-injection harness:
 // named injection points wrapped around storage reads and writes, spill
-// I/O, task bodies, and atomic-rename commits, so the engine's fault
-// tolerance (retries, speculation, checksum quarantine) can be exercised
-// reproducibly in tests and CI without flaky sleeps or real disk errors.
+// I/O, task bodies, atomic-rename commits, job-journal writes, and the
+// coordinator's drain and crash paths, so the engine's fault tolerance
+// (retries, speculation, checksum quarantine) and the coordinator's crash
+// recovery can be exercised reproducibly in tests and CI without flaky
+// sleeps or real disk errors.
 //
 // # Addressing and determinism
 //
@@ -32,6 +34,12 @@
 //	corrupt=1.0@.idx0      every read of a path containing ".idx0" is
 //	                       bit-flipped (caught by block checksums)
 //	crash=0.5              50% of atomic commits fail before their rename
+//	journal=1.0            every job-journal segment write fails (the
+//	                       submission being recorded must be refused)
+//	drain=1.0              a graceful drain aborts mid-way (crash-mid-drain)
+//	kill=1.0@map           the PROCESS exits (status KillExitCode) the
+//	                       moment a map-task attempt starts — a real crash
+//	                       for recovery tests' subprocess helpers
 //
 // ";seed=N" fixes the hash seed (default 1). Rules with @pathsub apply
 // only to keys containing that substring.
@@ -76,7 +84,24 @@ const (
 	// written but before the rename — modeling a crash mid-commit; the
 	// final path must be left untouched.
 	PointCrashRename Point = "crash"
+	// PointJournal fails a job-journal segment write before it touches
+	// disk — modeling a full coordinator disk or a crash at journal write;
+	// the submission it was recording must be refused.
+	PointJournal Point = "journal"
+	// PointDrain aborts a graceful drain in progress — modeling a
+	// coordinator crash mid-drain, after admission stopped but before
+	// running jobs finished.
+	PointDrain Point = "drain"
+	// PointKill terminates the whole process immediately (os.Exit) when it
+	// fires — the only point that models a real coordinator crash rather
+	// than an error return. Exercised from subprocess helpers in recovery
+	// tests; see Kill.
+	PointKill Point = "kill"
 )
+
+// KillExitCode is the status a process killed by PointKill exits with, so
+// recovery tests can tell an injected crash from an ordinary failure.
+const KillExitCode = 86
 
 // ErrInjected is the sentinel every injected error wraps, so callers can
 // distinguish harness faults from real ones with errors.Is.
@@ -183,7 +208,8 @@ func parseRule(text string) (Rule, error) {
 	}
 	switch p := Point(name); p {
 	case PointStorageRead, PointStorageWrite, PointSpill, PointTask,
-		PointStraggle, PointCorrupt, PointCrashRename:
+		PointStraggle, PointCorrupt, PointCrashRename,
+		PointJournal, PointDrain, PointKill:
 		r.Point = p
 	default:
 		return r, fmt.Errorf("faultinject: rule %q: unknown point %q", text, name)
@@ -279,6 +305,22 @@ func Sleep(ctx context.Context, key string) {
 	select {
 	case <-t.C:
 	case <-ctx.Done():
+	}
+}
+
+// Kill terminates the process (exit status KillExitCode) when the kill
+// point fires for key — an injected hard crash, not an error: no deferred
+// cleanup runs, exactly like a real coordinator death. Used by recovery
+// tests' subprocess helpers; a process without an installed injector (the
+// normal case) never exits here.
+func Kill(key string) {
+	inj := active.Load()
+	if inj == nil {
+		return
+	}
+	if _, hit := inj.fires(PointKill, key); hit {
+		fmt.Fprintf(os.Stderr, "faultinject: injected kill at %s\n", key)
+		os.Exit(KillExitCode)
 	}
 }
 

@@ -144,3 +144,29 @@ func TestSleepHonorsContext(t *testing.T) {
 		t.Fatal("Sleep ignored canceled context")
 	}
 }
+
+func TestParseRecoveryPoints(t *testing.T) {
+	inj, err := Parse("journal=1.0,drain=0.5,kill=1.0@map;seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inj.rules[PointJournal]) != 1 || inj.rules[PointJournal][0].Prob != 1.0 {
+		t.Fatalf("journal rule = %+v", inj.rules[PointJournal])
+	}
+	if len(inj.rules[PointDrain]) != 1 || inj.rules[PointDrain][0].Prob != 0.5 {
+		t.Fatalf("drain rule = %+v", inj.rules[PointDrain])
+	}
+	if r := inj.rules[PointKill]; len(r) != 1 || r[0].PathSub != "map" {
+		t.Fatalf("kill rule = %+v", r)
+	}
+}
+
+// TestKillFiltered: Kill must be a no-op when no injector is installed and
+// when the path filter does not match — both would otherwise exit the test
+// process, so surviving this function IS the assertion.
+func TestKillFiltered(t *testing.T) {
+	Kill("map:0:0") // no injector installed
+	Set(MustParse("kill=1.0@map;seed=1"))
+	defer Reset()
+	Kill("reduce:0:0") // filter excludes reduce keys
+}

@@ -1,0 +1,437 @@
+// Package journal is the coordinator's durable job log: an append-only,
+// per-System record of every accepted submission and its terminal state,
+// kept in the system directory so a restarted coordinator can reconstruct
+// what it owed the outside world. The journal is what makes `manimal serve
+// -recover` possible — without it, killing the coordinator loses every
+// queued and running job without a trace.
+//
+// # Layout and durability
+//
+// The journal lives in <sysdir>/journal as one small JSON segment file per
+// record, named <seq>.<kind>.json:
+//
+//	00000001.submit.json   the accepted submission (program source, conf,
+//	                       inputs, output path, tenant) — written BEFORE
+//	                       the job is handed to the scheduler
+//	00000001.end.json      the terminal state (done/failed/canceled) and
+//	                       output record count — written after commit
+//	00000001.mark.json     a recovery annotation (e.g. "interrupted"),
+//	                       written when a replay finds the job incomplete
+//
+// Every segment is written with the same atomic-commit idiom as the
+// catalog and the engine's output files: temp file in the same directory,
+// fsync, rename into place, fsync the directory. A crash at any instant
+// leaves either no segment or a complete one — never a torn record. A
+// submission whose journal write fails is REFUSED, so an accepted job is
+// always recoverable.
+//
+// # Recovery contract
+//
+// Replay returns one Entry per submission, in sequence order. An entry
+// with no end segment is INCOMPLETE: the coordinator died while the job
+// was queued or running. Re-executing an incomplete entry is safe because
+// execution is idempotent at both ends — the result cache serves identical
+// re-submissions from committed output, and the engine's atomic per-task
+// commit means a partially written output is invisible (only a *.tmp-*
+// orphan, which recovery removes). See manimal.System.Recover for the
+// replay driver.
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"manimal/internal/faultinject"
+)
+
+// Terminal states recorded in End.State (mirroring the engine's terminal
+// phases).
+const (
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Input is one journaled input: the file path and the full program source
+// that consumed it, so recovery can re-parse and resubmit without any
+// other surviving state.
+type Input struct {
+	Path        string `json:"path"`
+	ProgramName string `json:"program_name"`
+	Program     string `json:"program"`
+}
+
+// ConfValue is one conf parameter in kind-tagged string form. JSON cannot
+// round-trip the engine's datum types faithfully (every number decodes as
+// float64), so the journal stores the kind explicitly.
+type ConfValue struct {
+	Kind  string `json:"kind"` // "int" | "float" | "string" | "bool"
+	Value string `json:"value"`
+}
+
+// Submission is the journaled form of one accepted job: everything needed
+// to resubmit it identically after a coordinator restart. Runtime-only
+// tuning that should not survive a restart (StartupDelay models the
+// original submission's launch latency, not the job's identity) is
+// deliberately absent.
+type Submission struct {
+	ID                  string               `json:"id"`
+	Name                string               `json:"name"`
+	Inputs              []Input              `json:"inputs"`
+	OutputPath          string               `json:"output_path"`
+	Conf                map[string]ConfValue `json:"conf,omitempty"`
+	MapOnly             bool                 `json:"map_only,omitempty"`
+	SortedOutput        bool                 `json:"sorted_output,omitempty"`
+	SafeMode            bool                 `json:"safe_mode,omitempty"`
+	DisableOptimization bool                 `json:"disable_optimization,omitempty"`
+	NumReducers         int                  `json:"num_reducers,omitempty"`
+	MaxParallelTasks    int                  `json:"max_parallel_tasks,omitempty"`
+	Tenant              string               `json:"tenant,omitempty"`
+	SubmittedAt         time.Time            `json:"submitted_at"`
+}
+
+// End records a job's terminal state.
+type End struct {
+	ID            string    `json:"id"`
+	State         string    `json:"state"` // done | failed | canceled
+	Error         string    `json:"error,omitempty"`
+	OutputRecords int64     `json:"output_records,omitempty"`
+	FinishedAt    time.Time `json:"finished_at"`
+}
+
+// Mark is a recovery annotation on a job (latest one wins).
+type Mark struct {
+	ID   string    `json:"id"`
+	Note string    `json:"note"`
+	At   time.Time `json:"at"`
+}
+
+// Entry is one job's replayed journal state.
+type Entry struct {
+	Sub  Submission
+	End  *End
+	Mark *Mark
+}
+
+// Complete reports whether the job reached a terminal state before the
+// journal was last written. Incomplete entries are what recovery resubmits.
+func (e *Entry) Complete() bool { return e.End != nil }
+
+// State returns the entry's terminal state, or "incomplete".
+func (e *Entry) State() string {
+	if e.End != nil {
+		return e.End.State
+	}
+	return "incomplete"
+}
+
+// Stats summarizes a journal for operational endpoints.
+type Stats struct {
+	Dir        string `json:"dir"`
+	Jobs       int    `json:"jobs"`
+	Incomplete int    `json:"incomplete"`
+	Segments   int    `json:"segments"`
+	Bytes      int64  `json:"bytes"`
+}
+
+// Journal is one system's job log. Safe for concurrent use; every write
+// is individually atomic and fsynced before the call returns.
+type Journal struct {
+	dir string
+
+	mu  sync.Mutex
+	seq uint64 // highest sequence number assigned so far
+}
+
+// Open opens (or initializes) the journal directory, resuming the
+// sequence counter from the highest existing segment. Leftover temp files
+// from a crash mid-write are removed — by construction they were never
+// acknowledged.
+func Open(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{dir: dir}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	for _, de := range des {
+		name := de.Name()
+		if strings.HasPrefix(name, ".tmp-") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		seq, _, ok := parseSegmentName(name)
+		if ok && seq > j.seq {
+			j.seq = seq
+		}
+	}
+	return j, nil
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Begin journals an accepted submission and returns its assigned job ID
+// ("j" + 8-digit sequence). The segment is durable when Begin returns; on
+// error nothing was accepted and the caller must refuse the submission.
+func (j *Journal) Begin(sub Submission) (string, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	seq := j.seq + 1
+	sub.ID = idFor(seq)
+	if sub.SubmittedAt.IsZero() {
+		sub.SubmittedAt = time.Now()
+	}
+	if err := j.writeSegment(segmentName(seq, "submit"), sub); err != nil {
+		return "", err
+	}
+	j.seq = seq
+	return sub.ID, nil
+}
+
+// BeginAs journals a submission under a caller-chosen existing ID — used
+// only by recovery tests and tools that need to reconstruct a journal; the
+// normal path is Begin.
+func (j *Journal) BeginAs(id string, sub Submission) error {
+	seq, err := ParseID(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	sub.ID = id
+	if sub.SubmittedAt.IsZero() {
+		sub.SubmittedAt = time.Now()
+	}
+	if err := j.writeSegment(segmentName(seq, "submit"), sub); err != nil {
+		return err
+	}
+	if seq > j.seq {
+		j.seq = seq
+	}
+	return nil
+}
+
+// End journals a job's terminal state. Ending the same job again
+// overwrites the previous end segment (recovery re-runs a job under its
+// original ID, so its final End wins).
+func (j *Journal) End(id, state, errText string, outputRecords int64) error {
+	seq, err := ParseID(id)
+	if err != nil {
+		return err
+	}
+	rec := End{ID: id, State: state, Error: errText, OutputRecords: outputRecords, FinishedAt: time.Now()}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.writeSegment(segmentName(seq, "end"), rec)
+}
+
+// Mark annotates a job (e.g. "interrupted; resubmitted by recovery"). One
+// mark per job is kept; a later mark overwrites an earlier one.
+func (j *Journal) Mark(id, note string) error {
+	seq, err := ParseID(id)
+	if err != nil {
+		return err
+	}
+	rec := Mark{ID: id, Note: note, At: time.Now()}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.writeSegment(segmentName(seq, "mark"), rec)
+}
+
+// Replay reads the whole journal and returns one entry per submission in
+// sequence order. End/mark segments without a surviving submission are
+// impossible by construction (the submit segment is durable first) and
+// are ignored if found.
+func (j *Journal) Replay() ([]Entry, error) {
+	des, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	bys := make(map[uint64]*Entry)
+	var order []uint64
+	// Submissions first, so ends and marks always find their entry
+	// regardless of directory order.
+	for pass := 0; pass < 2; pass++ {
+		for _, de := range des {
+			seq, kind, ok := parseSegmentName(de.Name())
+			if !ok || (pass == 0) != (kind == "submit") {
+				continue
+			}
+			path := filepath.Join(j.dir, de.Name())
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				return nil, fmt.Errorf("journal: %w", err)
+			}
+			switch kind {
+			case "submit":
+				var sub Submission
+				if err := json.Unmarshal(raw, &sub); err != nil {
+					return nil, fmt.Errorf("journal: %s: %w", path, err)
+				}
+				bys[seq] = &Entry{Sub: sub}
+				order = append(order, seq)
+			case "end":
+				var end End
+				if err := json.Unmarshal(raw, &end); err != nil {
+					return nil, fmt.Errorf("journal: %s: %w", path, err)
+				}
+				if e := bys[seq]; e != nil {
+					e.End = &end
+				}
+			case "mark":
+				var mark Mark
+				if err := json.Unmarshal(raw, &mark); err != nil {
+					return nil, fmt.Errorf("journal: %s: %w", path, err)
+				}
+				if e := bys[seq]; e != nil {
+					e.Mark = &mark
+				}
+			}
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a] < order[b] })
+	out := make([]Entry, 0, len(order))
+	for _, seq := range order {
+		out = append(out, *bys[seq])
+	}
+	return out, nil
+}
+
+// Lookup returns one job's journal entry by ID.
+func (j *Journal) Lookup(id string) (Entry, bool, error) {
+	if _, err := ParseID(id); err != nil {
+		return Entry{}, false, nil
+	}
+	entries, err := j.Replay()
+	if err != nil {
+		return Entry{}, false, err
+	}
+	for i := range entries {
+		if entries[i].Sub.ID == id {
+			return entries[i], true, nil
+		}
+	}
+	return Entry{}, false, nil
+}
+
+// Stats scans the journal directory and summarizes it.
+func (j *Journal) Stats() (Stats, error) {
+	st := Stats{Dir: j.dir}
+	entries, err := j.Replay()
+	if err != nil {
+		return st, err
+	}
+	st.Jobs = len(entries)
+	for i := range entries {
+		if !entries[i].Complete() {
+			st.Incomplete++
+		}
+	}
+	des, err := os.ReadDir(j.dir)
+	if err != nil {
+		return st, fmt.Errorf("journal: %w", err)
+	}
+	for _, de := range des {
+		if _, _, ok := parseSegmentName(de.Name()); !ok {
+			continue
+		}
+		st.Segments++
+		if info, err := de.Info(); err == nil {
+			st.Bytes += info.Size()
+		}
+	}
+	return st, nil
+}
+
+// idFor formats a sequence number as a job ID.
+func idFor(seq uint64) string { return fmt.Sprintf("j%08d", seq) }
+
+// ParseID extracts the sequence number from a journal job ID.
+func ParseID(id string) (uint64, error) {
+	digits, ok := strings.CutPrefix(id, "j")
+	if !ok || len(digits) != 8 {
+		return 0, fmt.Errorf("journal: malformed job id %q", id)
+	}
+	seq, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil || seq == 0 {
+		return 0, fmt.Errorf("journal: malformed job id %q", id)
+	}
+	return seq, nil
+}
+
+func segmentName(seq uint64, kind string) string {
+	return fmt.Sprintf("%08d.%s.json", seq, kind)
+}
+
+// parseSegmentName splits "<seq>.<kind>.json" (kind ∈ submit|end|mark);
+// ok is false for anything else (temp files, strays).
+func parseSegmentName(name string) (uint64, string, bool) {
+	parts := strings.Split(name, ".")
+	if len(parts) != 3 || parts[2] != "json" {
+		return 0, "", false
+	}
+	switch parts[1] {
+	case "submit", "end", "mark":
+	default:
+		return 0, "", false
+	}
+	if len(parts[0]) != 8 {
+		return 0, "", false
+	}
+	seq, err := strconv.ParseUint(parts[0], 10, 64)
+	if err != nil {
+		return 0, "", false
+	}
+	return seq, parts[1], true
+}
+
+// writeSegment commits one record with the atomic idiom shared by the
+// catalog and the engine's outputs: temp + fsync + rename + dir fsync.
+// The faultinject journal point fires BEFORE anything touches disk,
+// modeling a full write failure. Callers hold j.mu.
+func (j *Journal) writeSegment(name string, v any) error {
+	if err := faultinject.Fail(faultinject.PointJournal, name); err != nil {
+		return fmt.Errorf("journal: writing %s: %w", name, err)
+	}
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	tmp, err := os.CreateTemp(j.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	cleanup := func() { tmp.Close(); os.Remove(tmp.Name()) }
+	if _, err := tmp.Write(raw); err != nil {
+		cleanup()
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("journal: %w", err)
+	}
+	final := filepath.Join(j.dir, name)
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("journal: %w", err)
+	}
+	if d, err := os.Open(j.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"manimal/internal/faultinject"
+)
+
+func sub(name string) Submission {
+	return Submission{
+		Name:       name,
+		Inputs:     []Input{{Path: "data.rec", ProgramName: "count.go", Program: "func Map() {}"}},
+		OutputPath: "/tmp/out.kv",
+		Conf:       map[string]ConfValue{"threshold": {Kind: "int", Value: "5000"}},
+		Tenant:     "acme",
+	}
+}
+
+// TestRoundTrip drives the full lifecycle: Begin assigns sequential IDs,
+// End and Mark attach to them, and Replay/Lookup/Stats agree on the
+// result.
+func TestRoundTrip(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := j.Begin(sub("first"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := j.Begin(sub("second"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != "j00000001" || id2 != "j00000002" {
+		t.Fatalf("ids = %s, %s", id1, id2)
+	}
+	if err := j.End(id1, StateDone, "", 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Mark(id2, "interrupted"); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("replayed %d entries, want 2", len(entries))
+	}
+	if e := entries[0]; !e.Complete() || e.State() != StateDone || e.End.OutputRecords != 42 {
+		t.Fatalf("entry 1 = %+v / %+v", e.Sub, e.End)
+	}
+	if e := entries[1]; e.Complete() || e.State() != "incomplete" || e.Mark == nil || e.Mark.Note != "interrupted" {
+		t.Fatalf("entry 2 = %+v / %+v", e.Sub, e.Mark)
+	}
+	if got := entries[0].Sub; got.Name != "first" || got.Tenant != "acme" ||
+		got.Conf["threshold"].Value != "5000" || len(got.Inputs) != 1 {
+		t.Fatalf("submission did not round-trip: %+v", got)
+	}
+
+	e, ok, err := j.Lookup(id1)
+	if err != nil || !ok || e.Sub.Name != "first" || e.State() != StateDone {
+		t.Fatalf("Lookup(%s) = %+v, %v, %v", id1, e, ok, err)
+	}
+	if _, ok, err := j.Lookup("j00000099"); ok || err != nil {
+		t.Fatalf("Lookup of unknown id = %v, %v", ok, err)
+	}
+
+	st, err := j.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Jobs != 2 || st.Incomplete != 1 || st.Segments != 4 || st.Bytes <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestReopenResumesSequence: a journal reopened after a crash must not
+// reuse IDs it already handed out.
+func TestReopenResumesSequence(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Begin(sub("a")); err != nil {
+		t.Fatal(err)
+	}
+	id2, err := j.Begin(sub("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: drop the handle, leave a temp file behind.
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-123"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id3, err := j2.Begin(sub("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 == id2 || id3 != "j00000003" {
+		t.Fatalf("reopened journal assigned %s after %s", id3, id2)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".tmp-123")); !os.IsNotExist(err) {
+		t.Errorf("crash-orphaned temp file survived reopen (stat err = %v)", err)
+	}
+}
+
+// TestEndIdempotent: recovery may journal the same terminal state twice
+// (original completion racing the recovered run); the last write wins and
+// replay still sees one entry.
+func TestEndIdempotent(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := j.Begin(sub("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.End(id, StateFailed, "first", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.End(id, StateDone, "", 7); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].State() != StateDone || entries[0].End.OutputRecords != 7 {
+		t.Fatalf("replay after double End = %+v", entries)
+	}
+}
+
+// TestCrashAtJournalWrite: with the journal fault point armed, Begin must
+// refuse the submission (error, no segment, no ID burned into replay).
+func TestCrashAtJournalWrite(t *testing.T) {
+	faultinject.Set(faultinject.MustParse("journal=1.0;seed=3"))
+	defer faultinject.Reset()
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Begin(sub("doomed")); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Begin under journal fault = %v, want injected error", err)
+	}
+	faultinject.Reset()
+	entries, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("refused submission left %d entries in the journal", len(entries))
+	}
+	// Nothing durable was written, so the sequence number is free for the
+	// next accept to reuse.
+	id, err := j.Begin(sub("ok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "j00000001" {
+		t.Fatalf("post-fault Begin assigned %s", id)
+	}
+}
+
+// TestParseID accepts exactly the IDs idFor produces.
+func TestParseID(t *testing.T) {
+	if n, err := ParseID("j00000042"); err != nil || n != 42 {
+		t.Fatalf("ParseID = %d, %v", n, err)
+	}
+	for _, bad := range []string{"", "j", "42", "j42", "jx0000001", "j000000001", "j00000000"} {
+		if _, err := ParseID(bad); err == nil {
+			t.Errorf("ParseID(%q) accepted", bad)
+		}
+	}
+}
+
+// TestReplayRejectsCorruptSegment: a torn or hand-edited segment must be a
+// loud error, not silently skipped jobs.
+func TestReplayRejectsCorruptSegment(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Begin(sub("a")); err != nil {
+		t.Fatal(err)
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil || len(des) == 0 {
+		t.Fatalf("readdir: %v (%d entries)", err, len(des))
+	}
+	var seg string
+	for _, de := range des {
+		if strings.HasSuffix(de.Name(), ".submit.json") {
+			seg = filepath.Join(dir, de.Name())
+		}
+	}
+	if seg == "" {
+		t.Fatal("no submit segment written")
+	}
+	if err := os.WriteFile(seg, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Replay(); err == nil {
+		t.Fatal("Replay accepted a corrupt segment")
+	}
+}

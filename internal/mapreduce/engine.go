@@ -212,6 +212,7 @@ func (e *Execution) execute() (*Result, error) {
 	runMapTask := func(ta *TaskAttempt, spec taskSpec) (err error) {
 		ctx := ta.Context()
 		akey := fmt.Sprintf("map:%d:%d", ta.Index(), ta.Attempt())
+		faultinject.Kill(akey)
 		if err := faultinject.Fail(faultinject.PointTask, akey); err != nil {
 			return err
 		}
@@ -389,6 +390,7 @@ func (e *Execution) execute() (*Result, error) {
 			ctx := ta.Context()
 			p := ta.Index()
 			akey := fmt.Sprintf("reduce:%d:%d", p, ta.Attempt())
+			faultinject.Kill(akey)
 			if err := faultinject.Fail(faultinject.PointTask, akey); err != nil {
 				return err
 			}

@@ -15,12 +15,16 @@
 // Each job is decomposed into an explicit task graph (plan → map tasks →
 // barrier → reduce tasks → commit); runnable jobs are served round-robin,
 // one task per turn, and a job's Config.MaxParallelTasks caps its share of
-// the pool rather than sizing a private pool. Scheduler.Submit returns an
-// Execution handle with Wait, Cancel, and live Status; the package-level
-// Run is the synchronous wrapper on the shared DefaultScheduler.
-// Cancellation is context-based end-to-end: canceling the submission
-// context (or the handle) halts dispatch, stops in-flight tasks at their
-// next check, and releases every partial output and spill file.
+// the pool rather than sizing a private pool. On top of the per-job cap,
+// Scheduler.SetTenantQuota bounds how many slots ALL jobs of one tenant
+// (Config.Tenant) may hold at once — multi-tenant pool sharing where a
+// saturating tenant cannot starve the rest; per-tenant usage is reported
+// in PoolStats.Tenants. Scheduler.Submit returns an Execution handle with
+// Wait, Cancel, and live Status; the package-level Run is the synchronous
+// wrapper on the shared DefaultScheduler. Cancellation is context-based
+// end-to-end: canceling the submission context (or the handle) halts
+// dispatch, stops in-flight tasks at their next check, and releases every
+// partial output and spill file.
 //
 // # Fault tolerance
 //
@@ -175,6 +179,11 @@ type Config struct {
 	// loser is canceled. 0 means DefaultSpeculativeSlowdown; negative
 	// disables speculation.
 	SpeculativeSlowdown float64
+	// Tenant names the pool-share quota this job's task attempts draw on
+	// (Scheduler.SetTenantQuota): all jobs of one tenant share that
+	// tenant's slot budget, on top of the per-job MaxParallelTasks cap.
+	// Empty means unquotaed.
+	Tenant string
 	// Conf carries the job parameters programs read via ctx.Conf*.
 	Conf map[string]serde.Datum
 }

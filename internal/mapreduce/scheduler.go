@@ -90,8 +90,12 @@ type Status struct {
 // reduce, or commit) at a time; runnable jobs are served round-robin, one
 // attempt per turn, so a huge job cannot starve small ones, and a job's
 // Config.MaxParallelTasks caps how many slots that job may hold at once
-// (it no longer sizes a private pool). Job controllers and admission
-// delays do not occupy slots; only task attempts do.
+// (it no longer sizes a private pool). On top of the per-job cap sit
+// per-TENANT quotas (SetTenantQuota): jobs submitted with Config.Tenant
+// share that tenant's slot budget across all of its jobs, so one
+// saturating tenant cannot crowd every other tenant out of the pool. Job
+// controllers and admission delays do not occupy slots; only task
+// attempts do.
 type Scheduler struct {
 	slots int
 
@@ -100,6 +104,50 @@ type Scheduler struct {
 	rr        int          // round-robin dispatch cursor into execs
 	running   int          // attempts currently in a slot (<= slots)
 	highWater int          // max running ever observed
+	tenants   map[string]*tenantState
+}
+
+// tenantState is the scheduler-side accounting of one tenant across all
+// of its executions. Guarded by Scheduler.mu.
+type tenantState struct {
+	cap       int // max slots this tenant's attempts may hold; 0 = unlimited
+	inFlight  int // attempts of this tenant currently in a slot
+	highWater int // max inFlight ever observed for this tenant
+}
+
+// SetTenantQuota caps how many scheduler slots the tenant's task attempts
+// may occupy at once, across all of that tenant's jobs. maxSlots <= 0
+// removes the cap (the tenant keeps being tracked in Stats). Jobs name
+// their tenant via Config.Tenant; jobs with no tenant are never capped.
+func (s *Scheduler) SetTenantQuota(tenant string, maxSlots int) {
+	if tenant == "" {
+		return
+	}
+	s.mu.Lock()
+	ts := s.tenantLocked(tenant)
+	if maxSlots < 0 {
+		maxSlots = 0
+	}
+	ts.cap = maxSlots
+	s.dispatchLocked() // a raised quota may unblock waiting attempts
+	s.mu.Unlock()
+}
+
+// tenantLocked returns (creating if needed) the tenant's accounting
+// entry; nil for the empty tenant.
+func (s *Scheduler) tenantLocked(tenant string) *tenantState {
+	if tenant == "" {
+		return nil
+	}
+	if s.tenants == nil {
+		s.tenants = make(map[string]*tenantState)
+	}
+	ts := s.tenants[tenant]
+	if ts == nil {
+		ts = &tenantState{}
+		s.tenants[tenant] = ts
+	}
+	return ts
 }
 
 // NewScheduler creates a scheduler with the given number of task slots;
@@ -142,13 +190,30 @@ type PoolStats struct {
 	Running    int // attempts currently occupying a slot
 	ActiveJobs int // executions submitted and not yet terminal
 	HighWater  int // most slots ever occupied at once
+	// Tenants is per-tenant slot accounting, present only once a tenant
+	// has been named by a job or given a quota.
+	Tenants map[string]TenantStats `json:",omitempty"`
+}
+
+// TenantStats is one tenant's slot accounting within PoolStats.
+type TenantStats struct {
+	Quota     int // max slots the tenant may hold; 0 = unlimited
+	Running   int // the tenant's attempts currently in a slot
+	HighWater int // most slots the tenant ever held at once
 }
 
 // Stats snapshots the pool.
 func (s *Scheduler) Stats() PoolStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return PoolStats{Slots: s.slots, Running: s.running, ActiveJobs: len(s.execs), HighWater: s.highWater}
+	st := PoolStats{Slots: s.slots, Running: s.running, ActiveJobs: len(s.execs), HighWater: s.highWater}
+	if len(s.tenants) > 0 {
+		st.Tenants = make(map[string]TenantStats, len(s.tenants))
+		for name, ts := range s.tenants {
+			st.Tenants[name] = TenantStats{Quota: ts.cap, Running: ts.inFlight, HighWater: ts.highWater}
+		}
+	}
+	return st
 }
 
 // Submit validates the job and starts it asynchronously. The returned
@@ -170,12 +235,14 @@ func (s *Scheduler) Submit(ctx context.Context, job *Job) (*Execution, error) {
 		cancel:   cancel,
 		counters: NewCounters(),
 		cap:      job.Config.maxParallel(),
+		tenant:   job.Config.Tenant,
 		phase:    PhasePending,
 		start:    time.Now(),
 		done:     make(chan struct{}),
 	}
 	s.mu.Lock()
 	s.execs = append(s.execs, e)
+	s.tenantLocked(e.tenant) // make the tenant visible in Stats immediately
 	s.mu.Unlock()
 	go e.run()
 	// The watcher turns an external cancellation (caller ctx or
@@ -208,8 +275,9 @@ type Execution struct {
 	done     chan struct{}
 
 	// Scheduling state, guarded by sched.mu.
-	cap        int // max slots this execution may hold at once
-	inFlight   int // attempts of this execution currently in a slot
+	cap        int    // max slots this execution may hold at once
+	tenant     string // tenant whose quota this execution's attempts draw on
+	inFlight   int    // attempts of this execution currently in a slot
 	ph         *phaseRun
 	phase      Phase
 	phaseDone  int
@@ -548,6 +616,12 @@ func (s *Scheduler) dispatchLocked() {
 		if s.running > s.highWater {
 			s.highWater = s.running
 		}
+		if ts := s.tenantLocked(e.tenant); ts != nil {
+			ts.inFlight++
+			if ts.inFlight > ts.highWater {
+				ts.highWater = ts.inFlight
+			}
+		}
 		go s.runAttempt(e, ph, ta)
 	}
 }
@@ -565,6 +639,9 @@ func (s *Scheduler) nextLocked() (*Execution, int, bool) {
 		ph := e.ph
 		if ph == nil || e.inFlight >= e.cap {
 			continue
+		}
+		if ts := s.tenantLocked(e.tenant); ts != nil && ts.cap > 0 && ts.inFlight >= ts.cap {
+			continue // tenant quota exhausted; other tenants keep dispatching
 		}
 		if !ph.halted && e.ctx.Err() != nil {
 			// Canceled with no attempt in flight to notice: halt here so the
@@ -660,6 +737,9 @@ func (s *Scheduler) runAttempt(e *Execution, ph *phaseRun, ta *TaskAttempt) {
 	ph.live--
 	e.inFlight--
 	s.running--
+	if ts := s.tenantLocked(e.tenant); ts != nil {
+		ts.inFlight--
+	}
 	for i, other := range slot.live {
 		if other == ta {
 			slot.live = append(slot.live[:i], slot.live[i+1:]...)

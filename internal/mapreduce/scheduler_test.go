@@ -375,3 +375,73 @@ func TestExecutionStatusLifecycle(t *testing.T) {
 		t.Fatalf("scheduler still tracks %d jobs after completion", stats.ActiveJobs)
 	}
 }
+
+// TestTenantQuota: a tenant capped at 1 slot must never hold more even
+// with 4 pool slots free and a job allowed 4 parallel tasks — and a
+// quota-free job submitted afterwards finishes first on the slots the
+// quota leaves idle.
+func TestTenantQuota(t *testing.T) {
+	s := NewScheduler(4)
+	s.SetTenantQuota("big", 1)
+	var bigCur, bigMax atomic.Int64
+	bigMapper := func() (Mapper, error) {
+		return concurrencyMapper{cur: &bigCur, max: &bigMax, sleep: 5 * time.Millisecond}, nil
+	}
+	be, err := s.Submit(context.Background(), memJob(t, "big", 48, bigMapper, Config{MaxParallelTasks: 4, Tenant: "big"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var smallCur, smallMax atomic.Int64
+	smallMapper := func() (Mapper, error) {
+		return concurrencyMapper{cur: &smallCur, max: &smallMax, sleep: time.Millisecond}, nil
+	}
+	se, err := s.Submit(context.Background(), memJob(t, "small", 16, smallMapper, Config{MaxParallelTasks: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	smallDone := time.Now()
+	if _, err := be.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	bigDone := time.Now()
+	if got := bigMax.Load(); got > 1 {
+		t.Fatalf("quota-1 tenant reached %d concurrent map invocations", got)
+	}
+	st := s.Stats()
+	ts, ok := st.Tenants["big"]
+	if !ok || ts.Quota != 1 || ts.HighWater > 1 {
+		t.Fatalf("tenant stats = %+v (present %v)", ts, ok)
+	}
+	if !smallDone.Before(bigDone) {
+		t.Error("quota-free job queued behind the quota-bound tenant")
+	}
+}
+
+// TestTenantQuotaRaiseUnblocks: raising a tenant's quota mid-run dispatches
+// the tasks the old quota was holding back.
+func TestTenantQuotaRaiseUnblocks(t *testing.T) {
+	s := NewScheduler(4)
+	s.SetTenantQuota("t", 1)
+	var cur, max atomic.Int64
+	mapper := func() (Mapper, error) {
+		return concurrencyMapper{cur: &cur, max: &max, sleep: 5 * time.Millisecond}, nil
+	}
+	e, err := s.Submit(context.Background(), memJob(t, "grower", 48, mapper, Config{MaxParallelTasks: 4, Tenant: "t"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let it run quota-bound for a bit
+	s.SetTenantQuota("t", 3)
+	if _, err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := max.Load(); got < 2 {
+		t.Fatalf("after raising the quota to 3, concurrency peaked at %d", got)
+	}
+	if hw := s.Stats().Tenants["t"].HighWater; hw > 3 {
+		t.Fatalf("tenant high-water %d exceeds raised quota 3", hw)
+	}
+}

@@ -59,6 +59,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -68,6 +69,7 @@ import (
 	"manimal/internal/fabric"
 	"manimal/internal/indexgen"
 	"manimal/internal/interp"
+	"manimal/internal/journal"
 	"manimal/internal/lang"
 	"manimal/internal/mapreduce"
 	"manimal/internal/optimizer"
@@ -161,6 +163,12 @@ type System struct {
 	// noCache disables the fingerprint-keyed result cache (Options or
 	// MANIMAL_NOCACHE=1).
 	noCache bool
+	// jnl is the durable job journal (Options.Journal): every accepted
+	// submission is recorded before admission and its terminal state after,
+	// so Recover can replay what a crashed coordinator owed. Nil when
+	// journaling is off (the default for embedded use; `manimal serve`
+	// turns it on).
+	jnl *journal.Journal
 
 	mu          sync.Mutex
 	liveOutputs map[string]string // normalized output path -> job name
@@ -178,6 +186,13 @@ type Options struct {
 	// DisableResultCache turns off the fingerprint-keyed result cache:
 	// identical re-submissions re-execute.
 	DisableResultCache bool
+	// Journal enables the durable job journal in <dir>/journal: accepted
+	// submissions are recorded (program source, conf, inputs, output,
+	// tenant) before admission, terminal states after, and System.Recover
+	// can replay incomplete jobs after a crash. Off by default — journal
+	// writes fsync on the submission path, which embedded/test systems and
+	// benchmarks should not pay; `manimal serve` enables it.
+	Journal bool
 }
 
 // NewSystem opens (or initializes) a Manimal system rooted at dir: the
@@ -205,10 +220,29 @@ func NewSystemWith(dir string, opts Options) (*System, error) {
 	if !opts.DisableScanSharing && optimizer.ScanSharingEnabled() {
 		share = storage.NewScanShare()
 	}
+	var jnl *journal.Journal
+	if opts.Journal {
+		jnl, err = journal.Open(filepath.Join(dir, "journal"))
+		if err != nil {
+			return nil, err
+		}
+	}
 	return &System{dir: dir, workDir: workDir, cat: cat, sched: sched,
 		share:       share,
 		noCache:     opts.DisableResultCache || !optimizer.ResultCacheEnabled(),
+		jnl:         jnl,
 		liveOutputs: make(map[string]string)}, nil
+}
+
+// Journal exposes the durable job journal, or nil when Options.Journal
+// was not set.
+func (s *System) Journal() *journal.Journal { return s.jnl }
+
+// SetTenantQuota caps how many scheduler slots the tenant's task attempts
+// may hold at once across all of that tenant's jobs (maxSlots <= 0
+// removes the cap). Jobs name their tenant via JobSpec.Tenant.
+func (s *System) SetTenantQuota(tenant string, maxSlots int) {
+	s.sched.SetTenantQuota(tenant, maxSlots)
 }
 
 // claimOutput reserves an output path for a job's lifetime: two live jobs
@@ -318,6 +352,11 @@ type JobSpec struct {
 	NumReducers      int
 	MaxParallelTasks int
 	StartupDelay     time.Duration
+	// Tenant names the pool-share quota this job draws on (see
+	// System.SetTenantQuota): all jobs of one tenant share that tenant's
+	// scheduler-slot budget. Empty means unquotaed. The HTTP service fills
+	// it from the X-Manimal-Tenant request header.
+	Tenant string
 }
 
 // InputReport carries per-input analysis and planning results.
@@ -351,11 +390,12 @@ type JobStatus = mapreduce.Status
 // transparently resubmitted with a fresh plan (see SubmitAsync), so the
 // underlying execution can change over the handle's lifetime.
 type JobHandle struct {
-	name   string
-	inputs []InputReport
-	report *JobReport
-	err    error
-	done   chan struct{}
+	name      string
+	journalID string
+	inputs    []InputReport
+	report    *JobReport
+	err       error
+	done      chan struct{}
 
 	mu       sync.Mutex
 	exec     *mapreduce.Execution
@@ -384,6 +424,12 @@ func (h *JobHandle) swap(e *mapreduce.Execution) bool {
 
 // Name returns the submitted job's name.
 func (h *JobHandle) Name() string { return h.name }
+
+// JournalID returns the job's durable journal ID ("" when the System
+// journal is disabled). The ID survives coordinator restarts: a job
+// resubmitted by Recover keeps it, and the HTTP service uses it as the
+// job's public ID so clients can still resolve it after eviction.
+func (h *JobHandle) JournalID() string { return h.journalID }
 
 // Inputs returns the per-input analysis and planning reports, available
 // as soon as SubmitAsync returns.
@@ -441,7 +487,20 @@ func (h *JobHandle) Wait() (*JobReport, error) {
 // the task-slot pool with every other in-flight job and index build.
 // Canceling ctx (or calling JobHandle.Cancel) stops the job and cleans up
 // its partial output and scratch space.
+//
+// With the journal enabled (Options.Journal), the accepted submission is
+// durably recorded before admission and its terminal state after — a
+// journal write failure REFUSES the submission, so an accepted job is
+// always recoverable by System.Recover.
 func (s *System) SubmitAsync(ctx context.Context, spec JobSpec) (*JobHandle, error) {
+	return s.submitJournaled(ctx, spec, "")
+}
+
+// submitJournaled is SubmitAsync's body. jid names an existing journal
+// entry when the submission is a recovery replay (Recover resubmits under
+// the original ID, so the journal never forks); "" means a fresh
+// submission that gets its own Begin record.
+func (s *System) submitJournaled(ctx context.Context, spec JobSpec, jid string) (*JobHandle, error) {
 	if len(spec.Inputs) == 0 {
 		return nil, fmt.Errorf("manimal: job %q has no inputs", spec.Name)
 	}
@@ -515,6 +574,18 @@ func (s *System) SubmitAsync(ctx context.Context, spec JobSpec) (*JobHandle, err
 		}
 	}
 
+	// Durable journal: the accepted submission is recorded BEFORE any
+	// admission decision (result-cache check included), so a coordinator
+	// crash from here on leaves a replayable record. A failed journal write
+	// refuses the submission — an accepted job must always be recoverable.
+	if s.jnl != nil && jid == "" {
+		var jerr error
+		if jid, jerr = s.jnl.Begin(journalSubmission(spec)); jerr != nil {
+			fail()
+			return nil, jerr
+		}
+	}
+
 	// Result cache (multi-query optimization): an optimized submission whose
 	// identity — canonicalized programs, input fingerprints, conf, output
 	// shape — matches a committed prior output is served from the cached
@@ -527,6 +598,8 @@ func (s *System) SubmitAsync(ctx context.Context, spec JobSpec) (*JobHandle, err
 		cacheK, cacheInputs = s.cacheKey(spec)
 		if cacheK != "" {
 			if h := s.serveCached(cacheK, spec, report, outputKey); h != nil {
+				h.journalID = jid
+				s.journalEnd(jid, h, report)
 				return h, nil
 			}
 		}
@@ -548,11 +621,14 @@ func (s *System) SubmitAsync(ctx context.Context, spec JobSpec) (*JobHandle, err
 	if cacheK != "" {
 		exec.Counters().Add(mapreduce.CtrCacheMisses, 1)
 	}
-	h := &JobHandle{name: spec.Name, inputs: report.Inputs, exec: exec, report: report, done: make(chan struct{})}
+	h := &JobHandle{name: spec.Name, journalID: jid, inputs: report.Inputs, exec: exec, report: report, done: make(chan struct{})}
 	go func() {
 		defer close(h.done)
 		defer s.releaseOutput(outputKey)
 		defer os.RemoveAll(jobWork)
+		// Declared last so it runs FIRST: the terminal state is durable in
+		// the journal before Done is observable.
+		defer s.journalEnd(jid, h, report)
 		cur := exec
 		for replans := 0; ; replans++ {
 			res, err := cur.Wait()
@@ -608,6 +684,7 @@ func buildJob(spec JobSpec, report *JobReport, jobWork string, share *storage.Sc
 			WorkDir:          jobWork,
 			StartupDelay:     spec.StartupDelay,
 			SortedOutput:     spec.SortedOutput,
+			Tenant:           spec.Tenant,
 			Conf:             spec.Conf,
 		},
 	}
@@ -898,6 +975,204 @@ func (s *System) Submit(spec JobSpec) (*JobReport, error) {
 		return nil, err
 	}
 	return h.Wait()
+}
+
+// journalEnd records a job's terminal state in the journal. Errors are
+// dropped: the job itself already finished, and an entry left incomplete
+// merely means the next Recover re-runs it — which the result cache and
+// atomic per-task commit make harmless.
+func (s *System) journalEnd(jid string, h *JobHandle, report *JobReport) {
+	if s.jnl == nil || jid == "" {
+		return
+	}
+	state, errText := journal.StateDone, ""
+	var recs int64
+	if h.err != nil {
+		state, errText = journal.StateFailed, h.err.Error()
+		if errors.Is(h.err, context.Canceled) || errors.Is(h.err, context.DeadlineExceeded) {
+			state = journal.StateCanceled
+		}
+	} else if report.Result != nil && report.Result.Counters != nil {
+		recs = report.Result.Counters.Get(mapreduce.CtrOutputRecords)
+	}
+	s.jnl.End(jid, state, errText, recs)
+}
+
+// journalSubmission converts a JobSpec into its durable journal form. The
+// program SOURCE is journaled (the analyzed representation is the parsed
+// source), so recovery needs no state beyond the journal itself.
+func journalSubmission(spec JobSpec) journal.Submission {
+	sub := journal.Submission{
+		Name:                spec.Name,
+		OutputPath:          spec.OutputPath,
+		Conf:                confToJournal(spec.Conf),
+		MapOnly:             spec.MapOnly,
+		SortedOutput:        spec.SortedOutput,
+		SafeMode:            spec.SafeMode,
+		DisableOptimization: spec.DisableOptimization,
+		NumReducers:         spec.NumReducers,
+		MaxParallelTasks:    spec.MaxParallelTasks,
+		Tenant:              spec.Tenant,
+	}
+	for _, in := range spec.Inputs {
+		sub.Inputs = append(sub.Inputs, journal.Input{
+			Path: in.Path, ProgramName: in.Program.Name, Program: in.Program.Source,
+		})
+	}
+	return sub
+}
+
+// specFromJournal reconstructs a submittable JobSpec from a journal
+// entry. StartupDelay is deliberately not journaled — it modeled the
+// ORIGINAL submission's cluster launch latency — so recovered jobs start
+// immediately.
+func specFromJournal(sub journal.Submission) (JobSpec, error) {
+	spec := JobSpec{
+		Name:                sub.Name,
+		OutputPath:          sub.OutputPath,
+		Conf:                confFromJournal(sub.Conf),
+		MapOnly:             sub.MapOnly,
+		SortedOutput:        sub.SortedOutput,
+		SafeMode:            sub.SafeMode,
+		DisableOptimization: sub.DisableOptimization,
+		NumReducers:         sub.NumReducers,
+		MaxParallelTasks:    sub.MaxParallelTasks,
+		Tenant:              sub.Tenant,
+	}
+	for _, in := range sub.Inputs {
+		p, err := ParseProgram(in.ProgramName, in.Program)
+		if err != nil {
+			return JobSpec{}, fmt.Errorf("manimal: journaled program %s: %w", in.ProgramName, err)
+		}
+		spec.Inputs = append(spec.Inputs, InputSpec{Path: in.Path, Program: p})
+	}
+	return spec, nil
+}
+
+// confToJournal encodes conf datums as kind-tagged strings — JSON alone
+// cannot round-trip the datum types (every number decodes as float64).
+func confToJournal(c Conf) map[string]journal.ConfValue {
+	if len(c) == 0 {
+		return nil
+	}
+	out := make(map[string]journal.ConfValue, len(c))
+	for k, d := range c {
+		cv := journal.ConfValue{Kind: "string", Value: d.String()}
+		switch d.Kind {
+		case serde.KindInt64:
+			cv.Kind = "int"
+		case serde.KindFloat64:
+			cv.Kind = "float"
+		case serde.KindBool:
+			cv.Kind = "bool"
+		}
+		out[k] = cv
+	}
+	return out
+}
+
+// confFromJournal decodes what confToJournal wrote.
+func confFromJournal(m map[string]journal.ConfValue) Conf {
+	if len(m) == 0 {
+		return nil
+	}
+	c := make(Conf, len(m))
+	for k, cv := range m {
+		switch cv.Kind {
+		case "int":
+			v, _ := strconv.ParseInt(cv.Value, 10, 64)
+			c[k] = Int(v)
+		case "float":
+			v, _ := strconv.ParseFloat(cv.Value, 64)
+			c[k] = Float(v)
+		case "bool":
+			c[k] = Bool(cv.Value == "true")
+		default:
+			c[k] = String(cv.Value)
+		}
+	}
+	return c
+}
+
+// RecoveredJob reports one incomplete journal entry Recover acted on.
+type RecoveredJob struct {
+	ID         string
+	Name       string
+	OutputPath string
+	// Handle tracks the resubmitted execution. Nil when resubmission
+	// failed — Err then says why, and the journal records the failure.
+	Handle *JobHandle
+	Err    error
+}
+
+// Recover replays the job journal after a coordinator crash: jobs that
+// died mid-flight (journaled as accepted but never terminal) are marked
+// interrupted, their orphaned scratch space and partial-output temp files
+// are removed, and each is resubmitted idempotently under its ORIGINAL
+// journal ID. Replay is safe because execution is idempotent at both
+// ends: the result cache serves a re-submission whose output already
+// committed, and the engine's atomic per-task commit means a partial
+// output from the crashed run was never visible at the final path.
+// Completed and canceled entries are left untouched — a canceled job
+// stays canceled.
+//
+// Recover must run on a fresh System, before any new submissions; the
+// returned handles are waited on like any SubmitAsync handle.
+func (s *System) Recover(ctx context.Context) ([]RecoveredJob, error) {
+	if s.jnl == nil {
+		return nil, errors.New("manimal: Recover needs the job journal (Options.Journal)")
+	}
+	s.mu.Lock()
+	busy := len(s.liveOutputs)
+	s.mu.Unlock()
+	if busy > 0 {
+		return nil, errors.New("manimal: Recover must run before new submissions")
+	}
+	entries, err := s.jnl.Replay()
+	if err != nil {
+		return nil, err
+	}
+	// Scrub scratch space wholesale: completed jobs remove their job-* and
+	// idx-* dirs on the way out, so anything still under work/ is orphaned
+	// spill space from the crashed run.
+	if des, err := os.ReadDir(s.workDir); err == nil {
+		for _, de := range des {
+			os.RemoveAll(filepath.Join(s.workDir, de.Name()))
+		}
+	}
+	var out []RecoveredJob
+	for i := range entries {
+		e := &entries[i]
+		if e.Complete() {
+			continue
+		}
+		rec := RecoveredJob{ID: e.Sub.ID, Name: e.Sub.Name, OutputPath: e.Sub.OutputPath}
+		s.jnl.Mark(e.Sub.ID, "interrupted: coordinator died mid-flight; resubmitted by recovery")
+		removeOutputDebris(e.Sub.OutputPath)
+		spec, serr := specFromJournal(e.Sub)
+		if serr == nil {
+			rec.Handle, serr = s.submitJournaled(ctx, spec, e.Sub.ID)
+		}
+		if serr != nil {
+			// The job can never run again (unparseable program, vanished
+			// input): journal a terminal failure so the next recovery does
+			// not retry it forever.
+			rec.Err = serr
+			s.jnl.End(e.Sub.ID, journal.StateFailed, serr.Error(), 0)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// removeOutputDebris deletes orphaned atomic-commit temp files next to an
+// interrupted job's output path — the "<base>.tmp-*" staging files
+// KVFileOutput and the cache copier rename through.
+func removeOutputDebris(outputPath string) {
+	matches, _ := filepath.Glob(filepath.Join(filepath.Dir(outputPath), filepath.Base(outputPath)+".tmp-*"))
+	for _, m := range matches {
+		os.Remove(m)
+	}
 }
 
 // BuildIndex runs an index-generation program over inputPath, writes the
